@@ -1,0 +1,72 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dcbatt::bench {
+
+const std::vector<power::Priority> &
+paperPriorities()
+{
+    static const std::vector<power::Priority> priorities =
+        trace::paperMsbPriorities();
+    return priorities;
+}
+
+const trace::TraceSet &
+paperMsbTraces()
+{
+    static const trace::TraceSet traces = [] {
+        trace::TraceGenSpec spec;
+        spec.rackCount = 316;
+        spec.startTime = util::hours(10.0);
+        spec.duration = util::hours(8.0);
+        spec.step = util::Seconds(3.0);
+        spec.priorities = paperPriorities();
+        return trace::generateTraces(spec);
+    }();
+    return traces;
+}
+
+core::ChargingEventConfig
+paperEventConfig(core::PolicyKind policy, util::Watts limit,
+                 double mean_dod)
+{
+    core::ChargingEventConfig config;
+    config.policy = policy;
+    config.msbLimit = limit;
+    config.targetMeanDod = mean_dod;
+    config.priorities = paperPriorities();
+    return config;
+}
+
+std::string
+fmtMw(util::Watts watts)
+{
+    return util::strf("%.3f MW", util::toMegawatts(watts));
+}
+
+std::string
+fmtKw(util::Watts watts)
+{
+    return util::strf("%.1f kW", util::toKilowatts(watts));
+}
+
+std::string
+fmtMin(util::Seconds seconds)
+{
+    return util::strf("%.1f min", util::toMinutes(seconds));
+}
+
+void
+banner(const std::string &artifact, const std::string &summary)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s — %s\n", artifact.c_str(), summary.c_str());
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace dcbatt::bench

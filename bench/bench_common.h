@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: the
+ * paper's MSB fleet trace (generated once and cached), and small
+ * formatting helpers so every bench prints comparable output.
+ */
+
+#ifndef DCBATT_BENCH_BENCH_COMMON_H_
+#define DCBATT_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_generator.h"
+#include "trace/trace_set.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace dcbatt::bench {
+
+/**
+ * The simulation-experiment fleet of Section V-B: 316 racks (89 P1,
+ * 142 P2, 85 P3) under one MSB, 3 s samples, 8-hour window around the
+ * first afternoon peak. Generated once per process.
+ */
+const trace::TraceSet &paperMsbTraces();
+
+/** The matching priority vector. */
+const std::vector<power::Priority> &paperPriorities();
+
+/** Base config for the Section V-B experiments. */
+core::ChargingEventConfig paperEventConfig(core::PolicyKind policy,
+                                           util::Watts limit,
+                                           double mean_dod);
+
+/** "2.500 MW" style formatting. */
+std::string fmtMw(util::Watts watts);
+/** "123.4 kW" style formatting. */
+std::string fmtKw(util::Watts watts);
+/** "12.3 min" style formatting. */
+std::string fmtMin(util::Seconds seconds);
+
+/** Print a bench banner naming the paper artifact being reproduced. */
+void banner(const std::string &artifact, const std::string &summary);
+
+} // namespace dcbatt::bench
+
+#endif // DCBATT_BENCH_BENCH_COMMON_H_

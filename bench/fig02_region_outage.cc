@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Fig. 2 (Case I): a sub-second regional utility blip. The
+ * racks of three (of six) data-center buildings fall onto their
+ * batteries for under a second; when utility power returns, every one
+ * of their chargers starts in CC mode at the full 5 A — independent
+ * of the tiny DOD — producing a ~9.3 MW spike on a 61.6 MW region
+ * (~15%) that decays over tens of minutes.
+ *
+ * The fleet is homogeneous after a uniform sub-second blip, so the
+ * region is simulated as one representative rack scaled by the
+ * discharged-rack count — identical arithmetic, 10^4x faster.
+ */
+
+#include <cstdio>
+
+#include "battery/power_shelf.h"
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+using namespace dcbatt;
+using util::Seconds;
+using util::Watts;
+
+int
+main()
+{
+    bench::banner("Fig. 2 (Case I)",
+                  "regional utility blip: battery recharge spike with "
+                  "the original 5 A charger");
+
+    // Region: 6 buildings; ~9700 racks at ~6.35 kW = 61.6 MW. Racks
+    // in 3 buildings (~4850) saw the blip and recharge.
+    const double region_racks = 9700.0;
+    const double discharged_racks = 4850.0;
+    const Watts rack_it(61.6e6 / region_racks);
+
+    battery::PowerShelf shelf(battery::makeOriginalCharger());
+    shelf.loseInputPower();
+    shelf.step(Seconds(0.8), rack_it);  // the sub-second voltage sag
+    double dod = shelf.meanDod();
+    shelf.restoreInputPower();
+
+    util::TimeSeries region(Seconds(0.0), Seconds(5.0));
+    for (double t = 0.0; t < 45.0 * 60.0; t += 5.0) {
+        double recharge =
+            shelf.rechargePower().value() * discharged_racks;
+        region.append(61.6e6 + recharge);
+        shelf.step(Seconds(5.0), rack_it);
+    }
+
+    util::ChartOptions options;
+    options.title = "Region IT load during the recharge spike";
+    options.xLabel = "time (minutes)";
+    options.yLabel = "power (MW)";
+    options.yMin = 60.0;
+    options.yMax = 72.0;
+    std::printf("%s\n",
+                util::renderChart(
+                    {util::seriesFromTimeSeries(region, "region power",
+                                                '*', 1.0 / 300.0,
+                                                1e-6)},
+                    options)
+                    .c_str());
+
+    double spike = region.maxValue() - 61.6e6;
+    // Spike duration: time until the extra power decays below 5%.
+    double over_minutes = 0.0;
+    for (size_t i = 0; i < region.size(); ++i) {
+        if (region[i] - 61.6e6 > 0.05 * spike)
+            over_minutes = region.timeAt(i).value() / 60.0;
+    }
+    std::printf("battery DOD after the blip:  %.2f%% (sub-second "
+                "outage)\n",
+                dod * 100.0);
+    std::printf("pre-outage region power:     61.6 MW (paper: "
+                "61.6 MW)\n");
+    std::printf("recharge spike:              %.1f MW = %.0f%% "
+                "(paper: 9.3 MW = 15%%)\n",
+                spike / 1e6, spike / 61.6e6 * 100.0);
+    std::printf("spike duration (to 5%%):      %.0f min (paper: "
+                "~25 min)\n",
+                over_minutes);
+    std::printf("\nWhy: the original charger always starts in CC mode "
+                "at 5 A regardless of DOD\n(Section III-A), so even a "
+                "sub-second outage triggers the worst-case spike.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Fig. 14: the number of racks (by priority) whose
+ * charging-time SLA is met, for the priority-aware algorithm vs the
+ * global equal-rate baseline, as the MSB power limit falls from
+ * 2.6 MW to 2.2 MW, at medium (50%) and high (70%) battery
+ * discharge.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/text_table.h"
+
+using namespace dcbatt;
+using core::PolicyKind;
+
+int
+main()
+{
+    bench::banner("Fig. 14",
+                  "racks meeting the charging-time SLA vs MSB power "
+                  "limit (priority-aware vs global)");
+
+    const double dods[] = {0.5, 0.7};
+    const char *discharge_names[] = {"medium", "high"};
+    const PolicyKind policies[] = {PolicyKind::PriorityAware,
+                                   PolicyKind::GlobalRate};
+    const char *panel[] = {"(a)", "(b)", "(c)", "(d)"};
+
+    int panel_idx = 0;
+    for (size_t d = 0; d < 2; ++d) {
+        for (PolicyKind policy : policies) {
+            std::printf("\n--- Fig. 14 %s: %s, %s discharge ---\n",
+                        panel[panel_idx++], core::toString(policy),
+                        discharge_names[d]);
+            util::TextTable table({"limit (MW)", "P1 met (of 89)",
+                                   "P2 met (of 142)",
+                                   "P3 met (of 85)", "total",
+                                   "max cap (kW)"});
+            for (double limit = 2.6; limit >= 2.2 - 1e-9;
+                 limit -= 0.05) {
+                auto config = bench::paperEventConfig(
+                    policy, util::megawatts(limit), dods[d]);
+                config.postEventDuration = util::minutes(100.0);
+                auto result = core::runChargingEvent(
+                    config, bench::paperMsbTraces());
+                table.addRow(
+                    {util::strf("%.2f", limit),
+                     util::strf("%d", result.slaMetByPriority[0]),
+                     util::strf("%d", result.slaMetByPriority[1]),
+                     util::strf("%d", result.slaMetByPriority[2]),
+                     util::strf("%d", result.slaMetTotal()),
+                     util::strf("%.0f",
+                                util::toKilowatts(result.maxCap))});
+            }
+            std::printf("%s", table.render().c_str());
+        }
+    }
+
+    std::printf(
+        "\nPaper shape checks:\n"
+        " - priority-aware preserves P1 SLAs longest as the limit "
+        "falls; P3 is throttled\n   first but its 90-min SLA is still "
+        "met at the 1 A floor (so P2 counts drop\n   before P3 "
+        "counts, exactly the paper's Fig. 14(a) observation);\n"
+        " - the global baseline penalizes P1 first (highest current "
+        "demand), then P2;\n"
+        " - server capping appears only when the limit approaches the "
+        "IT load plus the\n   316-rack 1 A floor (~120 kW).\n");
+    return 0;
+}

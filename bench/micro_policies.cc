@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot paths: Algorithm 1
+ * planning, the SLA-current inversion, BBU physics stepping, and the
+ * event-queue kernel. These quantify the control plane's cost per
+ * decision — the paper's controllers tick every 3 seconds over
+ * hundreds of racks, so planning must be microseconds, not
+ * milliseconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "battery/bbu.h"
+#include "core/global_coordinator.h"
+#include "core/priority_aware_coordinator.h"
+#include "power/topology.h"
+#include "sim/event_queue.h"
+#include "trace/trace_generator.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace dcbatt;
+using dynamo::RackChargeInfo;
+using power::Priority;
+using util::Amperes;
+
+std::vector<RackChargeInfo>
+makeFleet(int racks)
+{
+    auto priorities = power::makePriorityMix(racks / 3, racks / 3,
+                                             racks - 2 * (racks / 3));
+    util::Rng rng(5);
+    std::vector<RackChargeInfo> fleet;
+    for (int i = 0; i < racks; ++i) {
+        RackChargeInfo info;
+        info.rackId = i;
+        info.priority = priorities[static_cast<size_t>(i)
+                                   % priorities.size()];
+        info.initialDod = rng.uniform(0.2, 0.8);
+        info.setpoint = Amperes(2.0);
+        info.itLoad = util::kilowatts(6.3);
+        info.charging = true;
+        fleet.push_back(info);
+    }
+    return fleet;
+}
+
+core::PriorityAwareCoordinator
+makePa()
+{
+    return core::PriorityAwareCoordinator(
+        core::SlaCurrentCalculator(battery::ChargeTimeModel(),
+                                   core::SlaTable::paperDefault()));
+}
+
+void
+BM_PriorityAwarePlan(benchmark::State &state)
+{
+    auto fleet = makeFleet(static_cast<int>(state.range(0)));
+    auto pa = makePa();
+    for (auto _ : state) {
+        auto commands =
+            pa.planInitial(fleet, util::kilowatts(300.0));
+        benchmark::DoNotOptimize(commands);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriorityAwarePlan)->Arg(64)->Arg(316)->Arg(1024);
+
+void
+BM_PriorityAwareOverloadTick(benchmark::State &state)
+{
+    auto fleet = makeFleet(static_cast<int>(state.range(0)));
+    auto pa = makePa();
+    pa.planInitial(fleet, util::kilowatts(300.0));
+    for (auto _ : state) {
+        auto commands = pa.onTick(fleet, util::kilowatts(-30.0));
+        benchmark::DoNotOptimize(commands);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriorityAwareOverloadTick)->Arg(316);
+
+void
+BM_GlobalPlan(benchmark::State &state)
+{
+    auto fleet = makeFleet(static_cast<int>(state.range(0)));
+    core::GlobalRateCoordinator global;
+    for (auto _ : state) {
+        auto commands =
+            global.planInitial(fleet, util::kilowatts(300.0));
+        benchmark::DoNotOptimize(commands);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GlobalPlan)->Arg(316);
+
+void
+BM_SlaCurrentInversion(benchmark::State &state)
+{
+    core::SlaCurrentCalculator calc(battery::ChargeTimeModel(),
+                                    core::SlaTable::paperDefault());
+    double dod = 0.1;
+    for (auto _ : state) {
+        dod = dod >= 0.99 ? 0.1 : dod + 0.01;
+        benchmark::DoNotOptimize(
+            calc.requiredCurrent(dod, Priority::P1));
+    }
+}
+BENCHMARK(BM_SlaCurrentInversion);
+
+void
+BM_BbuStepSecond(benchmark::State &state)
+{
+    battery::BbuModel bbu;
+    bbu.forceDod(1.0);
+    bbu.startCharging(Amperes(2.0));
+    for (auto _ : state) {
+        if (bbu.fullyCharged()) {
+            bbu.forceDod(1.0);
+            bbu.startCharging(Amperes(2.0));
+        }
+        bbu.step(util::Seconds(1.0));
+        benchmark::DoNotOptimize(bbu);
+    }
+}
+BENCHMARK(BM_BbuStepSecond);
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            queue.scheduleAfter(i + 1, [] {});
+        queue.runUntil(queue.now() + 64);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = 64;
+    spec.duration = util::hours(1.0);
+    spec.step = util::Seconds(3.0);
+    for (auto _ : state) {
+        auto traces = trace::generateTraces(spec);
+        benchmark::DoNotOptimize(traces);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 1200);
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

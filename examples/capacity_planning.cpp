@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Power-oversubscription capacity planning with battery recharge in
+ * the loop.
+ *
+ * The paper's economic argument: statically reserving the worst-case
+ * battery recharge power (~25% of rack power) strands capacity, so
+ * the budget should instead assume coordinated charging. This example
+ * quantifies that trade: for each charging policy, find the highest
+ * IT utilization of a 2.5 MW MSB (i.e., the deepest oversubscription)
+ * at which a maintenance open transition still causes no server
+ * capping — and cross-check the reliability side by reporting the
+ * AOR each priority would see at its SLA charge time.
+ *
+ * Run: ./build/examples/capacity_planning
+ */
+
+#include <cstdio>
+
+#include "core/charging_event_sim.h"
+#include "reliability/aor_simulator.h"
+#include "trace/trace_generator.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+using namespace dcbatt;
+using core::PolicyKind;
+
+namespace {
+
+/** Max mean-IT-load (MW) with zero capping, by bisection over traces. */
+double
+maxSafeUtilization(PolicyKind policy,
+                   const std::vector<power::Priority> &priorities)
+{
+    double lo = 1.8, hi = 2.5;
+    for (int iter = 0; iter < 7; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        trace::TraceGenSpec tspec;
+        tspec.rackCount = 316;
+        tspec.startTime = util::hours(10.0);
+        tspec.duration = util::hours(6.0);
+        tspec.priorities = priorities;
+        tspec.aggregateMean = util::megawatts(mid);
+        tspec.aggregateAmplitude = util::megawatts(0.05 * mid);
+        trace::TraceSet traces = trace::generateTraces(tspec);
+
+        core::ChargingEventConfig config;
+        config.policy = policy;
+        config.msbLimit = util::megawatts(2.5);
+        config.priorities = priorities;
+        config.openTransitionLength = util::Seconds(60.0);
+        config.postEventDuration = util::hours(1.5);
+        auto result = core::runChargingEvent(config, traces);
+        if (result.maxCap.value() > 0.0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("capacity_planning: deepest safe oversubscription of "
+                "a 2.5 MW MSB\n(60 s maintenance open transition, no "
+                "server capping allowed)\n\n");
+
+    auto priorities = trace::paperMsbPriorities();
+    util::TextTable table({"policy", "max safe mean IT load",
+                           "of the 2.5 MW limit"});
+    for (PolicyKind policy :
+         {PolicyKind::OriginalLocal, PolicyKind::VariableLocal,
+          PolicyKind::PriorityAware}) {
+        double mw = maxSafeUtilization(policy, priorities);
+        table.addRow({core::toString(policy),
+                      util::strf("%.2f MW", mw),
+                      util::strf("%.0f%%", mw / 2.5 * 100.0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("reliability cross-check (Monte Carlo over Table I "
+                "failure data):\n");
+    reliability::AorConfig aor_config;
+    aor_config.years = 2e4;
+    reliability::AorSimulator aor(reliability::paperFailureData(),
+                                  aor_config);
+    core::SlaTable sla = core::SlaTable::paperDefault();
+    util::TextTable aor_table({"priority", "charge-time SLA",
+                               "AOR at that charge time",
+                               "AOR target"});
+    for (power::Priority p : power::kAllPriorities) {
+        auto result = aor.aorForChargeTime(sla.chargeTimeSla(p));
+        aor_table.addRow(
+            {toString(p),
+             util::strf("%.0f min",
+                        util::toMinutes(sla.chargeTimeSla(p))),
+             util::strf("%.3f%%", result.aor * 100.0),
+             util::strf("%.2f%%", sla.targetAor(p) * 100.0)});
+    }
+    std::printf("%s\n", aor_table.render().c_str());
+    std::printf(
+        "Conclusion: coordinated charging lets the operator run the "
+        "MSB several\npercentage points hotter with zero capping "
+        "exposure — that headroom is the\ncapacity the paper says "
+        "static recharge budgeting would have stranded.\n");
+    return 0;
+}

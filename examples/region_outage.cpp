@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Case I rehearsal: what does a region-wide utility blip do to each
+ * building, and how much does the charging policy matter?
+ *
+ * Reconstructs the paper's August-2019 thunderstorm event: a
+ * sub-second utility sag drops several buildings onto batteries; when
+ * power returns every BBU recharges at once. This example simulates
+ * one affected MSB at full fidelity (316 racks, traces, Dynamo
+ * control plane) for each policy and then scales the recharge spike
+ * to the region, reporting the aggregate picture the paper's Fig. 2
+ * shows and the per-MSB capping consequences.
+ *
+ * Run: ./build/examples/region_outage
+ */
+
+#include <cstdio>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_generator.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+using namespace dcbatt;
+using core::PolicyKind;
+
+int
+main()
+{
+    std::printf("region_outage: sub-second utility sag across a "
+                "region (Case I)\n\n");
+
+    auto priorities = trace::paperMsbPriorities();
+    trace::TraceGenSpec tspec;
+    tspec.rackCount = 316;
+    tspec.startTime = util::hours(10.0);
+    tspec.duration = util::hours(6.0);
+    tspec.priorities = priorities;
+    trace::TraceSet traces = trace::generateTraces(tspec);
+
+    // A region carries ~30 MSBs' worth of IT load (61.6 MW at
+    // ~2.05 MW per MSB); half of them saw the sag.
+    const double affected_msbs = 15.0;
+    const double region_it_mw = 61.6;
+
+    util::TextTable table({"policy", "MSB peak (MW)",
+                           "MSB recharge spike (kW)",
+                           "region spike (MW)", "region spike (%)",
+                           "max cap per MSB (kW)"});
+    for (PolicyKind policy :
+         {PolicyKind::OriginalLocal, PolicyKind::VariableLocal,
+          PolicyKind::GlobalRate, PolicyKind::PriorityAware}) {
+        core::ChargingEventConfig config;
+        config.policy = policy;
+        config.msbLimit = util::megawatts(2.5);
+        config.priorities = priorities;
+        // The sag: under one second on batteries.
+        config.openTransitionLength = util::Seconds(0.8);
+        config.postEventDuration = util::hours(1.5);
+        auto result = core::runChargingEvent(config, traces);
+
+        double spike_kw =
+            util::toKilowatts(util::Watts(
+                result.rechargePower.maxValue()));
+        double region_spike_mw = spike_kw * affected_msbs / 1e3;
+        table.addRow(
+            {core::toString(policy),
+             util::strf("%.3f", util::toMegawatts(result.peakPower)),
+             util::strf("%.0f", spike_kw),
+             util::strf("%.1f", region_spike_mw),
+             util::strf("%.0f%%",
+                        region_spike_mw / region_it_mw * 100.0),
+             util::strf("%.0f", util::toKilowatts(result.maxCap))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper reference: the 2019 event measured a 9.3 MW spike on "
+        "61.6 MW (15%%) with the\noriginal charger. The variable "
+        "charger cuts the region spike by 60%% on its own;\n"
+        "coordination removes the remaining capping risk on "
+        "tight MSBs.\n");
+    return 0;
+}

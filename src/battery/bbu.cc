@@ -1,0 +1,206 @@
+#include "battery/bbu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcbatt::battery {
+
+using util::Amperes;
+using util::Coulombs;
+using util::Joules;
+using util::Seconds;
+using util::Volts;
+using util::Watts;
+
+const char *
+toString(BbuState state)
+{
+    switch (state) {
+      case BbuState::FullyCharged:
+        return "fully_charged";
+      case BbuState::Discharging:
+        return "discharging";
+      case BbuState::FullyDischarged:
+        return "fully_discharged";
+      case BbuState::Charging:
+        return "charging";
+    }
+    return "unknown";
+}
+
+BbuModel::BbuModel(BbuParams params) : params_(params) {}
+
+void
+BbuModel::setSetpoint(Amperes current)
+{
+    setpoint_ = util::clamp(current, params_.minCurrent,
+                            params_.maxCurrent);
+}
+
+Coulombs
+BbuModel::cvCharge(Amperes setpoint) const
+{
+    return (setpoint - params_.cutoffCurrent) * params_.cvTimeConstant;
+}
+
+Amperes
+BbuModel::chargingCurrent() const
+{
+    if (state_ != BbuState::Charging || paused_)
+        return Amperes(0.0);
+    if (!inCv_)
+        return setpoint_;
+    double decay = std::exp(-cvElapsed_ / params_.cvTimeConstant);
+    return setpoint_ * decay;
+}
+
+Volts
+BbuModel::terminalVoltage() const
+{
+    if (state_ == BbuState::Charging && inCv_)
+        return params_.cvVoltage;
+    // Linear open-circuit curve from empty (42.6 V at DOD 1) to the CC
+    // end voltage. The CC->CV handover for the reference 5 A setpoint
+    // happens at DOD ~0.22, which is where the line is pinned to 52 V.
+    double ref_threshold = cvCharge(params_.originalCurrent)
+        / params_.refillCharge;
+    double span = 1.0 - ref_threshold;
+    double t = std::clamp((1.0 - dod_) / span, 0.0, 1.0);
+    double v = params_.emptyVoltage.value()
+        + (params_.ccEndVoltage.value() - params_.emptyVoltage.value())
+        * t;
+    return Volts(v);
+}
+
+Watts
+BbuModel::inputPower() const
+{
+    if (state_ != BbuState::Charging)
+        return Watts(0.0);
+    Watts cell_power = terminalVoltage() * chargingCurrent();
+    return cell_power / params_.chargeEfficiency;
+}
+
+Joules
+BbuModel::discharge(Watts power, Seconds dt)
+{
+    if (power.value() < 0.0)
+        util::panic("BbuModel::discharge: negative power");
+    if (state_ == BbuState::FullyDischarged || power.value() == 0.0
+        || dt.value() <= 0.0) {
+        return Joules(0.0);
+    }
+    state_ = BbuState::Discharging;
+    inCv_ = false;
+    paused_ = false;
+    cvElapsed_ = Seconds(0.0);
+    Joules requested = power * dt;
+    Joules available = params_.fullDischargeEnergy * (1.0 - dod_);
+    Joules delivered = util::min(requested, available);
+    dod_ += delivered / params_.fullDischargeEnergy;
+    if (dod_ >= 1.0 - 1e-12) {
+        dod_ = 1.0;
+        state_ = BbuState::FullyDischarged;
+    }
+    return delivered;
+}
+
+void
+BbuModel::startCharging(Amperes initial_current)
+{
+    if (state_ == BbuState::FullyCharged)
+        return;
+    setSetpoint(initial_current);
+    state_ = BbuState::Charging;
+    cvElapsed_ = Seconds(0.0);
+    inCv_ = false;
+    maybeEnterCv();
+}
+
+void
+BbuModel::maybeEnterCv()
+{
+    if (!inCv_ && deficit() <= cvCharge(setpoint_)) {
+        inCv_ = true;
+        cvElapsed_ = Seconds(0.0);
+    }
+}
+
+void
+BbuModel::step(Seconds dt)
+{
+    if (state_ != BbuState::Charging || paused_ || dt.value() <= 0.0)
+        return;
+    double remaining = dt.value();
+    while (remaining > 1e-12) {
+        maybeEnterCv();
+        if (!inCv_) {
+            // CC phase: constant current until the deficit equals the
+            // CV-phase charge. Advance either the full step or exactly
+            // to the handover, whichever is sooner.
+            Coulombs to_handover = deficit() - cvCharge(setpoint_);
+            double handover_s = to_handover.value() / setpoint_.value();
+            double advance = std::min(remaining, handover_s);
+            Coulombs delivered = setpoint_ * Seconds(advance);
+            dod_ = std::max(0.0, dod_ - delivered / params_.refillCharge);
+            remaining -= advance;
+        } else {
+            // CV phase: exponentially decaying current; charging is
+            // complete when the current reaches the cutoff. Charge
+            // delivered beyond the residual deficit is absorbed by
+            // top-of-charge balancing (deficit clamps at zero).
+            Seconds tau = params_.cvTimeConstant;
+            double total_cv = tau.value()
+                * std::log(setpoint_ / params_.cutoffCurrent);
+            double left = total_cv - cvElapsed_.value();
+            double advance = std::min(remaining, left);
+            double i0 = setpoint_.value() * std::exp(-cvElapsed_ / tau);
+            double i1 = i0 * std::exp(-advance / tau.value());
+            Coulombs delivered(tau.value() * (i0 - i1));
+            dod_ = std::max(0.0, dod_ - delivered / params_.refillCharge);
+            cvElapsed_ += Seconds(advance);
+            remaining -= advance;
+            if (cvElapsed_.value() >= total_cv - 1e-9) {
+                dod_ = 0.0;
+                state_ = BbuState::FullyCharged;
+                setpoint_ = Amperes(0.0);
+                inCv_ = false;
+                cvElapsed_ = Seconds(0.0);
+                return;
+            }
+        }
+    }
+}
+
+void
+BbuModel::reset()
+{
+    state_ = BbuState::FullyCharged;
+    dod_ = 0.0;
+    setpoint_ = Amperes(0.0);
+    inCv_ = false;
+    paused_ = false;
+    cvElapsed_ = Seconds(0.0);
+}
+
+void
+BbuModel::forceDod(double dod)
+{
+    if (dod < 0.0 || dod > 1.0)
+        util::panic(util::strf("BbuModel::forceDod: bad DOD %g", dod));
+    dod_ = dod;
+    inCv_ = false;
+    cvElapsed_ = Seconds(0.0);
+    if (dod == 0.0) {
+        state_ = BbuState::FullyCharged;
+        setpoint_ = Amperes(0.0);
+    } else if (dod == 1.0) {
+        state_ = BbuState::FullyDischarged;
+    } else {
+        state_ = BbuState::Discharging;
+    }
+}
+
+} // namespace dcbatt::battery

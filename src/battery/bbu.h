@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Dynamic model of one battery backup unit (BBU).
+ *
+ * Implements the four-state machine of Fig. 8(a) — FullyCharged,
+ * Discharging, FullyDischarged, Charging — with the CC-CV charging
+ * dynamics whose closed form lives in ChargeTimeModel. The two agree
+ * exactly: stepping this model to completion takes the same time (to
+ * within one integration step) as ChargeTimeModel::chargeTime().
+ *
+ * The charger behaviour reproduces the deployed hardware:
+ *  - CC phase: constant setpoint current, terminal voltage rising from
+ *    42.6 V to 52.0 V; hands over to CV when the remaining deficit
+ *    equals the charge the CV phase will deliver.
+ *  - CV phase: 52.5 V, current decaying exponentially from the setpoint
+ *    with time constant tau until the 0.4 A cutoff. The decay is
+ *    time-based: after a shallow discharge the pack still walks through
+ *    the full CV tail (top-of-charge balancing), which is why measured
+ *    charge time is flat below the DOD threshold and why the *original*
+ *    charger always produces the worst-case initial power spike, the
+ *    root cause the paper identifies.
+ *  - The setpoint can be changed while charging (manual override).
+ */
+
+#ifndef DCBATT_BATTERY_BBU_H_
+#define DCBATT_BATTERY_BBU_H_
+
+#include "battery/bbu_params.h"
+#include "util/units.h"
+
+namespace dcbatt::battery {
+
+/** Battery states of Fig. 8(a). */
+enum class BbuState
+{
+    FullyCharged,
+    Discharging,
+    FullyDischarged,
+    Charging,
+};
+
+const char *toString(BbuState state);
+
+/** One BBU with CC-CV recharge dynamics. */
+class BbuModel
+{
+  public:
+    explicit BbuModel(BbuParams params = {});
+
+    const BbuParams &params() const { return params_; }
+
+    BbuState state() const { return state_; }
+    /** Depth of discharge in [0, 1]; 0 means full. */
+    double dod() const { return dod_; }
+    bool fullyCharged() const { return state_ == BbuState::FullyCharged; }
+    bool fullyDischarged() const
+    {
+        return state_ == BbuState::FullyDischarged;
+    }
+    bool charging() const { return state_ == BbuState::Charging; }
+
+    /** Whether the charger is in the CV phase (meaningful if charging). */
+    bool inCvPhase() const { return charging() && inCv_; }
+
+    /** Present CC setpoint. */
+    util::Amperes setpoint() const { return setpoint_; }
+
+    /**
+     * Change the CC setpoint (manual-override path). Clamped to the
+     * hardware range. Takes effect immediately; actuation latency is
+     * modelled by the control plane, not the pack.
+     */
+    void setSetpoint(util::Amperes current);
+
+    /**
+     * Pause/resume charging (the postponed-charging extension the
+     * paper lists as future work). A paused pack stays in the
+     * Charging state but draws no current and makes no progress; the
+     * CV decay clock is frozen with it.
+     */
+    void setPaused(bool paused) { paused_ = paused; }
+    bool paused() const { return paused_; }
+
+    /** Instantaneous charging current drawn by the cells (0 if idle). */
+    util::Amperes chargingCurrent() const;
+
+    /** Terminal voltage under the present state. */
+    util::Volts terminalVoltage() const;
+
+    /** Wall (input) power consumed by charging, incl. PSU loss. */
+    util::Watts inputPower() const;
+
+    /**
+     * Begin (or continue) discharging at the given cell power draw.
+     * Transitions to Discharging; to FullyDischarged when the energy
+     * runs out mid-step. @returns the energy actually delivered, which
+     * is less than power*dt if the pack empties.
+     */
+    util::Joules discharge(util::Watts power, util::Seconds dt);
+
+    /**
+     * Input power restored: begin charging at @p initial_current
+     * (clamped to hardware range). A fully charged pack stays
+     * FullyCharged. Charging restarts cleanly even if already charging
+     * (e.g. a second open transition mid-charge).
+     */
+    void startCharging(util::Amperes initial_current);
+
+    /** Advance charging dynamics by dt. No-op unless Charging. */
+    void step(util::Seconds dt);
+
+    /** Reset to FullyCharged. */
+    void reset();
+
+    /** Inject a DOD directly (test/benchmark setup helper). */
+    void forceDod(double dod);
+
+  private:
+    /** Remaining charge deficit in coulombs. */
+    util::Coulombs deficit() const { return params_.refillCharge * dod_; }
+
+    /** CV-phase charge for a given setpoint. */
+    util::Coulombs cvCharge(util::Amperes setpoint) const;
+
+    void maybeEnterCv();
+
+    BbuParams params_;
+    BbuState state_ = BbuState::FullyCharged;
+    double dod_ = 0.0;
+    util::Amperes setpoint_{0.0};
+    bool inCv_ = false;
+    bool paused_ = false;
+    util::Seconds cvElapsed_{0.0};
+};
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_BBU_H_

@@ -1,0 +1,106 @@
+#include "battery/charge_time_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcbatt::battery {
+
+using util::Amperes;
+using util::Coulombs;
+using util::Seconds;
+
+ChargeTimeModel::ChargeTimeModel(BbuParams params) : params_(params)
+{
+    if (params_.cutoffCurrent >= params_.minCurrent)
+        util::panic("ChargeTimeModel: cutoff must be below min current");
+}
+
+Seconds
+ChargeTimeModel::ccDuration(double dod, Amperes current) const
+{
+    if (dod < 0.0 || dod > 1.0)
+        util::panic(util::strf("ccDuration: DOD out of range: %g", dod));
+    if (current <= params_.cutoffCurrent)
+        util::panic("ccDuration: current at or below cutoff");
+    Coulombs deficit = params_.refillCharge * dod;
+    Coulombs cv_charge = (current - params_.cutoffCurrent)
+        * params_.cvTimeConstant;
+    Coulombs cc_charge = deficit - cv_charge;
+    if (cc_charge.value() <= 0.0)
+        return Seconds(0.0);
+    return cc_charge / current;
+}
+
+Seconds
+ChargeTimeModel::cvDuration(Amperes current) const
+{
+    return params_.cvTimeConstant
+        * std::log(current / params_.cutoffCurrent);
+}
+
+Seconds
+ChargeTimeModel::chargeTime(double dod, Amperes current) const
+{
+    return ccDuration(dod, current) + cvDuration(current);
+}
+
+double
+ChargeTimeModel::flatDodThreshold(Amperes current) const
+{
+    Coulombs cv_charge = (current - params_.cutoffCurrent)
+        * params_.cvTimeConstant;
+    return cv_charge / params_.refillCharge;
+}
+
+std::optional<Amperes>
+ChargeTimeModel::currentForDeadline(double dod, Seconds deadline) const
+{
+    if (chargeTime(dod, params_.maxCurrent) > deadline)
+        return std::nullopt;
+    if (chargeTime(dod, params_.minCurrent) <= deadline)
+        return params_.minCurrent;
+    // T(dod, I) is strictly decreasing in I over [min, max] whenever
+    // the CC phase is non-empty; in the flat (pure-CV) region it is
+    // increasing in I, but that region cannot straddle the deadline
+    // crossing because we already know T(max) <= deadline < T(min).
+    Amperes lo = params_.minCurrent;
+    Amperes hi = params_.maxCurrent;
+    for (int iter = 0; iter < 60; ++iter) {
+        Amperes mid = (lo + hi) / 2.0;
+        if (chargeTime(dod, mid) <= deadline)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+util::Grid2D
+ChargeTimeModel::labTable(const std::vector<double> &dods,
+                          const std::vector<double> &currents) const
+{
+    std::vector<double> values;
+    values.reserve(dods.size() * currents.size());
+    for (double dod : dods) {
+        for (double amps : currents)
+            values.push_back(chargeTime(dod, Amperes(amps)).value());
+    }
+    return util::Grid2D(dods, currents, std::move(values));
+}
+
+util::Grid2D
+ChargeTimeModel::defaultLabTable() const
+{
+    std::vector<double> dods;
+    for (int pct = 5; pct <= 100; pct += 5)
+        dods.push_back(pct / 100.0);
+    std::vector<double> currents;
+    for (double amps = params_.minCurrent.value();
+         amps <= params_.maxCurrent.value() + 1e-9; amps += 0.5) {
+        currents.push_back(amps);
+    }
+    return labTable(dods, currents);
+}
+
+} // namespace dcbatt::battery

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Closed-form CC-CV charge-time model (the analytic form of Fig. 5).
+ *
+ * For a BBU at depth of discharge `dod` charged with CC setpoint `I`:
+ *
+ *   T(dod, I) = max(0, dod*Q - tau*(I - I_cut)) / I + tau * ln(I/I_cut)
+ *
+ * The first term is the CC phase (the CV phase delivers tau*(I - I_cut)
+ * coulombs, so CC covers the rest); the second is the CV phase, whose
+ * duration depends only on the setpoint — which is why measured charge
+ * times flatten below the DOD threshold tau*(I - I_cut)/Q (22 % at 5 A,
+ * exactly as the paper reports).
+ *
+ * The model also provides the inverse used by the SLA calculator
+ * (Fig. 9b): the smallest setpoint that meets a target charge time.
+ */
+
+#ifndef DCBATT_BATTERY_CHARGE_TIME_MODEL_H_
+#define DCBATT_BATTERY_CHARGE_TIME_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "battery/bbu_params.h"
+#include "util/interpolate.h"
+#include "util/units.h"
+
+namespace dcbatt::battery {
+
+/** Analytic charge-time model and its tabulated ("lab data") form. */
+class ChargeTimeModel
+{
+  public:
+    explicit ChargeTimeModel(BbuParams params = {});
+
+    const BbuParams &params() const { return params_; }
+
+    /** Total time to fully charge from `dod` at CC setpoint `current`. */
+    util::Seconds chargeTime(double dod, util::Amperes current) const;
+
+    /** Duration of the CC phase only (0 when charging starts in CV). */
+    util::Seconds ccDuration(double dod, util::Amperes current) const;
+
+    /** Duration of the CV phase (independent of DOD). */
+    util::Seconds cvDuration(util::Amperes current) const;
+
+    /** DOD below which total charge time is flat for this setpoint. */
+    double flatDodThreshold(util::Amperes current) const;
+
+    /**
+     * Smallest setpoint within the hardware range that charges from
+     * `dod` within `deadline`. Returns nullopt when even the maximum
+     * current misses the deadline (the paper's hardware-limitation
+     * case). Monotonicity of T in I makes bisection exact.
+     */
+    std::optional<util::Amperes>
+    currentForDeadline(double dod, util::Seconds deadline) const;
+
+    /**
+     * Tabulated charge times on a (DOD, current) grid, emulating the
+     * paper's lab measurements (Fig. 5). The returned grid bilinearly
+     * interpolates, which is how the paper says Fig. 9(b) was derived.
+     */
+    util::Grid2D labTable(const std::vector<double> &dods,
+                          const std::vector<double> &currents) const;
+
+    /** Default lab grid: DOD 5..100 % step 5, current 1..5 A step 0.5. */
+    util::Grid2D defaultLabTable() const;
+
+  private:
+    BbuParams params_;
+};
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_CHARGE_TIME_MODEL_H_

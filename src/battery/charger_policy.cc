@@ -1,0 +1,27 @@
+#include "battery/charger_policy.h"
+
+namespace dcbatt::battery {
+
+util::Amperes
+VariableChargerPolicy::initialCurrent(double dod) const
+{
+    util::Amperes floor = params_.variableFloorCurrent;
+    if (dod < 0.5)
+        return floor;
+    util::Amperes raw(floor.value() + (dod - 0.5) * 6.0);
+    return util::clamp(raw, floor, params_.maxCurrent);
+}
+
+std::unique_ptr<ChargerPolicy>
+makeOriginalCharger(BbuParams params)
+{
+    return std::make_unique<OriginalChargerPolicy>(params);
+}
+
+std::unique_ptr<ChargerPolicy>
+makeVariableCharger(BbuParams params)
+{
+    return std::make_unique<VariableChargerPolicy>(params);
+}
+
+} // namespace dcbatt::battery

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Rack-local charger policies: how a PSU picks the initial CC setpoint
+ * when input power returns after a discharge event.
+ *
+ *  - OriginalChargerPolicy: the pre-2019 firmware — always charge at
+ *    the maximum 5 A regardless of how little was discharged. This is
+ *    the root cause of the recharge power spikes in the paper's case
+ *    studies.
+ *  - VariableChargerPolicy: the paper's new hardware (Eq. 1) — 2 A
+ *    below 50 % DOD, rising linearly to 5 A at 100 % DOD, which keeps
+ *    the worst-case recharge time within 45 minutes while cutting the
+ *    recharge power by up to 60 %.
+ *
+ * Both support the *manual override* interface (1–5 A) that the
+ * coordinated control plane uses.
+ */
+
+#ifndef DCBATT_BATTERY_CHARGER_POLICY_H_
+#define DCBATT_BATTERY_CHARGER_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "battery/bbu_params.h"
+#include "util/units.h"
+
+namespace dcbatt::battery {
+
+/** Strategy choosing the initial CC setpoint from the measured DOD. */
+class ChargerPolicy
+{
+  public:
+    virtual ~ChargerPolicy() = default;
+
+    /** Initial CC setpoint for a pack at the given depth of discharge. */
+    virtual util::Amperes initialCurrent(double dod) const = 0;
+
+    /** Human-readable policy name (for logs and bench output). */
+    virtual std::string name() const = 0;
+};
+
+/** Original firmware: fixed maximum-rate charging. */
+class OriginalChargerPolicy : public ChargerPolicy
+{
+  public:
+    explicit OriginalChargerPolicy(BbuParams params = {})
+        : params_(params) {}
+
+    util::Amperes
+    initialCurrent(double) const override
+    {
+        return params_.originalCurrent;
+    }
+
+    std::string name() const override { return "original-5A"; }
+
+  private:
+    BbuParams params_;
+};
+
+/**
+ * The paper's variable charger, Eq. (1):
+ *
+ *   I_C = 2 + (DOD - 0.5) * 6   if DOD >= 50 %
+ *   I_C = 2                     if DOD <  50 %
+ *
+ * clamped to the hardware maximum.
+ */
+class VariableChargerPolicy : public ChargerPolicy
+{
+  public:
+    explicit VariableChargerPolicy(BbuParams params = {})
+        : params_(params) {}
+
+    util::Amperes initialCurrent(double dod) const override;
+
+    std::string name() const override { return "variable"; }
+
+  private:
+    BbuParams params_;
+};
+
+/** Factory helpers. */
+std::unique_ptr<ChargerPolicy> makeOriginalCharger(BbuParams params = {});
+std::unique_ptr<ChargerPolicy> makeVariableCharger(BbuParams params = {});
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_CHARGER_POLICY_H_

@@ -1,0 +1,282 @@
+#include "battery/power_shelf.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dcbatt::battery {
+
+using util::Amperes;
+using util::Seconds;
+using util::Watts;
+
+PowerShelf::PowerShelf(std::shared_ptr<const ChargerPolicy> policy,
+                       BbuParams params)
+    : params_(params), policy_(std::move(policy))
+{
+    if (!policy_)
+        util::panic("PowerShelf: null charger policy");
+    if (params_.bbusPerRack <= 0 || params_.zonesPerRack <= 0
+        || params_.bbusPerRack % params_.zonesPerRack != 0) {
+        util::panic("PowerShelf: bad shelf geometry");
+    }
+    bbus_.assign(static_cast<size_t>(params_.bbusPerRack),
+                 BbuModel(params_));
+    healthy_.assign(bbus_.size(), true);
+}
+
+int
+PowerShelf::zoneOf(int index) const
+{
+    int per_zone = params_.bbusPerRack / params_.zonesPerRack;
+    return index / per_zone;
+}
+
+std::vector<int>
+PowerShelf::healthyInZone(int zone) const
+{
+    std::vector<int> result;
+    for (int i = 0; i < bbuCount(); ++i) {
+        if (healthy_[static_cast<size_t>(i)] && zoneOf(i) == zone)
+            result.push_back(i);
+    }
+    return result;
+}
+
+void
+PowerShelf::loseInputPower()
+{
+    inputOn_ = false;
+}
+
+Amperes
+PowerShelf::effectiveCurrentFor(const BbuModel &bbu) const
+{
+    if (override_)
+        return *override_;
+    return policy_->initialCurrent(bbu.dod());
+}
+
+void
+PowerShelf::restoreInputPower()
+{
+    if (inputOn_)
+        return;
+    inputOn_ = true;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (!healthy_[idx])
+            continue;
+        BbuModel &bbu = bbus_[idx];
+        if (!bbu.fullyCharged()) {
+            bbu.startCharging(effectiveCurrentFor(bbu));
+            bbu.setPaused(held_);
+        }
+    }
+}
+
+Watts
+PowerShelf::step(Seconds dt, Watts it_load)
+{
+    if (dt.value() <= 0.0)
+        return inputOn_ ? it_load : Watts(0.0);
+    if (inputOn_) {
+        for (int i = 0; i < bbuCount(); ++i) {
+            auto idx = static_cast<size_t>(i);
+            if (healthy_[idx])
+                bbus_[idx].step(dt);
+        }
+        return it_load;
+    }
+    // Input power off: each zone's healthy BBUs share half the rack
+    // load. A zone whose batteries are empty drops its share (a rack
+    // power outage for those servers).
+    Watts carried(0.0);
+    Watts zone_load = it_load / static_cast<double>(params_.zonesPerRack);
+    for (int zone = 0; zone < params_.zonesPerRack; ++zone) {
+        std::vector<int> members = healthyInZone(zone);
+        std::vector<int> live;
+        for (int i : members) {
+            if (!bbus_[static_cast<size_t>(i)].fullyDischarged())
+                live.push_back(i);
+        }
+        if (live.empty())
+            continue;
+        Watts share = zone_load / static_cast<double>(live.size());
+        // Respect the per-BBU discharge rating; overflow beyond the
+        // rating is dropped (brown-out) rather than silently carried.
+        share = util::min(share, params_.maxDischargePower);
+        for (int i : live) {
+            util::Joules delivered =
+                bbus_[static_cast<size_t>(i)].discharge(share, dt);
+            carried += delivered / dt;
+        }
+    }
+    return carried;
+}
+
+void
+PowerShelf::setOverride(Amperes current)
+{
+    Amperes clamped = util::clamp(current, params_.minCurrent,
+                                  params_.maxCurrent);
+    override_ = clamped;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx] && bbus_[idx].charging())
+            bbus_[idx].setSetpoint(clamped);
+    }
+}
+
+void
+PowerShelf::clearOverride()
+{
+    override_.reset();
+}
+
+void
+PowerShelf::holdCharging()
+{
+    held_ = true;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx] && bbus_[idx].charging())
+            bbus_[idx].setPaused(true);
+    }
+}
+
+void
+PowerShelf::resumeCharging()
+{
+    held_ = false;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx] && bbus_[idx].charging())
+            bbus_[idx].setPaused(false);
+    }
+}
+
+Watts
+PowerShelf::rechargePower() const
+{
+    Watts total(0.0);
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx])
+            total += bbus_[idx].inputPower();
+    }
+    return total;
+}
+
+util::Amperes
+PowerShelf::chargeSetpoint() const
+{
+    Amperes setpoint(0.0);
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        // Paused (postponed) packs draw nothing; reporting their
+        // stored setpoint would make the control plane believe relief
+        // is still in flight forever.
+        if (healthy_[idx] && bbus_[idx].charging()
+            && !bbus_[idx].paused()) {
+            setpoint = util::max(setpoint, bbus_[idx].setpoint());
+        }
+    }
+    return setpoint;
+}
+
+double
+PowerShelf::maxDod() const
+{
+    double dod = 0.0;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx])
+            dod = std::max(dod, bbus_[idx].dod());
+    }
+    return dod;
+}
+
+double
+PowerShelf::meanDod() const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx]) {
+            sum += bbus_[idx].dod();
+            ++count;
+        }
+    }
+    return count ? sum / count : 0.0;
+}
+
+int
+PowerShelf::chargingCount() const
+{
+    int count = 0;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx] && bbus_[idx].charging())
+            ++count;
+    }
+    return count;
+}
+
+int
+PowerShelf::dischargedCount() const
+{
+    int count = 0;
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx] && !bbus_[idx].fullyCharged()
+            && !bbus_[idx].charging()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+PowerShelf::canCarryLoad() const
+{
+    for (int zone = 0; zone < params_.zonesPerRack; ++zone) {
+        bool zone_ok = false;
+        for (int i : healthyInZone(zone)) {
+            if (!bbus_[static_cast<size_t>(i)].fullyDischarged()) {
+                zone_ok = true;
+                break;
+            }
+        }
+        if (!zone_ok)
+            return false;
+    }
+    return true;
+}
+
+void
+PowerShelf::failBbu(int index)
+{
+    healthy_[static_cast<size_t>(index)] = false;
+}
+
+void
+PowerShelf::repairBbu(int index)
+{
+    auto idx = static_cast<size_t>(index);
+    healthy_[idx] = true;
+    bbus_[idx].reset();
+}
+
+void
+PowerShelf::forceUniformDod(double dod)
+{
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (healthy_[idx])
+            bbus_[idx].forceDod(dod);
+    }
+}
+
+} // namespace dcbatt::battery

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Rack power shelf: the six BBUs behind a rack's two power zones.
+ *
+ * An Open Rack V2 rack has two identical power zones, each fed by three
+ * PSU+BBU pairs in a 2+1 redundant arrangement. During an open
+ * transition the healthy BBUs of each zone share the zone's IT load;
+ * when input power returns, each discharged BBU starts charging at the
+ * setpoint chosen by the shelf's local ChargerPolicy (original or
+ * variable), until/unless the control plane issues a manual override.
+ *
+ * The shelf is the unit the Dynamo agent talks to: it reports the
+ * aggregate recharge (wall) power and accepts a single override current
+ * that is applied to every charging BBU, exactly like the deployed
+ * hardware.
+ */
+
+#ifndef DCBATT_BATTERY_POWER_SHELF_H_
+#define DCBATT_BATTERY_POWER_SHELF_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "battery/bbu.h"
+#include "battery/charger_policy.h"
+#include "util/units.h"
+
+namespace dcbatt::battery {
+
+/** The battery side of one rack (6 BBUs in 2 zones). */
+class PowerShelf
+{
+  public:
+    /**
+     * @param policy local charging policy; shared so that a fleet of
+     *        racks can reference one policy object.
+     * @param params BBU calibration (also defines the shelf geometry).
+     */
+    explicit PowerShelf(std::shared_ptr<const ChargerPolicy> policy,
+                        BbuParams params = {});
+
+    const BbuParams &params() const { return params_; }
+
+    /** Whether rack input power is currently available. */
+    bool inputPowerOn() const { return inputOn_; }
+
+    /** Cut rack input power (start of an open transition / outage). */
+    void loseInputPower();
+
+    /**
+     * Restore rack input power. Discharged BBUs begin charging at the
+     * policy's DOD-dependent setpoint.
+     */
+    void restoreInputPower();
+
+    /**
+     * Advance the shelf by dt. While input power is off, the healthy
+     * BBUs in each zone share @p it_load; while on, charging BBUs
+     * advance their CC-CV dynamics.
+     * @returns the IT power actually carried (less than it_load when
+     *          batteries run out — a rack power outage).
+     */
+    util::Watts step(util::Seconds dt, util::Watts it_load);
+
+    /**
+     * Manual override: set all charging BBUs' CC setpoint (clamped to
+     * the 1–5 A hardware range). Also applies to BBUs that *start*
+     * charging later while the override is active.
+     */
+    void setOverride(util::Amperes current);
+
+    /** Clear the override; future charge starts use the local policy. */
+    void clearOverride();
+
+    bool overrideActive() const { return override_.has_value(); }
+
+    /**
+     * Postponed charging (the paper's future-work extension): hold
+     * pauses every charging BBU (and any that starts charging while
+     * the hold is active); resume releases them. Holding trades
+     * redundancy-restoration time for recharge power.
+     */
+    void holdCharging();
+    void resumeCharging();
+    bool chargingHeld() const { return held_; }
+
+    /** Aggregate wall power drawn by charging BBUs. */
+    util::Watts rechargePower() const;
+
+    /**
+     * Present CC setpoint of the charging BBUs (max across them; they
+     * are uniform in practice). Zero when nothing is charging.
+     */
+    util::Amperes chargeSetpoint() const;
+
+    /** Maximum DOD across BBUs (the controller's per-rack estimate). */
+    double maxDod() const;
+
+    /** Mean DOD across healthy BBUs. */
+    double meanDod() const;
+
+    bool
+    fullyCharged() const
+    {
+        return chargingCount() == 0 && dischargedCount() == 0;
+    }
+
+    /** Whether any BBU is currently charging. */
+    bool anyCharging() const { return chargingCount() > 0; }
+
+    int chargingCount() const;
+    int dischargedCount() const;
+
+    /**
+     * Whether the shelf can still power the rack with input off: every
+     * zone needs at least one healthy, non-empty BBU.
+     */
+    bool canCarryLoad() const;
+
+    /** Fail a BBU (dropped from load sharing and charging). */
+    void failBbu(int index);
+    /** Repair a previously failed BBU (returns fully charged). */
+    void repairBbu(int index);
+    bool bbuHealthy(int index) const { return healthy_[index]; }
+
+    const BbuModel &bbu(int index) const { return bbus_[index]; }
+    BbuModel &bbu(int index) { return bbus_[index]; }
+    int bbuCount() const { return static_cast<int>(bbus_.size()); }
+
+    /** Force every healthy BBU to the same DOD (test/bench helper). */
+    void forceUniformDod(double dod);
+
+  private:
+    int zoneOf(int index) const;
+    std::vector<int> healthyInZone(int zone) const;
+    util::Amperes effectiveCurrentFor(const BbuModel &bbu) const;
+
+    BbuParams params_;
+    std::shared_ptr<const ChargerPolicy> policy_;
+    std::vector<BbuModel> bbus_;
+    std::vector<bool> healthy_;
+    std::optional<util::Amperes> override_;
+    bool held_ = false;
+    bool inputOn_ = true;
+};
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_POWER_SHELF_H_

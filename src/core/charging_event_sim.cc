@@ -1,0 +1,254 @@
+#include "core/charging_event_sim.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/global_coordinator.h"
+#include "core/local_coordinator.h"
+#include "power/topology.h"
+#include "sim/event_queue.h"
+#include "util/logging.h"
+
+namespace dcbatt::core {
+
+using power::Priority;
+using power::Rack;
+using util::Seconds;
+using util::Watts;
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::OriginalLocal:
+        return "original-5A";
+      case PolicyKind::VariableLocal:
+        return "variable";
+      case PolicyKind::GlobalRate:
+        return "global";
+      case PolicyKind::PriorityAware:
+        return "priority-aware";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<dynamo::ChargingCoordinator>
+makeCoordinator(const ChargingEventConfig &config)
+{
+    switch (config.policy) {
+      case PolicyKind::OriginalLocal:
+        return std::make_unique<LocalOnlyCoordinator>("original-5A");
+      case PolicyKind::VariableLocal:
+        return std::make_unique<LocalOnlyCoordinator>("variable");
+      case PolicyKind::GlobalRate:
+        return std::make_unique<GlobalRateCoordinator>(config.bbuParams);
+      case PolicyKind::PriorityAware: {
+        SlaCurrentCalculator calc(
+            battery::ChargeTimeModel(config.bbuParams),
+            config.slaTable);
+        return std::make_unique<PriorityAwareCoordinator>(
+            std::move(calc), config.priorityAwareOptions);
+      }
+    }
+    util::panic("makeCoordinator: unknown policy");
+}
+
+std::shared_ptr<const battery::ChargerPolicy>
+makeLocalCharger(const ChargingEventConfig &config)
+{
+    if (config.policy == PolicyKind::OriginalLocal)
+        return battery::makeOriginalCharger(config.bbuParams);
+    // The variable charger is the deployed hardware underneath both
+    // coordinated policies.
+    return battery::makeVariableCharger(config.bbuParams);
+}
+
+} // namespace
+
+ChargingEventResult
+runChargingEvent(const ChargingEventConfig &config,
+                 const trace::TraceSet &traces)
+{
+    const int n_racks = traces.rackCount();
+    if (n_racks <= 0)
+        util::fatal("runChargingEvent: empty trace set");
+
+    // --- topology ---------------------------------------------------
+    power::TopologySpec spec;
+    spec.rootKind = power::NodeKind::Msb;
+    spec.rootName = "msb0";
+    spec.sbsPerMsb = 2;
+    spec.rppsPerSb = (n_racks + 2 * 16 - 1) / (2 * 16);
+    spec.racksPerRpp = 16;
+    spec.totalRacks = n_racks;
+    spec.msbLimit = config.msbLimit;
+    // The paper varies the power limit only at the MSB and assumes
+    // lower levels are unconstrained.
+    spec.sbLimit = util::megawatts(50.0);
+    spec.rppLimit = util::megawatts(50.0);
+    spec.priorities = config.priorities;
+    spec.bbuParams = config.bbuParams;
+    power::Topology topo =
+        power::Topology::build(spec, makeLocalCharger(config));
+
+    // --- event timing ----------------------------------------------
+    util::TimeSeries aggregate = traces.aggregate();
+    const size_t peak_index = config.eventTime
+        ? aggregate.indexAt(*config.eventTime)
+        : traces.firstPeakIndex();
+    const Seconds peak_time(
+        traces.rack(0).timeAt(peak_index).value());
+
+    Watts peak_power(aggregate[peak_index]);
+    Watts mean_rack_power = peak_power / static_cast<double>(n_racks);
+    util::Joules rack_energy = config.bbuParams.fullDischargeEnergy
+        * static_cast<double>(config.bbuParams.bbusPerRack);
+    Seconds ot_length = config.openTransitionLength.value_or(
+        rack_energy * config.targetMeanDod / mean_rack_power);
+
+    const Seconds t0 = Seconds(peak_time.value())
+        - config.preEventDuration;
+    const Seconds t_end = peak_time + ot_length
+        + config.postEventDuration;
+    if (t0 < traces.start()
+        || t_end.value() > traces.start().value()
+               + static_cast<double>(traces.sampleCount())
+                   * traces.step().value()) {
+        util::fatal(util::strf(
+            "runChargingEvent: window [%.0f, %.0f]s outside trace "
+            "range starting at %.0fs",
+            t0.value(), t_end.value(), traces.start().value()));
+    }
+
+    // --- control plane ----------------------------------------------
+    sim::EventQueue queue;
+    auto coordinator = makeCoordinator(config);
+    dynamo::ControlPlane plane(topo, topo.root(), queue,
+                               coordinator.get(),
+                               config.controllerConfig);
+    plane.start();
+
+    // Open transition at the peak. Sim time 0 == trace time t0.
+    auto to_tick = [&](Seconds trace_time) {
+        return sim::toTicks(trace_time - t0);
+    };
+    topo.scheduleOpenTransition(queue, topo.root(),
+                                to_tick(peak_time),
+                                sim::toTicks(ot_length));
+
+    // --- result plumbing ---------------------------------------------
+    ChargingEventResult result;
+    result.limit = config.msbLimit;
+    result.otStart = peak_time - t0;
+    result.otLength = ot_length;
+    result.chargeStart = result.otStart + ot_length;
+    result.msbPower = util::TimeSeries(Seconds(0.0),
+                                       config.physicsStep);
+    result.itPower = util::TimeSeries(Seconds(0.0), config.physicsStep);
+    result.rechargePower = util::TimeSeries(Seconds(0.0),
+                                            config.physicsStep);
+    result.capPower = util::TimeSeries(Seconds(0.0),
+                                       config.physicsStep);
+    result.racks.assign(static_cast<size_t>(n_racks), RackOutcome{});
+    for (int i = 0; i < n_racks; ++i) {
+        RackOutcome &outcome = result.racks[static_cast<size_t>(i)];
+        outcome.rackId = i;
+        outcome.priority = topo.rack(i).priority();
+    }
+
+    // Snapshot the per-rack DOD at the instant charging begins. This
+    // event is scheduled after the restore event at the same tick, so
+    // FIFO ordering guarantees the batteries have switched to charging
+    // but not yet absorbed any charge.
+    queue.schedule(to_tick(peak_time + ot_length), [&] {
+        double dod_sum = 0.0;
+        for (int i = 0; i < n_racks; ++i) {
+            double dod = topo.rack(i).shelf().meanDod();
+            result.racks[static_cast<size_t>(i)].initialDod = dod;
+            result.racks[static_cast<size_t>(i)].sawOutage =
+                topo.rack(i).sawOutage();
+            dod_sum += dod;
+        }
+        result.meanInitialDod = dod_sum / n_racks;
+    });
+
+    // --- physics loop -------------------------------------------------
+    std::vector<bool> done(static_cast<size_t>(n_racks), false);
+    const Seconds dt = config.physicsStep;
+    sim::PeriodicTask physics(queue, sim::toTicks(dt),
+                              [&](sim::Tick now) {
+        Seconds trace_time = t0 + sim::toSeconds(now);
+        for (int i = 0; i < n_racks; ++i)
+            topo.rack(i).setItDemand(traces.rackPower(i, trace_time));
+        topo.stepRacks(dt);
+        topo.observeBreakers(dt);
+
+        // Sample fleet-level series.
+        Watts it(0.0), recharge(0.0), cap(0.0);
+        for (int i = 0; i < n_racks; ++i) {
+            const Rack &rack = topo.rack(i);
+            if (rack.inputPowerOn())
+                it += rack.itLoad();
+            recharge += rack.rechargePower();
+            cap += rack.capAmount();
+            if (rack.capAmount().value() > 0.0)
+                result.racks[static_cast<size_t>(i)].everCapped = true;
+            if (rack.shelf().chargingHeld())
+                result.racks[static_cast<size_t>(i)].everHeld = true;
+        }
+        Watts msb = topo.root().inputPower();
+        result.msbPower.append(msb.value());
+        result.itPower.append(it.value());
+        result.rechargePower.append(recharge.value());
+        result.capPower.append(cap.value());
+        if (msb > config.msbLimit)
+            ++result.overloadSteps;
+
+        // Charge-completion detection.
+        Seconds sim_now = sim::toSeconds(now);
+        if (sim_now > result.chargeStart) {
+            for (int i = 0; i < n_racks; ++i) {
+                auto idx = static_cast<size_t>(i);
+                if (done[idx])
+                    continue;
+                if (topo.rack(i).shelf().fullyCharged()) {
+                    done[idx] = true;
+                    result.racks[idx].chargeDuration =
+                        sim_now - result.chargeStart;
+                }
+            }
+        }
+    });
+    physics.start(0);
+
+    queue.runUntil(to_tick(t_end));
+    plane.stop();
+    physics.stop();
+
+    // --- outcomes -----------------------------------------------------
+    result.peakPower = Watts(result.msbPower.maxValue());
+    result.maxCap = Watts(result.capPower.maxValue());
+    size_t max_cap_at = result.capPower.argMax();
+    double it_at = result.itPower[max_cap_at]
+        + result.capPower[max_cap_at];
+    result.maxCapFractionOfIt =
+        it_at > 0.0 ? result.maxCap.value() / it_at : 0.0;
+    result.breakerTripped = topo.root().breaker()->tripped();
+
+    for (int i = 0; i < n_racks; ++i) {
+        RackOutcome &outcome = result.racks[static_cast<size_t>(i)];
+        Seconds sla =
+            config.slaTable.chargeTimeSla(outcome.priority);
+        outcome.slaMet = outcome.chargeDuration.has_value()
+            && *outcome.chargeDuration <= sla;
+        int pri = power::priorityIndex(outcome.priority);
+        ++result.racksByPriority[static_cast<size_t>(pri)];
+        if (outcome.slaMet)
+            ++result.slaMetByPriority[static_cast<size_t>(pri)];
+    }
+    return result;
+}
+
+} // namespace dcbatt::core

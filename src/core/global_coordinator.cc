@@ -1,0 +1,88 @@
+#include "core/global_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcbatt::core {
+
+using dynamo::OverrideCommand;
+using dynamo::RackChargeInfo;
+using util::Amperes;
+using util::Watts;
+
+GlobalRateCoordinator::GlobalRateCoordinator(battery::BbuParams params)
+    : params_(params)
+{
+}
+
+Amperes
+GlobalRateCoordinator::feasibleRate(Watts budget, int racks) const
+{
+    if (racks <= 0)
+        return params_.minCurrent;
+    Watts per_amp = battery::rackWattsPerAmpere(params_);
+    double amps = budget.value()
+        / (per_amp.value() * static_cast<double>(racks));
+    // Quantize down to 0.1 A so commands are stable tick to tick.
+    amps = std::floor(amps * 10.0) / 10.0;
+    return util::clamp(Amperes(amps), params_.minCurrent,
+                       params_.maxCurrent);
+}
+
+std::vector<OverrideCommand>
+GlobalRateCoordinator::commandAll(
+    const std::vector<RackChargeInfo> &racks) const
+{
+    std::vector<OverrideCommand> commands;
+    for (const RackChargeInfo &info : racks) {
+        if (info.charging)
+            commands.push_back({info.rackId, rate_});
+    }
+    return commands;
+}
+
+std::vector<OverrideCommand>
+GlobalRateCoordinator::planInitial(
+    const std::vector<RackChargeInfo> &racks, Watts available_power)
+{
+    int charging = static_cast<int>(
+        std::count_if(racks.begin(), racks.end(),
+                      [](const RackChargeInfo &r) { return r.charging; }));
+    rate_ = feasibleRate(available_power, charging);
+    return commandAll(racks);
+}
+
+std::vector<OverrideCommand>
+GlobalRateCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
+                              Watts headroom)
+{
+    // Only reduce; the baseline never re-raises the rate. On overload,
+    // shrink the uniform rate enough to absorb the *projected*
+    // deficit: the commanded rate may not have propagated through the
+    // actuation lag yet, and counting the in-flight change avoids
+    // ratcheting the rate down once per tick of a single transient.
+    if (headroom.value() >= 0.0 || rate_ <= params_.minCurrent)
+        return {};
+    int charging = 0;
+    Watts per_amp = battery::rackWattsPerAmpere(params_);
+    Watts pending(0.0);
+    for (const RackChargeInfo &info : racks) {
+        if (!info.charging)
+            continue;
+        ++charging;
+        pending += per_amp * (rate_ - info.setpoint).value();
+    }
+    if (charging == 0)
+        return {};
+    Watts deficit = -(headroom - pending);
+    if (deficit.value() <= 0.0)
+        return {};
+    double cut = deficit.value()
+        / (per_amp.value() * static_cast<double>(charging));
+    cut = std::ceil(cut * 10.0) / 10.0;
+    rate_ = util::clamp(rate_ - Amperes(cut), params_.minCurrent,
+                        params_.maxCurrent);
+    return commandAll(racks);
+}
+
+} // namespace dcbatt::core

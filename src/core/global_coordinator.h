@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Global equal-rate charging baseline (Section V-B3).
+ *
+ * "The global charging algorithm only looks at the available power
+ * during a charging event and charges all the racks at the same rate
+ * to prevent power overload." It coordinates — the breaker never
+ * overloads while a feasible uniform rate exists — but ignores both
+ * rack priority and battery DOD, which is what the priority-aware
+ * algorithm improves on in Figs. 14 and 15.
+ */
+
+#ifndef DCBATT_CORE_GLOBAL_COORDINATOR_H_
+#define DCBATT_CORE_GLOBAL_COORDINATOR_H_
+
+#include <string>
+
+#include "battery/bbu_params.h"
+#include "dynamo/coordinator.h"
+
+namespace dcbatt::core {
+
+/** Uniform-rate coordinator. */
+class GlobalRateCoordinator : public dynamo::ChargingCoordinator
+{
+  public:
+    explicit GlobalRateCoordinator(battery::BbuParams params = {});
+
+    std::string name() const override { return "global-equal-rate"; }
+
+    std::vector<dynamo::OverrideCommand>
+    planInitial(const std::vector<dynamo::RackChargeInfo> &racks,
+                util::Watts available_power) override;
+
+    std::vector<dynamo::OverrideCommand>
+    onTick(const std::vector<dynamo::RackChargeInfo> &racks,
+           util::Watts headroom) override;
+
+    /** The uniform rate currently commanded. */
+    util::Amperes currentRate() const { return rate_; }
+
+  private:
+    /** Largest uniform setpoint that fits the budget for n racks. */
+    util::Amperes feasibleRate(util::Watts budget, int racks) const;
+
+    std::vector<dynamo::OverrideCommand>
+    commandAll(const std::vector<dynamo::RackChargeInfo> &racks) const;
+
+    battery::BbuParams params_;
+    util::Amperes rate_{0.0};
+};
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_GLOBAL_COORDINATOR_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * "No coordination" policy.
+ *
+ * Stands in for the original 5 A charger and the uncoordinated
+ * variable charger: the racks' local charger hardware picks the
+ * charging current on its own and the control plane never overrides
+ * it. Dynamo can still cap servers when a breaker overloads — which
+ * is exactly the costly behaviour Table III quantifies.
+ */
+
+#ifndef DCBATT_CORE_LOCAL_COORDINATOR_H_
+#define DCBATT_CORE_LOCAL_COORDINATOR_H_
+
+#include <string>
+#include <utility>
+
+#include "dynamo/coordinator.h"
+
+namespace dcbatt::core {
+
+/** Coordinator that issues no overrides at all. */
+class LocalOnlyCoordinator : public dynamo::ChargingCoordinator
+{
+  public:
+    explicit LocalOnlyCoordinator(std::string label = "local-only")
+        : label_(std::move(label)) {}
+
+    std::string name() const override { return label_; }
+
+    bool managesCurrents() const override { return false; }
+
+    std::vector<dynamo::OverrideCommand>
+    planInitial(const std::vector<dynamo::RackChargeInfo> &,
+                util::Watts) override
+    {
+        return {};
+    }
+
+    std::vector<dynamo::OverrideCommand>
+    onTick(const std::vector<dynamo::RackChargeInfo> &,
+           util::Watts) override
+    {
+        return {};
+    }
+
+  private:
+    std::string label_;
+};
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_LOCAL_COORDINATOR_H_

@@ -1,0 +1,254 @@
+#include "core/priority_aware_coordinator.h"
+
+#include <algorithm>
+
+namespace dcbatt::core {
+
+using dynamo::OverrideCommand;
+using dynamo::RackChargeInfo;
+using util::Amperes;
+using util::Watts;
+
+PriorityAwareCoordinator::PriorityAwareCoordinator(
+    SlaCurrentCalculator calculator, PriorityAwareOptions options)
+    : calc_(std::move(calculator)), options_(options)
+{
+}
+
+std::vector<const RackChargeInfo *>
+PriorityAwareCoordinator::grantOrder(
+    const std::vector<RackChargeInfo> &racks) const
+{
+    std::vector<const RackChargeInfo *> order;
+    for (const RackChargeInfo &info : racks) {
+        if (info.charging)
+            order.push_back(&info);
+    }
+    std::sort(order.begin(), order.end(),
+              [this](const RackChargeInfo *a, const RackChargeInfo *b) {
+                  if (!options_.ignorePriority
+                      && a->priority != b->priority) {
+                      return power::priorityIndex(a->priority)
+                          < power::priorityIndex(b->priority);
+                  }
+                  if (!options_.ignoreDod
+                      && a->initialDod != b->initialDod) {
+                      return a->initialDod < b->initialDod;
+                  }
+                  return a->rackId < b->rackId;
+              });
+    return order;
+}
+
+std::vector<OverrideCommand>
+PriorityAwareCoordinator::planInitial(
+    const std::vector<RackChargeInfo> &racks, Watts available_power)
+{
+    commanded_.clear();
+    slaCurrent_.clear();
+    held_.clear();
+
+    Amperes floor = bbuParams().minCurrent;
+    Watts per_amp = battery::rackWattsPerAmpere(bbuParams());
+    auto order = grantOrder(racks);
+
+    // Algorithm 1, lines 1-4: initialize everything to the 1 A floor
+    // and compute each rack's SLA current from (DOD, priority).
+    for (const RackChargeInfo *info : order) {
+        commanded_[info->rackId] = floor;
+        slaCurrent_[info->rackId] =
+            calc_.requiredCurrent(info->initialDod, info->priority);
+    }
+
+    // Postponement extension: if even the 1 A floors exceed the
+    // available power (minus a noise margin), hold racks in reverse
+    // (lowest-priority-highest-discharge-first) order until the
+    // floors fit. Without the extension the shortfall becomes server
+    // capping instead.
+    Watts floor_total = per_amp
+        * (floor.value() * static_cast<double>(order.size()));
+    Watts plan_budget = available_power - options_.resumeMargin;
+    if (options_.allowPostponement && floor_total > plan_budget) {
+        Watts need = floor_total - plan_budget;
+        for (auto it = order.rbegin();
+             it != order.rend() && need.value() > 0.0; ++it) {
+            held_[(*it)->rackId] = true;
+            need -= per_amp * floor.value();
+        }
+    }
+    auto is_held = [this](int rack_id) {
+        auto it = held_.find(rack_id);
+        return it != held_.end() && it->second;
+    };
+    double floored = 0.0;
+    for (const RackChargeInfo *info : order) {
+        if (!is_held(info->rackId))
+            floored += 1.0;
+    }
+
+    // Lines 5-8: grant SLA currents in highest-priority-lowest-
+    // discharge-first order while the available power lasts. The
+    // floor power of every non-held charging rack is committed up
+    // front.
+    Watts budget = available_power
+        - per_amp * (floor.value() * floored);
+    for (const RackChargeInfo *info : order) {
+        if (is_held(info->rackId))
+            continue;
+        Amperes sla = slaCurrent_[info->rackId];
+        Watts extra = per_amp * (sla - floor).value();
+        if (extra <= budget) {
+            commanded_[info->rackId] = sla;
+            budget -= extra;
+        } else if (options_.strictGreedy) {
+            break;
+        }
+    }
+
+    std::vector<OverrideCommand> commands;
+    commands.reserve(commanded_.size());
+    for (const RackChargeInfo *info : order) {
+        if (is_held(info->rackId)) {
+            commands.push_back({info->rackId, floor,
+                                OverrideCommand::Kind::Hold});
+        } else {
+            commands.push_back({info->rackId,
+                                commanded_[info->rackId]});
+        }
+    }
+    return commands;
+}
+
+std::vector<OverrideCommand>
+PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
+                                 Watts headroom)
+{
+    std::vector<OverrideCommand> commands;
+    Amperes floor = bbuParams().minCurrent;
+    Watts per_amp = battery::rackWattsPerAmpere(bbuParams());
+    auto order = grantOrder(racks);
+    auto is_held = [this](int rack_id) {
+        auto it = held_.find(rack_id);
+        return it != held_.end() && it->second;
+    };
+
+    // Power change still in flight through the actuation pipeline
+    // (+ = rising). Commands already issued but not yet effective
+    // must be counted before reacting to measured headroom —
+    // otherwise every tick of a transient demotes (or resumes)
+    // another slice of the fleet.
+    Watts pending(0.0);
+    for (const RackChargeInfo *info : order) {
+        if (is_held(info->rackId)) {
+            // A held rack's power is heading to zero.
+            pending -= per_amp * info->setpoint.value();
+            continue;
+        }
+        auto cmd = commanded_.find(info->rackId);
+        if (cmd == commanded_.end())
+            continue;
+        pending += per_amp * (cmd->second - info->setpoint).value();
+    }
+
+    // Servers come first: while any rack is power-capped, all spare
+    // headroom belongs to cap release, not to battery charging — and
+    // with postponement enabled the coordinator actively sheds
+    // charging load until the controller can release every cap.
+    Watts fleet_cap(0.0);
+    for (const RackChargeInfo &info : racks)
+        fleet_cap += info.capAmount;
+
+    Watts need(0.0);
+    if (headroom.value() < 0.0) {
+        // Overload: with postponement, re-target to a margin below
+        // the limit so trace noise does not retrigger.
+        need = -(headroom - pending);
+        if (options_.allowPostponement)
+            need += options_.resumeMargin;
+    }
+    if (options_.allowPostponement && fleet_cap.value() > 0.0) {
+        // Shed enough charging load that releasing all caps still
+        // leaves the hysteresis margin.
+        need = util::max(need, fleet_cap + options_.resumeMargin
+                                   - (headroom - pending));
+    }
+    if (need.value() > 0.0) {
+        // Demote racks to the floor in reverse order (lowest
+        // priority, highest discharge first) until the *projected*
+        // power fits.
+        for (auto it = order.rbegin();
+             it != order.rend() && need.value() > 0.0; ++it) {
+            const RackChargeInfo *info = *it;
+            if (is_held(info->rackId))
+                continue;
+            auto cmd = commanded_.find(info->rackId);
+            Amperes present = cmd != commanded_.end()
+                ? cmd->second
+                : info->setpoint;
+            if (present <= floor + Amperes(1e-9)) {
+                if (options_.allowPostponement) {
+                    // Already at the floor: postpone entirely rather
+                    // than let the controller cap servers.
+                    held_[info->rackId] = true;
+                    commands.push_back({info->rackId, floor,
+                                        OverrideCommand::Kind::Hold});
+                    need -= per_amp * floor.value();
+                }
+                continue;
+            }
+            Watts relief = per_amp * (present - floor).value();
+            commanded_[info->rackId] = floor;
+            commands.push_back({info->rackId, floor});
+            need -= relief;
+        }
+        return commands;
+    }
+
+    if (options_.allowPostponement && fleet_cap.value() <= 0.0) {
+        // Resume postponed racks (highest priority, lowest discharge
+        // first) as *projected* headroom allows; each resume costs
+        // one floor. The resume threshold sits one margin above the
+        // hold threshold (hysteresis against noise ping-pong).
+        Watts per_amp_floor = per_amp * floor.value();
+        Watts budget = headroom - pending
+            - options_.resumeMargin * 2.0;
+        for (const RackChargeInfo *info : order) {
+            if (budget < per_amp_floor)
+                break;
+            auto it = held_.find(info->rackId);
+            if (it == held_.end() || !it->second || !info->charging)
+                continue;
+            it->second = false;
+            commanded_[info->rackId] = floor;
+            commands.push_back({info->rackId, floor,
+                                OverrideCommand::Kind::Resume});
+            budget -= per_amp_floor;
+        }
+    }
+
+    if (options_.restoreOnHeadroom && fleet_cap.value() <= 0.0) {
+        // Extension: when racks finish charging and headroom returns,
+        // re-grant demoted racks their SLA current, same order as the
+        // initial plan.
+        Watts budget = headroom - pending - options_.restoreMargin;
+        if (budget.value() <= 0.0)
+            return commands;
+        for (const RackChargeInfo *info : order) {
+            auto cmd = commanded_.find(info->rackId);
+            auto sla = slaCurrent_.find(info->rackId);
+            if (cmd == commanded_.end() || sla == slaCurrent_.end())
+                continue;
+            if (cmd->second >= sla->second)
+                continue;
+            Watts extra = per_amp * (sla->second - cmd->second).value();
+            if (extra <= budget) {
+                commanded_[info->rackId] = sla->second;
+                commands.push_back({info->rackId, sla->second});
+                budget -= extra;
+            }
+        }
+    }
+    return commands;
+}
+
+} // namespace dcbatt::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's contribution: the coordinated priority-aware battery
+ * charging algorithm (Algorithm 1 plus the overload response of
+ * Section IV-C).
+ *
+ * At the start of a charging event, every charging rack is initialized
+ * to the 1 A floor; racks are then visited in
+ * highest-priority-lowest-discharge-first order and granted their SLA
+ * charging current (Fig. 9b) while the breaker's available power
+ * lasts. This order meets higher-priority SLAs first, and within a
+ * priority maximizes the number of racks whose SLA fits the budget
+ * (the lowest-DOD racks need the least current).
+ *
+ * While charging, any detected overload is answered by demoting racks
+ * to the 1 A floor in the reverse (lowest-priority-highest-discharge-
+ * first) order until the projected power fits. Server capping — the
+ * control plane's last resort — only happens when everything is
+ * already at the floor.
+ *
+ * Ablation knobs (all default to the paper's behaviour):
+ *  - strictGreedy: stop at the first rack whose SLA does not fit
+ *    (Algorithm 1 as written) vs. skip it and keep trying smaller
+ *    requests.
+ *  - restoreOnHeadroom: re-grant demoted racks when headroom returns.
+ */
+
+#ifndef DCBATT_CORE_PRIORITY_AWARE_COORDINATOR_H_
+#define DCBATT_CORE_PRIORITY_AWARE_COORDINATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/sla_current.h"
+#include "dynamo/coordinator.h"
+
+namespace dcbatt::core {
+
+/** Behaviour switches for the ablation benches. */
+struct PriorityAwareOptions
+{
+    /** Stop granting at the first rack that does not fit (paper). */
+    bool strictGreedy = true;
+    /** Re-grant demoted racks when headroom returns (extension). */
+    bool restoreOnHeadroom = false;
+    /** Headroom (watts) kept in reserve when re-granting. */
+    util::Watts restoreMargin = util::kilowatts(20.0);
+    /** Sort key ablations: ignore DOD (priority only) or priority. */
+    bool ignoreDod = false;
+    bool ignorePriority = false;
+
+    /**
+     * Postponed charging (the paper's future-work extension): when
+     * even the 1 A floors do not fit the available power, hold
+     * (postpone) racks in reverse order instead of capping servers,
+     * and resume them as racks finish and headroom returns.
+     */
+    bool allowPostponement = false;
+    /**
+     * Headroom kept in reserve when resuming postponed racks. Too
+     * small risks resume/hold ping-pong on trace noise; too large
+     * strands held racks on breakers that run close to their limit.
+     */
+    util::Watts resumeMargin = util::kilowatts(2.0);
+};
+
+/** Algorithm 1 + reverse-order overload throttling. */
+class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
+{
+  public:
+    PriorityAwareCoordinator(SlaCurrentCalculator calculator,
+                             PriorityAwareOptions options = {});
+
+    std::string name() const override { return "priority-aware"; }
+
+    std::vector<dynamo::OverrideCommand>
+    planInitial(const std::vector<dynamo::RackChargeInfo> &racks,
+                util::Watts available_power) override;
+
+    std::vector<dynamo::OverrideCommand>
+    onTick(const std::vector<dynamo::RackChargeInfo> &racks,
+           util::Watts headroom) override;
+
+    const SlaCurrentCalculator &calculator() const { return calc_; }
+
+    /** Current commanded per rack (after the last plan/tick). */
+    const std::unordered_map<int, util::Amperes> &commanded() const
+    {
+        return commanded_;
+    }
+
+  private:
+    /** Sort (priority asc, DOD asc, id) honoring the ablation knobs. */
+    std::vector<const dynamo::RackChargeInfo *>
+    grantOrder(const std::vector<dynamo::RackChargeInfo> &racks) const;
+
+    battery::BbuParams bbuParams() const
+    {
+        return calc_.model().params();
+    }
+
+    SlaCurrentCalculator calc_;
+    PriorityAwareOptions options_;
+    std::unordered_map<int, util::Amperes> commanded_;
+    std::unordered_map<int, util::Amperes> slaCurrent_;
+    std::unordered_map<int, bool> held_;
+};
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_PRIORITY_AWARE_COORDINATOR_H_

@@ -1,0 +1,15 @@
+#include "core/sla.h"
+
+namespace dcbatt::core {
+
+SlaTable
+SlaTable::paperDefault()
+{
+    return SlaTable(std::array<SlaEntry, 3>{
+        SlaEntry{0.9994, util::minutes(30.0)},
+        SlaEntry{0.9990, util::minutes(60.0)},
+        SlaEntry{0.9985, util::minutes(90.0)},
+    });
+}
+
+} // namespace dcbatt::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Charging-time SLAs per rack priority (Table II).
+ *
+ * The paper assigns each priority a target availability-of-redundancy
+ * (AOR) and the battery charging time that achieves it (from the
+ * Monte Carlo study of Fig. 9a):
+ *
+ *   P1 (high)   AOR 99.94 %  ->  charge within 30 minutes
+ *   P2 (normal) AOR 99.90 %  ->  charge within 60 minutes
+ *   P3 (low)    AOR 99.85 %  ->  charge within 90 minutes
+ *
+ * The table is configurable: the paper notes the framework applies
+ * "regardless of the AOR values or the number of rack priority
+ * levels".
+ */
+
+#ifndef DCBATT_CORE_SLA_H_
+#define DCBATT_CORE_SLA_H_
+
+#include <array>
+
+#include "power/priority.h"
+#include "util/units.h"
+
+namespace dcbatt::core {
+
+/** SLA row for one priority. */
+struct SlaEntry
+{
+    double targetAor = 0.999;
+    util::Seconds chargeTimeSla = util::minutes(60.0);
+};
+
+/** Priority -> SLA mapping. */
+class SlaTable
+{
+  public:
+    /** Table II of the paper. */
+    static SlaTable paperDefault();
+
+    SlaTable() = default;
+    explicit SlaTable(std::array<SlaEntry, 3> entries)
+        : entries_(entries) {}
+
+    const SlaEntry &entry(power::Priority p) const
+    {
+        return entries_[static_cast<size_t>(power::priorityIndex(p))];
+    }
+    util::Seconds chargeTimeSla(power::Priority p) const
+    {
+        return entry(p).chargeTimeSla;
+    }
+    double targetAor(power::Priority p) const
+    {
+        return entry(p).targetAor;
+    }
+
+    /** Loss-of-redundancy budget in hours per year (Table II col 3). */
+    double lossOfRedundancyHoursPerYear(power::Priority p) const
+    {
+        return (1.0 - targetAor(p)) * 24.0 * 365.0;
+    }
+
+  private:
+    std::array<SlaEntry, 3> entries_{
+        SlaEntry{0.9994, util::minutes(30.0)},
+        SlaEntry{0.9990, util::minutes(60.0)},
+        SlaEntry{0.9985, util::minutes(90.0)},
+    };
+};
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_SLA_H_

@@ -1,0 +1,56 @@
+#include "core/sla_current.h"
+
+namespace dcbatt::core {
+
+using util::Amperes;
+using util::Seconds;
+
+SlaCurrentCalculator::SlaCurrentCalculator(battery::ChargeTimeModel model,
+                                           SlaTable table)
+    : model_(std::move(model)), table_(table)
+{
+}
+
+void
+SlaCurrentCalculator::setFloor(power::Priority p, Amperes floor)
+{
+    floors_[static_cast<size_t>(power::priorityIndex(p))] = floor;
+}
+
+Amperes
+SlaCurrentCalculator::requiredCurrent(double dod, power::Priority p) const
+{
+    Seconds deadline = table_.chargeTimeSla(p) - latencyMargin_;
+    auto needed = model_.currentForDeadline(dod, deadline);
+    Amperes current = needed.value_or(model_.params().maxCurrent);
+    return util::clamp(current, floor(p), model_.params().maxCurrent);
+}
+
+bool
+SlaCurrentCalculator::attainable(double dod, power::Priority p) const
+{
+    return model_.currentForDeadline(dod, table_.chargeTimeSla(p))
+        .has_value();
+}
+
+double
+SlaCurrentCalculator::maxAttainableDod(power::Priority p) const
+{
+    // chargeTime(dod, I) is increasing in DOD, so bisect on DOD with
+    // the maximum current.
+    if (!attainable(1.0, p))
+    {
+        double lo = 0.0, hi = 1.0;
+        for (int iter = 0; iter < 60; ++iter) {
+            double mid = 0.5 * (lo + hi);
+            if (attainable(mid, p))
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+    return 1.0;
+}
+
+} // namespace dcbatt::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SLA charging-current calculator (Fig. 9b).
+ *
+ * Given a rack's battery depth of discharge and its priority, compute
+ * the charging current required to meet the priority's charging-time
+ * SLA: the inverse of the charge-time model, clamped to the 1-5 A
+ * hardware range, with a per-priority floor (P1 racks are never
+ * commanded below the variable charger's 2 A default — inferred from
+ * the prototype experiment of Fig. 10, where P1 racks at <5 % DOD are
+ * assigned 2 A while P2/P3 get 1 A).
+ *
+ * When even 5 A cannot meet the SLA (deep discharges against the
+ * 30-minute P1 deadline), the calculator returns the maximum current:
+ * the paper acknowledges this hardware limitation explicitly.
+ */
+
+#ifndef DCBATT_CORE_SLA_CURRENT_H_
+#define DCBATT_CORE_SLA_CURRENT_H_
+
+#include <array>
+
+#include "battery/charge_time_model.h"
+#include "core/sla.h"
+#include "power/priority.h"
+#include "util/units.h"
+
+namespace dcbatt::core {
+
+/** Computes the SLA charging current for (DOD, priority). */
+class SlaCurrentCalculator
+{
+  public:
+    SlaCurrentCalculator(battery::ChargeTimeModel model, SlaTable table);
+
+    /** Override the per-priority current floors (defaults 2/1/1 A). */
+    void setFloor(power::Priority p, util::Amperes floor);
+
+    /**
+     * Control-plane latency budgeted into the deadline: the rack
+     * charges at the local default until the override propagates
+     * (controller tick + actuation lag), so the current is sized for
+     * SLA minus this margin. Default 30 s.
+     */
+    void setCommandLatencyMargin(util::Seconds margin)
+    {
+        latencyMargin_ = margin;
+    }
+    util::Seconds commandLatencyMargin() const { return latencyMargin_; }
+    util::Amperes floor(power::Priority p) const
+    {
+        return floors_[static_cast<size_t>(power::priorityIndex(p))];
+    }
+
+    /**
+     * Current required to charge from @p dod within the priority's
+     * SLA, clamped to [floor(priority), max]. Returns max current when
+     * the SLA is unattainable.
+     */
+    util::Amperes requiredCurrent(double dod, power::Priority p) const;
+
+    /** Whether the SLA is attainable at all within the hardware range. */
+    bool attainable(double dod, power::Priority p) const;
+
+    /** Largest DOD from which the priority's SLA is attainable. */
+    double maxAttainableDod(power::Priority p) const;
+
+    const battery::ChargeTimeModel &model() const { return model_; }
+    const SlaTable &slaTable() const { return table_; }
+
+  private:
+    battery::ChargeTimeModel model_;
+    SlaTable table_;
+    std::array<util::Amperes, 3> floors_{
+        util::Amperes(2.0), util::Amperes(1.0), util::Amperes(1.0)};
+    util::Seconds latencyMargin_{30.0};
+};
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_SLA_CURRENT_H_

@@ -1,0 +1,63 @@
+#include "dynamo/agent.h"
+
+namespace dcbatt::dynamo {
+
+using util::Amperes;
+
+RackAgent::RackAgent(power::Rack &rack, sim::EventQueue &queue,
+                     util::Seconds actuation_lag)
+    : rack_(&rack), queue_(&queue), actuationLag_(actuation_lag)
+{
+}
+
+void
+RackAgent::commandOverride(Amperes current)
+{
+    if (lastCommanded_.value() != 0.0
+        && std::abs((lastCommanded_ - current).value()) < 1e-9) {
+        return;
+    }
+    lastCommanded_ = current;
+    power::Rack *rack = rack_;
+    queue_->scheduleAfter(sim::toTicks(actuationLag_),
+                          [rack, current] {
+                              rack->shelf().setOverride(current);
+                          });
+}
+
+void
+RackAgent::commandHold()
+{
+    if (holdCommanded_)
+        return;
+    holdCommanded_ = true;
+    power::Rack *rack = rack_;
+    queue_->scheduleAfter(sim::toTicks(actuationLag_),
+                          [rack] { rack->shelf().holdCharging(); });
+}
+
+void
+RackAgent::commandResume(Amperes current)
+{
+    if (!holdCommanded_)
+        return;
+    holdCommanded_ = false;
+    lastCommanded_ = current;
+    power::Rack *rack = rack_;
+    queue_->scheduleAfter(sim::toTicks(actuationLag_),
+                          [rack, current] {
+                              rack->shelf().setOverride(current);
+                              rack->shelf().resumeCharging();
+                          });
+}
+
+void
+RackAgent::clearOverride()
+{
+    lastCommanded_ = Amperes(0.0);
+    holdCommanded_ = false;
+    rack_->shelf().clearOverride();
+    rack_->shelf().resumeCharging();
+}
+
+} // namespace dcbatt::dynamo

@@ -1,0 +1,113 @@
+#include "dynamo/capping.h"
+
+#include <algorithm>
+
+#include "power/priority.h"
+
+namespace dcbatt::dynamo {
+
+using power::Priority;
+using util::Watts;
+
+Watts
+CappingEngine::applyReduction(std::vector<RackAgent *> &agents,
+                              Watts reduction)
+{
+    Watts applied(0.0);
+    if (reduction.value() <= 0.0)
+        return applied;
+    // Work class by class from P3 down to P1, shaving proportionally
+    // to each rack's remaining cappable load within the class.
+    for (int pri = 2; pri >= 0 && applied < reduction; --pri) {
+        std::vector<RackAgent *> members;
+        Watts cappable(0.0);
+        for (RackAgent *agent : agents) {
+            if (power::priorityIndex(agent->rack().priority()) != pri)
+                continue;
+            Watts demand = agent->rack().itDemand();
+            Watts floor = demand * (1.0 - maxCapFraction_);
+            Watts room = agent->rack().itLoad() - floor;
+            if (room.value() > 0.0) {
+                members.push_back(agent);
+                cappable += room;
+            }
+        }
+        if (members.empty() || cappable.value() <= 0.0)
+            continue;
+        Watts want = util::min(reduction - applied, cappable);
+        for (RackAgent *agent : members) {
+            Watts demand = agent->rack().itDemand();
+            Watts floor = demand * (1.0 - maxCapFraction_);
+            Watts room = agent->rack().itLoad() - floor;
+            Watts share = want * (room / cappable);
+            Watts new_cap = agent->rack().capAmount() + share;
+            agent->commandCap(new_cap);
+            ledger_[agent->rackId()] += share.value();
+            applied += share;
+        }
+    }
+    return applied;
+}
+
+Watts
+CappingEngine::release(std::vector<RackAgent *> &agents, Watts headroom)
+{
+    Watts released(0.0);
+    if (headroom.value() <= 0.0)
+        return released;
+    for (int pri = 0; pri <= 2 && released < headroom; ++pri) {
+        for (RackAgent *agent : agents) {
+            if (power::priorityIndex(agent->rack().priority()) != pri)
+                continue;
+            auto held = ledger_.find(agent->rackId());
+            if (held == ledger_.end() || held->second <= 0.0)
+                continue;
+            Watts cap = agent->rack().capAmount();
+            Watts give = util::min(util::min(cap, Watts(held->second)),
+                                   headroom - released);
+            if (give.value() <= 0.0)
+                continue;
+            agent->commandCap(cap - give);
+            held->second -= give.value();
+            released += give;
+            if (released >= headroom)
+                break;
+        }
+    }
+    return released;
+}
+
+void
+CappingEngine::releaseAll(std::vector<RackAgent *> &agents)
+{
+    for (RackAgent *agent : agents) {
+        auto held = ledger_.find(agent->rackId());
+        if (held == ledger_.end() || held->second <= 0.0)
+            continue;
+        Watts cap = agent->rack().capAmount();
+        Watts give = util::min(cap, Watts(held->second));
+        agent->commandCap(cap - give);
+        held->second = 0.0;
+    }
+    ledger_.clear();
+}
+
+Watts
+CappingEngine::totalCap() const
+{
+    double total = 0.0;
+    for (const auto &[rack_id, watts] : ledger_)
+        total += watts;
+    return Watts(total);
+}
+
+Watts
+CappingEngine::fleetCap(const std::vector<RackAgent *> &agents)
+{
+    Watts total(0.0);
+    for (const RackAgent *agent : agents)
+        total += agent->rack().capAmount();
+    return total;
+}
+
+} // namespace dcbatt::dynamo

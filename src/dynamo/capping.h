@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Priority-aware server power capping (Dynamo's last line of defense).
+ *
+ * When a breaker is overloaded and charging currents are already at
+ * their floor, Dynamo caps server power "according to priority of
+ * services running on those servers" (Section II-B). The engine here
+ * distributes a required reduction across racks: lowest priority
+ * first, proportionally to each rack's IT load within a priority
+ * class, and releases caps (highest priority first) when headroom
+ * returns.
+ */
+
+#ifndef DCBATT_DYNAMO_CAPPING_H_
+#define DCBATT_DYNAMO_CAPPING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dynamo/agent.h"
+#include "util/units.h"
+
+namespace dcbatt::dynamo {
+
+/**
+ * Distributes power caps across a set of rack agents.
+ *
+ * Each engine keeps a ledger of the caps *it* imposed and only ever
+ * releases those: several controllers (MSB, SB, RPP) watch overlapping
+ * rack sets, and a controller with ample headroom must not undo the
+ * caps a constrained upstream controller just applied.
+ */
+class CappingEngine
+{
+  public:
+    /** Fraction of IT load a rack can shed at most (capping floor). */
+    explicit CappingEngine(double max_cap_fraction = 0.4)
+        : maxCapFraction_(max_cap_fraction) {}
+
+    /**
+     * Increase caps so total IT load drops by @p reduction. Returns
+     * the reduction actually achievable (less when every rack is at
+     * its capping floor).
+     */
+    util::Watts applyReduction(std::vector<RackAgent *> &agents,
+                               util::Watts reduction);
+
+    /**
+     * Release up to @p headroom of existing caps (highest priority
+     * racks are released first). Returns the amount released.
+     */
+    util::Watts release(std::vector<RackAgent *> &agents,
+                        util::Watts headroom);
+
+    /** Remove all caps this engine imposed. */
+    void releaseAll(std::vector<RackAgent *> &agents);
+
+    /** Sum of caps currently imposed by this engine. */
+    util::Watts totalCap() const;
+
+    /** Sum of caps on the racks regardless of who imposed them. */
+    static util::Watts fleetCap(const std::vector<RackAgent *> &agents);
+
+  private:
+    double maxCapFraction_;
+    /** Watts of cap this engine holds per rack id. */
+    std::unordered_map<int, double> ledger_;
+};
+
+} // namespace dcbatt::dynamo
+
+#endif // DCBATT_DYNAMO_CAPPING_H_

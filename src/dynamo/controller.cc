@@ -1,0 +1,293 @@
+#include "dynamo/controller.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dcbatt::dynamo {
+
+using power::PowerNode;
+using util::Amperes;
+using util::Seconds;
+using util::Watts;
+
+BreakerController::BreakerController(PowerNode &node,
+                                     std::vector<RackAgent *> agents,
+                                     sim::EventQueue &queue,
+                                     ChargingCoordinator *coordinator,
+                                     ControllerConfig config)
+    : node_(&node), agents_(std::move(agents)), queue_(&queue),
+      coordinator_(coordinator), config_(config)
+{
+    if (!node_->breaker())
+        util::panic(util::strf("BreakerController: node %s has no "
+                               "breaker",
+                               node_->name().c_str()));
+    for (RackAgent *agent : agents_)
+        agentById_[agent->rackId()] = agent;
+}
+
+Watts
+BreakerController::limit() const
+{
+    return node_->breaker()->limit();
+}
+
+Watts
+BreakerController::measuredItLoad() const
+{
+    Watts total(0.0);
+    for (const RackAgent *agent : agents_)
+        total += agent->readItLoad();
+    return total;
+}
+
+bool
+BreakerController::anyCharging() const
+{
+    return std::any_of(agents_.begin(), agents_.end(),
+                       [](const RackAgent *a) { return a->charging(); });
+}
+
+std::vector<RackChargeInfo>
+BreakerController::snapshotRacks() const
+{
+    std::vector<RackChargeInfo> infos;
+    infos.reserve(agents_.size());
+    for (const RackAgent *agent : agents_) {
+        RackChargeInfo info;
+        info.rackId = agent->rackId();
+        info.priority = agent->rack().priority();
+        auto it = initialDod_.find(info.rackId);
+        info.initialDod = it != initialDod_.end() ? it->second : 0.0;
+        info.setpoint = agent->readSetpoint();
+        info.rechargePower = agent->readRechargePower();
+        info.itLoad = agent->readItLoad();
+        info.capAmount = agent->rack().capAmount();
+        info.charging = agent->charging();
+        info.held = agent->holdCommanded();
+        infos.push_back(info);
+    }
+    return infos;
+}
+
+bool
+BreakerController::overridesInFlight() const
+{
+    sim::Tick grace = sim::toTicks(config_.overrideGrace);
+    sim::Tick now = queue_->now();
+    for (const auto &[rack_id, when] : lastCommandTick_) {
+        if (now - when < grace)
+            return true;
+    }
+    return false;
+}
+
+bool
+BreakerController::allChargingAtFloor() const
+{
+    for (const RackAgent *agent : agents_) {
+        if (!agent->charging())
+            continue;
+        if (agent->holdCommanded())
+            continue;  // postponed: drawing (or about to draw) nothing
+        Amperes floor = agent->rack().shelf().params().minCurrent;
+        // A rack counts as throttled once the floor was commanded,
+        // even if the actuation lag has not elapsed yet.
+        Amperes commanded = agent->lastCommanded();
+        Amperes effective = commanded.value() > 0.0
+            ? commanded
+            : agent->readSetpoint();
+        if (effective > floor + Amperes(1e-9))
+            return false;
+    }
+    return true;
+}
+
+void
+BreakerController::issue(const std::vector<OverrideCommand> &commands)
+{
+    for (const OverrideCommand &cmd : commands) {
+        auto it = agentById_.find(cmd.rackId);
+        if (it == agentById_.end()) {
+            util::warn(util::strf("controller %s: override for unknown "
+                                  "rack %d",
+                                  node_->name().c_str(), cmd.rackId));
+            continue;
+        }
+        RackAgent *agent = it->second;
+        switch (cmd.kind) {
+          case OverrideCommand::Kind::Hold:
+            if (!agent->holdCommanded()) {
+                agent->commandHold();
+                lastCommandTick_[cmd.rackId] = queue_->now();
+            }
+            break;
+          case OverrideCommand::Kind::Resume:
+            if (agent->holdCommanded()) {
+                agent->commandResume(cmd.current);
+                lastCommandTick_[cmd.rackId] = queue_->now();
+            }
+            break;
+          case OverrideCommand::Kind::SetCurrent: {
+            Amperes before = agent->lastCommanded();
+            agent->commandOverride(cmd.current);
+            if (std::abs((agent->lastCommanded() - before).value())
+                > 1e-12) {
+                lastCommandTick_[cmd.rackId] = queue_->now();
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+BreakerController::tick()
+{
+    bool charging = anyCharging();
+
+    if (charging && !eventActive_) {
+        // A charging event begins: snapshot per-rack DOD (the paper's
+        // leaf controllers estimate this from the open-transition
+        // length and IT load; we read the shelf's measured value) and
+        // let the coordinator plan initial currents against the
+        // breaker's available power (limit minus IT load).
+        eventActive_ = true;
+        ++eventCount_;
+        initialDod_.clear();
+        for (const RackAgent *agent : agents_) {
+            initialDod_[agent->rackId()] =
+                agent->rack().shelf().meanDod();
+        }
+        if (coordinator_) {
+            Watts available = limit() - measuredItLoad();
+            issue(coordinator_->planInitial(snapshotRacks(), available));
+        }
+    } else if (!charging && eventActive_) {
+        // Event over: clear overrides so the next event starts from
+        // the local charger defaults.
+        eventActive_ = false;
+        initialDod_.clear();
+        lastCommandTick_.clear();
+        for (RackAgent *agent : agents_)
+            agent->clearOverride();
+    }
+
+    Watts measured = node_->inputPower();
+    Watts headroom = limit() - measured;
+
+    if (eventActive_ && coordinator_)
+        issue(coordinator_->onTick(snapshotRacks(), headroom));
+
+    // --- capping: the last resort --------------------------------
+    if (headroom.value() < 0.0) {
+        if (overloadSince_ < 0)
+            overloadSince_ = queue_->now();
+        bool coordinating = coordinator_ && coordinator_->managesCurrents();
+        bool charge_relief_possible = charging
+            && (!allChargingAtFloor() || overridesInFlight());
+        // Charge-current relief gets one grace window from the start
+        // of the overload episode; a coordinator issuing a fresh
+        // command every tick must not defer capping forever while the
+        // breaker heats toward its trip point.
+        bool within_grace = queue_->now() - overloadSince_
+            < sim::toTicks(config_.overrideGrace);
+        if (coordinating && charge_relief_possible && within_grace) {
+            // Give the charge-current reduction a chance to land.
+        } else {
+            Watts applied = capping_.applyReduction(agents_, -headroom);
+            if (applied + Watts(1.0) < -headroom) {
+                util::warn(util::strf(
+                    "controller %s: capping floor reached, breaker "
+                    "still %0.1f kW over limit",
+                    node_->name().c_str(),
+                    util::toKilowatts(-headroom - applied)));
+            }
+        }
+    } else {
+        overloadSince_ = -1;
+        Watts margin = limit() * config_.releaseMarginFraction;
+        if (headroom > margin && totalCap().value() > 0.0)
+            capping_.release(agents_, headroom - margin);
+    }
+    maxCapObserved_ = util::max(maxCapObserved_, totalCap());
+}
+
+ControlPlane::ControlPlane(power::Topology &topology,
+                           PowerNode &coordination_node,
+                           sim::EventQueue &queue,
+                           ChargingCoordinator *coordinator,
+                           ControllerConfig config)
+    : queue_(&queue), config_(config)
+{
+    (void)topology;
+    // Agents for every rack under the coordination node.
+    for (power::Rack *rack : coordination_node.racksBelow()) {
+        agents_.push_back(std::make_unique<RackAgent>(
+            *rack, queue, config_.actuationLag));
+        agentById_[rack->id()] = agents_.back().get();
+    }
+    buildControllers(coordination_node, coordinator);
+    if (controllers_.empty())
+        util::fatal("ControlPlane: coordination node has no breaker "
+                    "anywhere below it");
+}
+
+void
+ControlPlane::buildControllers(PowerNode &node,
+                               ChargingCoordinator *coordinator)
+{
+    if (node.breaker()) {
+        std::vector<RackAgent *> scoped;
+        for (power::Rack *rack : node.racksBelow())
+            scoped.push_back(agentById_.at(rack->id()));
+        controllers_.push_back(std::make_unique<BreakerController>(
+            node, std::move(scoped), *queue_, coordinator, config_));
+        coordinator = nullptr;  // only the topmost breaker coordinates
+    }
+    for (PowerNode *child : node.children())
+        buildControllers(*child, coordinator);
+}
+
+void
+ControlPlane::start()
+{
+    if (!task_) {
+        task_ = std::make_unique<sim::PeriodicTask>(
+            *queue_, sim::toTicks(config_.tickPeriod),
+            [this](sim::Tick) { tickAll(); });
+    }
+    task_->start();
+}
+
+void
+ControlPlane::stop()
+{
+    if (task_)
+        task_->stop();
+}
+
+void
+ControlPlane::tickAll()
+{
+    for (auto &controller : controllers_)
+        controller->tick();
+}
+
+RackAgent &
+ControlPlane::agentFor(int rack_id)
+{
+    return *agentById_.at(rack_id);
+}
+
+Watts
+ControlPlane::totalCap() const
+{
+    Watts total(0.0);
+    for (const auto &agent : agents_)
+        total += agent->rack().capAmount();
+    return total;
+}
+
+} // namespace dcbatt::dynamo

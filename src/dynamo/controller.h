@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Dynamo controllers.
+ *
+ * Controllers mirror the power hierarchy: a controller protects one
+ * circuit breaker and watches the racks beneath it through their
+ * agents. One controller in the tree — the *coordination* controller,
+ * the MSB in the paper's simulation experiments — additionally runs a
+ * ChargingCoordinator that decides per-rack charging currents; every
+ * controller (leaf RPP controllers included) independently monitors
+ * its breaker and escalates to server power capping as the last
+ * resort.
+ *
+ * Escalation order on overload, per the paper:
+ *   1. the coordinator throttles charging currents (reverse
+ *      lowest-priority-highest-discharge-first order, down to 1 A),
+ *   2. only when every charging rack is already commanded to the
+ *      floor — and no override is still in flight (20 s actuation
+ *      lag) — does the controller cap servers,
+ *   3. caps are released once headroom returns (with hysteresis).
+ */
+
+#ifndef DCBATT_DYNAMO_CONTROLLER_H_
+#define DCBATT_DYNAMO_CONTROLLER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dynamo/agent.h"
+#include "dynamo/capping.h"
+#include "dynamo/coordinator.h"
+#include "power/topology.h"
+#include "sim/event_queue.h"
+
+namespace dcbatt::dynamo {
+
+/** Tunables shared by the controllers of one control plane. */
+struct ControllerConfig
+{
+    /** Dynamo polling cadence. */
+    util::Seconds tickPeriod{3.0};
+    /** Manual-override actuation latency (Fig. 11). */
+    util::Seconds actuationLag{20.0};
+    /**
+     * Headroom (fraction of limit) kept before releasing caps. Must
+     * sit below any coordinator-side hold margin, or released
+     * capacity and held charging deadlock each other.
+     */
+    double releaseMarginFraction = 0.0025;
+    /** Cap only after an override has had this long to act. */
+    util::Seconds overrideGrace{26.0};
+};
+
+/** Controller protecting one breaker node. */
+class BreakerController
+{
+  public:
+    /**
+     * @param node        power node carrying the protected breaker.
+     * @param agents      agents of every rack beneath the node
+     *                    (not owned).
+     * @param queue       event queue (time source).
+     * @param coordinator optional charging policy; null for pure
+     *                    monitor/capping controllers.
+     */
+    BreakerController(power::PowerNode &node,
+                      std::vector<RackAgent *> agents,
+                      sim::EventQueue &queue,
+                      ChargingCoordinator *coordinator,
+                      ControllerConfig config = {});
+
+    const power::PowerNode &node() const { return *node_; }
+    util::Watts limit() const;
+
+    /** Run one monitoring/decision cycle. */
+    void tick();
+
+    /** Whether a charging event is in progress under this breaker. */
+    bool chargingEventActive() const { return eventActive_; }
+
+    /** Total server power cap currently imposed by this controller. */
+    util::Watts totalCap() const { return capping_.totalCap(); }
+
+    /** Largest cap this controller ever imposed (Table III metric). */
+    util::Watts maxCapObserved() const { return maxCapObserved_; }
+
+    /** Number of charging events seen. */
+    int chargingEventCount() const { return eventCount_; }
+
+  private:
+    std::vector<RackChargeInfo> snapshotRacks() const;
+    util::Watts measuredItLoad() const;
+    bool anyCharging() const;
+    bool overridesInFlight() const;
+    bool allChargingAtFloor() const;
+    void issue(const std::vector<OverrideCommand> &commands);
+
+    power::PowerNode *node_;
+    std::vector<RackAgent *> agents_;
+    std::unordered_map<int, RackAgent *> agentById_;
+    sim::EventQueue *queue_;
+    ChargingCoordinator *coordinator_;
+    ControllerConfig config_;
+    CappingEngine capping_;
+
+    bool eventActive_ = false;
+    int eventCount_ = 0;
+    /** Tick at which the current overload episode began (-1: none). */
+    sim::Tick overloadSince_ = -1;
+    std::unordered_map<int, double> initialDod_;
+    std::unordered_map<int, sim::Tick> lastCommandTick_;
+    util::Watts maxCapObserved_{0.0};
+};
+
+/**
+ * The control plane for one experiment: one controller per breaker in
+ * the subtree rooted at the coordination node; the root controller
+ * carries the ChargingCoordinator. Drives all controllers from one
+ * periodic task.
+ */
+class ControlPlane
+{
+  public:
+    ControlPlane(power::Topology &topology,
+                 power::PowerNode &coordination_node,
+                 sim::EventQueue &queue,
+                 ChargingCoordinator *coordinator,
+                 ControllerConfig config = {});
+
+    /** Arm the periodic tick (first tick after one period). */
+    void start();
+    void stop();
+
+    /** Tick all controllers once (root first). */
+    void tickAll();
+
+    BreakerController &rootController() { return *controllers_.front(); }
+    const std::vector<std::unique_ptr<BreakerController>> &
+    controllers() const
+    {
+        return controllers_;
+    }
+
+    RackAgent &agentFor(int rack_id);
+    const std::vector<std::unique_ptr<RackAgent>> &agents() const
+    {
+        return agents_;
+    }
+
+    /** Sum of caps across all racks (deduplicated by rack). */
+    util::Watts totalCap() const;
+
+  private:
+    void buildControllers(power::PowerNode &node,
+                          ChargingCoordinator *coordinator);
+
+    sim::EventQueue *queue_;
+    ControllerConfig config_;
+    std::vector<std::unique_ptr<RackAgent>> agents_;
+    std::unordered_map<int, RackAgent *> agentById_;
+    std::vector<std::unique_ptr<BreakerController>> controllers_;
+    std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+} // namespace dcbatt::dynamo
+
+#endif // DCBATT_DYNAMO_CONTROLLER_H_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Interface between the Dynamo control plane and a charging policy.
+ *
+ * The control plane (controllers mirroring the power hierarchy) owns
+ * measurement, actuation latency, and server capping; *what* charging
+ * current each rack should get is delegated to a ChargingCoordinator.
+ * The paper's contribution (the coordinated priority-aware algorithm),
+ * the global equal-rate baseline, and the "no coordination" local
+ * chargers are all implementations of this interface (see src/core).
+ */
+
+#ifndef DCBATT_DYNAMO_COORDINATOR_H_
+#define DCBATT_DYNAMO_COORDINATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "power/priority.h"
+#include "util/units.h"
+
+namespace dcbatt::dynamo {
+
+/** Snapshot of one rack's charging state, as a controller sees it. */
+struct RackChargeInfo
+{
+    int rackId = -1;
+    power::Priority priority = power::Priority::P2;
+    /** DOD estimated at the start of the charging event. */
+    double initialDod = 0.0;
+    /** Present CC setpoint (amperes; 0 when not charging). */
+    util::Amperes setpoint{0.0};
+    /** Present recharge wall power. */
+    util::Watts rechargePower{0.0};
+    /** Whether charging is currently postponed (held). */
+    bool held = false;
+    /** Present IT load. */
+    util::Watts itLoad{0.0};
+    /** Server power cap currently imposed on this rack. */
+    util::Watts capAmount{0.0};
+    bool charging = false;
+};
+
+/** One override instruction for a rack. */
+struct OverrideCommand
+{
+    /** What the instruction does. */
+    enum class Kind
+    {
+        SetCurrent,  ///< manual override of the CC setpoint
+        Hold,        ///< postpone charging entirely (extension)
+        Resume,      ///< release a previous hold
+    };
+
+    int rackId = -1;
+    util::Amperes current{0.0};
+    Kind kind = Kind::SetCurrent;
+};
+
+/** Policy deciding per-rack charging currents. */
+class ChargingCoordinator
+{
+  public:
+    virtual ~ChargingCoordinator() = default;
+
+    /** Short policy name for logs/benches. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Whether this policy actually commands charging currents. When
+     * false (the "no coordination" stand-in), the control plane must
+     * not wait for charge-current relief before capping servers.
+     */
+    virtual bool managesCurrents() const { return true; }
+
+    /**
+     * Called once when a charging event begins (first tick on which
+     * racks are observed charging). @p available_power is the breaker
+     * headroom measured at that instant: limit - IT load.
+     * @returns override commands to issue (may be empty).
+     */
+    virtual std::vector<OverrideCommand>
+    planInitial(const std::vector<RackChargeInfo> &racks,
+                util::Watts available_power) = 0;
+
+    /**
+     * Called every controller tick while racks are charging.
+     * @p headroom is limit minus *total* measured power (IT +
+     * recharge); negative means the breaker is overloaded.
+     * @returns override commands to issue (may be empty).
+     */
+    virtual std::vector<OverrideCommand>
+    onTick(const std::vector<RackChargeInfo> &racks,
+           util::Watts headroom) = 0;
+};
+
+} // namespace dcbatt::dynamo
+
+#endif // DCBATT_DYNAMO_COORDINATOR_H_

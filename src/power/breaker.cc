@@ -1,0 +1,67 @@
+#include "power/breaker.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcbatt::power {
+
+using util::Seconds;
+using util::Watts;
+
+CircuitBreaker::CircuitBreaker(std::string name, Watts limit,
+                               BreakerTripCurve curve)
+    : name_(std::move(name)), limit_(limit), curve_(curve)
+{
+    if (limit_.value() <= 0.0)
+        util::panic(util::strf("CircuitBreaker %s: nonpositive limit",
+                               name_.c_str()));
+}
+
+void
+CircuitBreaker::setLimit(Watts limit)
+{
+    if (limit.value() <= 0.0)
+        util::panic(util::strf("CircuitBreaker %s: nonpositive limit",
+                               name_.c_str()));
+    limit_ = limit;
+}
+
+void
+CircuitBreaker::resetTrip()
+{
+    tripped_ = false;
+    accumulator_ = 0.0;
+}
+
+double
+CircuitBreaker::tripThreshold() const
+{
+    return curve_.referenceOverload * curve_.referenceTime.value();
+}
+
+bool
+CircuitBreaker::observe(Watts load, Seconds dt)
+{
+    if (tripped_ || dt.value() <= 0.0)
+        return false;
+    double overload = load / limit_ - 1.0;
+    if (overload > 0.0) {
+        accumulator_ += overload * dt.value();
+    } else {
+        double decay = std::exp(-dt.value()
+                                / curve_.coolingTime.value());
+        accumulator_ *= decay;
+    }
+    if (accumulator_ >= tripThreshold()) {
+        tripped_ = true;
+        util::warn(util::strf("circuit breaker %s TRIPPED "
+                              "(load %.1f kW, limit %.1f kW)",
+                              name_.c_str(), util::toKilowatts(load),
+                              util::toKilowatts(limit_)));
+        return true;
+    }
+    return false;
+}
+
+} // namespace dcbatt::power

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Circuit-breaker model with an inverse-time (thermal) trip curve.
+ *
+ * The paper's motivating hazard is that "a 30 % power overdraw at a
+ * circuit breaker for more than 30 seconds could trip it". We model
+ * the standard thermal trip behaviour behind that number: an overload
+ * accumulator integrates the fractional overdraw over time and decays
+ * while the breaker runs below its limit; the breaker trips when the
+ * accumulator exceeds a threshold calibrated so a constant 30 %
+ * overdraw trips in 30 s (larger overdraws trip proportionally
+ * faster, small overdraws take longer — an inverse-time curve).
+ */
+
+#ifndef DCBATT_POWER_BREAKER_H_
+#define DCBATT_POWER_BREAKER_H_
+
+#include <string>
+
+#include "util/units.h"
+
+namespace dcbatt::power {
+
+/** Parameters of the thermal trip model. */
+struct BreakerTripCurve
+{
+    /** Overdraw fraction of the calibration point (0.3 = 30 %). */
+    double referenceOverload = 0.3;
+    /** Time at the calibration overdraw before tripping. */
+    util::Seconds referenceTime{30.0};
+    /** Accumulator decay time constant while under the limit. */
+    util::Seconds coolingTime{60.0};
+};
+
+/** One circuit breaker (MSB, SB, or RPP level). */
+class CircuitBreaker
+{
+  public:
+    CircuitBreaker(std::string name, util::Watts limit,
+                   BreakerTripCurve curve = {});
+
+    const std::string &name() const { return name_; }
+    util::Watts limit() const { return limit_; }
+    void setLimit(util::Watts limit);
+
+    bool tripped() const { return tripped_; }
+
+    /** Close a tripped breaker again (repair complete). */
+    void resetTrip();
+
+    /**
+     * Account for @p load flowing through the breaker for @p dt.
+     * Updates the thermal accumulator and trips if it crosses the
+     * threshold. @returns true if this call tripped the breaker.
+     */
+    bool observe(util::Watts load, util::Seconds dt);
+
+    /** Whether a given load exceeds the limit. */
+    bool overloaded(util::Watts load) const { return load > limit_; }
+
+    /** Headroom below the limit (negative when overloaded). */
+    util::Watts available(util::Watts load) const
+    {
+        return limit_ - load;
+    }
+
+    /** Current thermal accumulator in overload-fraction-seconds. */
+    double thermalAccumulator() const { return accumulator_; }
+    /** Trip threshold in overload-fraction-seconds. */
+    double tripThreshold() const;
+
+  private:
+    std::string name_;
+    util::Watts limit_;
+    BreakerTripCurve curve_;
+    double accumulator_ = 0.0;
+    bool tripped_ = false;
+};
+
+} // namespace dcbatt::power
+
+#endif // DCBATT_POWER_BREAKER_H_

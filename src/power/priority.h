@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Rack service priorities.
+ *
+ * The paper categorizes racks into three priorities based on the
+ * services they run: P1 (high; stateful services such as databases),
+ * P2 (normal; e.g. web tier), P3 (low; stateless/batch). Priority
+ * drives both the charging-time SLA (Table II) and the order in which
+ * the coordinated algorithm grants or revokes charging current.
+ */
+
+#ifndef DCBATT_POWER_PRIORITY_H_
+#define DCBATT_POWER_PRIORITY_H_
+
+#include <array>
+
+namespace dcbatt::power {
+
+/** Service priority of a rack; lower enum value = more important. */
+enum class Priority : int
+{
+    P1 = 0,  ///< high (stateful, e.g. database shards)
+    P2 = 1,  ///< normal
+    P3 = 2,  ///< low (stateless / batch)
+};
+
+inline constexpr std::array<Priority, 3> kAllPriorities{
+    Priority::P1, Priority::P2, Priority::P3};
+
+constexpr const char *
+toString(Priority p)
+{
+    switch (p) {
+      case Priority::P1:
+        return "P1";
+      case Priority::P2:
+        return "P2";
+      case Priority::P3:
+        return "P3";
+    }
+    return "?";
+}
+
+/** Index into per-priority arrays. */
+constexpr int
+priorityIndex(Priority p)
+{
+    return static_cast<int>(p);
+}
+
+} // namespace dcbatt::power
+
+#endif // DCBATT_POWER_PRIORITY_H_

@@ -1,0 +1,46 @@
+#include "power/rack.h"
+
+#include "util/logging.h"
+
+namespace dcbatt::power {
+
+using util::Seconds;
+using util::Watts;
+
+Rack::Rack(int id, std::string name, Priority priority,
+           std::shared_ptr<const battery::ChargerPolicy> policy,
+           battery::BbuParams params)
+    : id_(id), name_(std::move(name)), priority_(priority),
+      shelf_(std::move(policy), params)
+{
+}
+
+void
+Rack::setCapAmount(Watts amount)
+{
+    capAmount_ = util::max(amount, Watts(0.0));
+}
+
+Watts
+Rack::itLoad() const
+{
+    return util::max(itDemand_ - capAmount_, Watts(0.0));
+}
+
+Watts
+Rack::inputPower() const
+{
+    if (!inputPowerOn())
+        return Watts(0.0);
+    return itLoad() + shelf_.rechargePower();
+}
+
+void
+Rack::step(Seconds dt)
+{
+    Watts carried = shelf_.step(dt, itLoad());
+    if (!inputPowerOn() && carried + Watts(1e-6) < itLoad())
+        sawOutage_ = true;
+}
+
+} // namespace dcbatt::power

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * One server rack: IT load, priority, and the battery power shelf.
+ *
+ * A rack's input power draw is the sum of its IT load (while powered)
+ * and its BBU recharge power. During an open transition the rack's
+ * input power is cut: the IT load rides on the shelf's batteries; if
+ * they run dry the rack browns out (a power outage for its servers).
+ * Server power capping (Dynamo's last line of defense) is modelled as
+ * a cap on the IT load.
+ */
+
+#ifndef DCBATT_POWER_RACK_H_
+#define DCBATT_POWER_RACK_H_
+
+#include <memory>
+#include <string>
+
+#include "battery/power_shelf.h"
+#include "power/priority.h"
+#include "util/units.h"
+
+namespace dcbatt::power {
+
+/** A rack (leaf of the power hierarchy). */
+class Rack
+{
+  public:
+    /**
+     * @param id      dense index, unique within a topology.
+     * @param name    human-readable name ("msb0.sb1.rpp2.rack03").
+     * @param priority service priority (drives the charging SLA).
+     * @param policy  local charger policy shared across the fleet.
+     * @param params  BBU calibration.
+     */
+    Rack(int id, std::string name, Priority priority,
+         std::shared_ptr<const battery::ChargerPolicy> policy,
+         battery::BbuParams params = {});
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    Priority priority() const { return priority_; }
+    void setPriority(Priority p) { priority_ = p; }
+
+    battery::PowerShelf &shelf() { return shelf_; }
+    const battery::PowerShelf &shelf() const { return shelf_; }
+
+    /** Demand the servers would draw uncapped (trace-driven). */
+    util::Watts itDemand() const { return itDemand_; }
+    void setItDemand(util::Watts demand) { itDemand_ = demand; }
+
+    /** Power cap currently imposed by the control plane (0 = none). */
+    util::Watts capAmount() const { return capAmount_; }
+    /** Cap the IT load by @p amount below demand (clamped >= 0). */
+    void setCapAmount(util::Watts amount);
+    void uncap() { capAmount_ = util::Watts(0.0); }
+
+    /** IT load after capping (what the servers actually draw). */
+    util::Watts itLoad() const;
+
+    bool inputPowerOn() const { return shelf_.inputPowerOn(); }
+    void loseInputPower() { shelf_.loseInputPower(); }
+    void restoreInputPower() { shelf_.restoreInputPower(); }
+
+    /**
+     * Total power drawn from the rack's tap box: IT load plus battery
+     * recharge power while input power is on; zero while it is off
+     * (the load is on batteries).
+     */
+    util::Watts inputPower() const;
+
+    /** Battery recharge component of the input power. */
+    util::Watts rechargePower() const
+    {
+        return inputPowerOn() ? shelf_.rechargePower()
+                              : util::Watts(0.0);
+    }
+
+    /**
+     * Advance rack state by dt: battery discharge while input is off
+     * (tracking delivered vs demanded energy for brown-out detection),
+     * charging dynamics while on.
+     */
+    void step(util::Seconds dt);
+
+    /**
+     * Whether the servers lost power at any point (batteries ran out
+     * during an input-power loss). Sticky until clearOutageFlag().
+     */
+    bool sawOutage() const { return sawOutage_; }
+    void clearOutageFlag() { sawOutage_ = false; }
+
+  private:
+    int id_;
+    std::string name_;
+    Priority priority_;
+    battery::PowerShelf shelf_;
+    util::Watts itDemand_{0.0};
+    util::Watts capAmount_{0.0};
+    bool sawOutage_ = false;
+};
+
+} // namespace dcbatt::power
+
+#endif // DCBATT_POWER_RACK_H_

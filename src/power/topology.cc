@@ -1,0 +1,312 @@
+#include "power/topology.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dcbatt::power {
+
+using util::Seconds;
+using util::Watts;
+
+const char *
+toString(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Site:
+        return "site";
+      case NodeKind::Building:
+        return "building";
+      case NodeKind::Suite:
+        return "suite";
+      case NodeKind::Msb:
+        return "msb";
+      case NodeKind::Sb:
+        return "sb";
+      case NodeKind::Rpp:
+        return "rpp";
+      case NodeKind::RackNode:
+        return "rack";
+    }
+    return "?";
+}
+
+PowerNode::PowerNode(std::string name, NodeKind kind)
+    : name_(std::move(name)), kind_(kind)
+{
+}
+
+void
+PowerNode::addChild(PowerNode *child)
+{
+    if (!child || child->parent_)
+        util::panic("PowerNode::addChild: bad child");
+    child->parent_ = this;
+    children_.push_back(child);
+}
+
+void
+PowerNode::attachBreaker(std::unique_ptr<CircuitBreaker> breaker)
+{
+    breaker_ = std::move(breaker);
+}
+
+void
+PowerNode::attachRack(Rack *rack)
+{
+    if (kind_ != NodeKind::RackNode)
+        util::panic("PowerNode::attachRack: not a rack node");
+    rack_ = rack;
+}
+
+Watts
+PowerNode::inputPower() const
+{
+    if (rack_)
+        return rack_->inputPower();
+    Watts total(0.0);
+    for (const PowerNode *child : children_)
+        total += child->inputPower();
+    return total;
+}
+
+std::vector<Rack *>
+PowerNode::racksBelow() const
+{
+    std::vector<Rack *> result;
+    if (rack_) {
+        result.push_back(rack_);
+        return result;
+    }
+    for (const PowerNode *child : children_) {
+        auto sub = child->racksBelow();
+        result.insert(result.end(), sub.begin(), sub.end());
+    }
+    return result;
+}
+
+std::vector<Priority>
+makePriorityMix(int p1, int p2, int p3)
+{
+    // Largest-remainder proportional interleave: walk an accumulator
+    // per class and always emit the class that is most "behind". This
+    // spreads every priority evenly through the rack order without
+    // randomness.
+    int total = p1 + p2 + p3;
+    std::vector<Priority> out;
+    out.reserve(static_cast<size_t>(total));
+    std::array<int, 3> want{p1, p2, p3};
+    std::array<double, 3> credit{0.0, 0.0, 0.0};
+    std::array<int, 3> emitted{0, 0, 0};
+    for (int i = 0; i < total; ++i) {
+        int best = -1;
+        double best_credit = -1.0;
+        for (int c = 0; c < 3; ++c) {
+            if (emitted[c] >= want[c])
+                continue;
+            credit[c] += static_cast<double>(want[c]) / total;
+            if (credit[c] > best_credit) {
+                best_credit = credit[c];
+                best = c;
+            }
+        }
+        if (best < 0)
+            break;
+        credit[best] -= 1.0;
+        ++emitted[best];
+        out.push_back(static_cast<Priority>(best));
+    }
+    return out;
+}
+
+PowerNode *
+Topology::newNode(std::string name, NodeKind kind)
+{
+    nodes_.push_back(std::make_unique<PowerNode>(std::move(name), kind));
+    return nodes_.back().get();
+}
+
+Topology
+Topology::build(const TopologySpec &spec,
+                std::shared_ptr<const battery::ChargerPolicy> policy)
+{
+    if (!policy)
+        util::fatal("Topology::build: null charger policy");
+    Topology topo;
+    int rack_budget = spec.totalRacks;
+    int next_rack_id = 0;
+
+    auto priority_for = [&spec](int rack_id) {
+        if (spec.priorities.empty())
+            return Priority::P2;
+        return spec.priorities[static_cast<size_t>(rack_id)
+                               % spec.priorities.size()];
+    };
+
+    // Recursive lambdas via explicit structure: build each level.
+    auto build_rack = [&](PowerNode &rpp, const std::string &name) {
+        if (rack_budget == 0)
+            return;
+        if (rack_budget > 0)
+            --rack_budget;
+        int id = next_rack_id++;
+        topo.racks_.push_back(std::make_unique<Rack>(
+            id, name, priority_for(id), policy, spec.bbuParams));
+        Rack *rack = topo.racks_.back().get();
+        topo.rackPtrs_.push_back(rack);
+        PowerNode *leaf = topo.newNode(name, NodeKind::RackNode);
+        leaf->attachRack(rack);
+        rpp.addChild(leaf);
+    };
+
+    auto build_rpp = [&](PowerNode &sb, const std::string &name) {
+        PowerNode *rpp = topo.newNode(name, NodeKind::Rpp);
+        rpp->attachBreaker(std::make_unique<CircuitBreaker>(
+            name, spec.rppLimit));
+        sb.addChild(rpp);
+        for (int r = 0; r < spec.racksPerRpp; ++r)
+            build_rack(*rpp, util::strf("%s.rack%02d", name.c_str(), r));
+        return rpp;
+    };
+
+    auto build_sb = [&](PowerNode &msb, const std::string &name) {
+        PowerNode *sb = topo.newNode(name, NodeKind::Sb);
+        sb->attachBreaker(std::make_unique<CircuitBreaker>(
+            name, spec.sbLimit));
+        msb.addChild(sb);
+        for (int r = 0; r < spec.rppsPerSb; ++r)
+            build_rpp(*sb, util::strf("%s.rpp%d", name.c_str(), r));
+        return sb;
+    };
+
+    auto build_msb = [&](PowerNode *parent, const std::string &name) {
+        PowerNode *msb = topo.newNode(name, NodeKind::Msb);
+        msb->attachBreaker(std::make_unique<CircuitBreaker>(
+            name, spec.msbLimit));
+        if (parent)
+            parent->addChild(msb);
+        for (int s = 0; s < spec.sbsPerMsb; ++s)
+            build_sb(*msb, util::strf("%s.sb%d", name.c_str(), s));
+        return msb;
+    };
+
+    auto build_suite = [&](PowerNode *parent, const std::string &name) {
+        PowerNode *suite = topo.newNode(name, NodeKind::Suite);
+        if (parent)
+            parent->addChild(suite);
+        for (int m = 0; m < spec.msbsPerSuite; ++m)
+            build_msb(suite, util::strf("%s.msb%d", name.c_str(), m));
+        return suite;
+    };
+
+    auto build_building = [&](PowerNode *parent,
+                              const std::string &name) {
+        PowerNode *bld = topo.newNode(name, NodeKind::Building);
+        if (parent)
+            parent->addChild(bld);
+        for (int s = 0; s < spec.suitesPerBuilding; ++s)
+            build_suite(bld, util::strf("%s.suite%d", name.c_str(), s));
+        return bld;
+    };
+
+    switch (spec.rootKind) {
+      case NodeKind::Site: {
+        PowerNode *site = topo.newNode(spec.rootName, NodeKind::Site);
+        for (int b = 0; b < spec.buildingsPerSite; ++b) {
+            build_building(site, util::strf("%s.bld%d",
+                                            spec.rootName.c_str(), b));
+        }
+        topo.root_ = site;
+        break;
+      }
+      case NodeKind::Building:
+        topo.root_ = build_building(nullptr, spec.rootName);
+        break;
+      case NodeKind::Suite:
+        topo.root_ = build_suite(nullptr, spec.rootName);
+        break;
+      case NodeKind::Msb:
+        topo.root_ = build_msb(nullptr, spec.rootName);
+        break;
+      case NodeKind::Sb: {
+        PowerNode *sb = topo.newNode(spec.rootName, NodeKind::Sb);
+        sb->attachBreaker(std::make_unique<CircuitBreaker>(
+            spec.rootName, spec.sbLimit));
+        for (int r = 0; r < spec.rppsPerSb; ++r) {
+            build_rpp(*sb, util::strf("%s.rpp%d",
+                                      spec.rootName.c_str(), r));
+        }
+        topo.root_ = sb;
+        break;
+      }
+      case NodeKind::Rpp: {
+        PowerNode *rpp = topo.newNode(spec.rootName, NodeKind::Rpp);
+        rpp->attachBreaker(std::make_unique<CircuitBreaker>(
+            spec.rootName, spec.rppLimit));
+        for (int r = 0; r < spec.racksPerRpp; ++r) {
+            build_rack(*rpp, util::strf("%s.rack%02d",
+                                        spec.rootName.c_str(), r));
+        }
+        topo.root_ = rpp;
+        break;
+      }
+      case NodeKind::RackNode:
+        util::fatal("Topology::build: cannot root a topology at a rack");
+    }
+    if (topo.rackPtrs_.empty())
+        util::fatal("Topology::build: topology has no racks");
+    return topo;
+}
+
+std::vector<PowerNode *>
+Topology::nodesOfKind(NodeKind kind) const
+{
+    std::vector<PowerNode *> result;
+    for (const auto &node : nodes_) {
+        if (node->kind() == kind)
+            result.push_back(node.get());
+    }
+    return result;
+}
+
+void
+Topology::stepRacks(Seconds dt)
+{
+    for (Rack *rack : rackPtrs_)
+        rack->step(dt);
+}
+
+void
+Topology::observeBreakers(Seconds dt)
+{
+    for (const auto &node : nodes_) {
+        if (node->breaker())
+            node->breaker()->observe(node->inputPower(), dt);
+    }
+}
+
+void
+Topology::startOpenTransition(PowerNode &node)
+{
+    for (Rack *rack : node.racksBelow())
+        rack->loseInputPower();
+}
+
+void
+Topology::endOpenTransition(PowerNode &node)
+{
+    for (Rack *rack : node.racksBelow())
+        rack->restoreInputPower();
+}
+
+void
+Topology::scheduleOpenTransition(sim::EventQueue &queue, PowerNode &node,
+                                 sim::Tick at, sim::Tick duration)
+{
+    PowerNode *target = &node;
+    queue.schedule(at, [target] { startOpenTransition(*target); });
+    queue.schedule(at + duration,
+                   [target] { endOpenTransition(*target); });
+}
+
+} // namespace dcbatt::power

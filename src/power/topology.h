@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The data-center power-delivery hierarchy (Fig. 1).
+ *
+ * Power flows site -> building -> suite -> MSB -> SB -> RPP -> rack.
+ * Each MSB/SB/RPP carries a circuit breaker with the Open Compute
+ * ratings the paper quotes (2.5 MW / 1.25 MW / 190 kW). The topology
+ * owns the node tree and the racks; power draw aggregates leaf-to-root.
+ *
+ * Open transitions (the brief input-power loss during source
+ * switch-overs) can be injected at any node: every rack beneath it
+ * falls onto its batteries and recharges when power returns.
+ */
+
+#ifndef DCBATT_POWER_TOPOLOGY_H_
+#define DCBATT_POWER_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "battery/charger_policy.h"
+#include "power/breaker.h"
+#include "power/rack.h"
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace dcbatt::power {
+
+/** Level of a node in the power hierarchy. */
+enum class NodeKind
+{
+    Site,
+    Building,
+    Suite,
+    Msb,
+    Sb,
+    Rpp,
+    RackNode,
+};
+
+const char *toString(NodeKind kind);
+
+/** One node of the power tree. Leaves reference a Rack. */
+class PowerNode
+{
+  public:
+    PowerNode(std::string name, NodeKind kind);
+
+    const std::string &name() const { return name_; }
+    NodeKind kind() const { return kind_; }
+
+    PowerNode *parent() const { return parent_; }
+    const std::vector<PowerNode *> &children() const { return children_; }
+    void addChild(PowerNode *child);
+
+    /** Breaker protecting this node (null for site/building/rack). */
+    CircuitBreaker *breaker() { return breaker_.get(); }
+    const CircuitBreaker *breaker() const { return breaker_.get(); }
+    void attachBreaker(std::unique_ptr<CircuitBreaker> breaker);
+
+    Rack *rack() const { return rack_; }
+    void attachRack(Rack *rack);
+
+    /** Aggregate input power of the subtree rooted here. */
+    util::Watts inputPower() const;
+
+    /** All racks in this subtree (depth-first order). */
+    std::vector<Rack *> racksBelow() const;
+
+  private:
+    std::string name_;
+    NodeKind kind_;
+    PowerNode *parent_ = nullptr;
+    std::vector<PowerNode *> children_;
+    std::unique_ptr<CircuitBreaker> breaker_;
+    Rack *rack_ = nullptr;
+};
+
+/** Shape and ratings of a topology to build. */
+struct TopologySpec
+{
+    NodeKind rootKind = NodeKind::Msb;
+    std::string rootName = "msb0";
+
+    int buildingsPerSite = 1;
+    int suitesPerBuilding = 4;
+    int msbsPerSuite = 3;
+    int sbsPerMsb = 2;
+    int rppsPerSb = 10;
+    int racksPerRpp = 16;
+
+    /** Stop creating racks after this many (-1 = fill the shape). */
+    int totalRacks = -1;
+
+    util::Watts msbLimit = util::megawatts(2.5);
+    util::Watts sbLimit = util::megawatts(1.25);
+    util::Watts rppLimit = util::kilowatts(190.0);
+
+    /**
+     * Per-rack priorities in creation order; cycled when shorter than
+     * the rack count. Empty means everything is P2.
+     */
+    std::vector<Priority> priorities;
+
+    battery::BbuParams bbuParams;
+};
+
+/**
+ * Deterministic per-rack priority list with the given counts,
+ * proportionally interleaved (so every row gets a representative mix,
+ * like a production deployment).
+ */
+std::vector<Priority> makePriorityMix(int p1, int p2, int p3);
+
+/** An owned power tree plus its racks. */
+class Topology
+{
+  public:
+    /** Build the tree described by @p spec. */
+    static Topology build(
+        const TopologySpec &spec,
+        std::shared_ptr<const battery::ChargerPolicy> policy);
+
+    Topology(Topology &&) = default;
+    Topology &operator=(Topology &&) = default;
+
+    PowerNode &root() { return *root_; }
+    const PowerNode &root() const { return *root_; }
+
+    const std::vector<Rack *> &racks() const { return rackPtrs_; }
+    Rack &rack(int id) { return *rackPtrs_[static_cast<size_t>(id)]; }
+
+    /** All nodes of the given kind, in creation order. */
+    std::vector<PowerNode *> nodesOfKind(NodeKind kind) const;
+
+    /** Advance every rack's physics by dt. */
+    void stepRacks(util::Seconds dt);
+
+    /** Update breaker thermal state for every node with a breaker. */
+    void observeBreakers(util::Seconds dt);
+
+    /** Cut input power for every rack under @p node. */
+    static void startOpenTransition(PowerNode &node);
+    /** Restore input power for every rack under @p node. */
+    static void endOpenTransition(PowerNode &node);
+
+    /**
+     * Schedule an open transition on @p queue: power lost at @p at,
+     * restored @p duration later.
+     */
+    void scheduleOpenTransition(sim::EventQueue &queue, PowerNode &node,
+                                sim::Tick at, sim::Tick duration);
+
+  private:
+    Topology() = default;
+
+    PowerNode *newNode(std::string name, NodeKind kind);
+
+    std::vector<std::unique_ptr<PowerNode>> nodes_;
+    std::vector<std::unique_ptr<Rack>> racks_;
+    std::vector<Rack *> rackPtrs_;
+    PowerNode *root_ = nullptr;
+};
+
+} // namespace dcbatt::power
+
+#endif // DCBATT_POWER_TOPOLOGY_H_

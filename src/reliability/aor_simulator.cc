@@ -1,0 +1,126 @@
+#include "reliability/aor_simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dcbatt::reliability {
+
+using util::Seconds;
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerYear = 8760.0 * 3600.0;
+constexpr double kSecondsPerDay = 24.0 * 3600.0;
+
+} // namespace
+
+AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
+                           AorConfig config)
+    : config_(config)
+{
+    if (config_.years <= 0.0)
+        util::fatal("AorSimulator: nonpositive horizon");
+    generateTimeline(processes);
+}
+
+void
+AorSimulator::generateTimeline(
+    const std::vector<FailureProcess> &processes)
+{
+    util::Rng rng(config_.seed);
+    const double horizon = config_.years * kSecondsPerYear;
+
+    for (const FailureProcess &proc : processes) {
+        util::Rng stream = rng.fork();
+        double mtbf_s = proc.mtbfHours * kSecondsPerHour;
+        double mttr_s = proc.mttrHours * kSecondsPerHour;
+        double t = 0.0;
+        while (true) {
+            double gap;
+            if (proc.interval == IntervalModel::AnnualNormal) {
+                gap = stream.truncatedNormal(
+                    mtbf_s,
+                    config_.annualSigmaDays * kSecondsPerDay,
+                    kSecondsPerDay, 3.0 * mtbf_s);
+            } else {
+                gap = stream.exponential(mtbf_s);
+            }
+            t += gap;
+            if (t >= horizon)
+                break;
+            double repair = stream.exponential(mttr_s);
+            if (proc.effect == FailureEffect::Outage) {
+                timeline_.push_back({t, repair});
+            } else {
+                // Two open transitions: source drops, source returns.
+                double ot1 = stream.exponential(
+                    config_.meanOpenTransition.value());
+                double ot2 = stream.exponential(
+                    config_.meanOpenTransition.value());
+                timeline_.push_back({t, ot1});
+                if (t + repair < horizon)
+                    timeline_.push_back({t + repair, ot2});
+            }
+        }
+    }
+    std::sort(timeline_.begin(), timeline_.end(),
+              [](const LossInterval &a, const LossInterval &b) {
+                  return a.startSeconds < b.startSeconds;
+              });
+}
+
+AorResult
+AorSimulator::aorForChargeTime(Seconds charge_time) const
+{
+    return aorForChargeModel(
+        [charge_time](const LossInterval &) { return charge_time; });
+}
+
+AorResult
+AorSimulator::aorForChargeModel(
+    const std::function<Seconds(const LossInterval &)> &charge_time_fn)
+    const
+{
+    const double horizon = config_.years * kSecondsPerYear;
+    double not_full = 0.0;
+    double dark = 0.0;
+    // Union of [loss start, loss end + recharge] spans; a loss that
+    // begins during a recharge extends the span (the recharge
+    // restarts after the new episode).
+    double span_start = -1.0;
+    double span_end = -1.0;
+    for (const LossInterval &loss : timeline_) {
+        dark += std::min(loss.durationSeconds,
+                         std::max(0.0, horizon - loss.startSeconds));
+        double recharge = charge_time_fn(loss).value();
+        double end = loss.endSeconds() + recharge;
+        if (span_start < 0.0) {
+            span_start = loss.startSeconds;
+            span_end = end;
+            continue;
+        }
+        if (loss.startSeconds <= span_end) {
+            span_end = std::max(span_end, end);
+        } else {
+            not_full += std::min(span_end, horizon) - span_start;
+            span_start = loss.startSeconds;
+            span_end = end;
+        }
+    }
+    if (span_start >= 0.0)
+        not_full += std::min(span_end, horizon) - span_start;
+
+    AorResult result;
+    result.aor = 1.0 - not_full / horizon;
+    result.lossOfRedundancyHoursPerYear =
+        not_full / kSecondsPerHour / config_.years;
+    result.lossEventsPerYear =
+        static_cast<double>(timeline_.size()) / config_.years;
+    result.darkHoursPerYear = dark / kSecondsPerHour / config_.years;
+    return result;
+}
+
+} // namespace dcbatt::reliability

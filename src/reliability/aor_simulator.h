@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Monte Carlo availability-of-redundancy (AOR) simulator (Fig. 9a).
+ *
+ * AOR is the fraction of time a rack's battery is fully charged. The
+ * simulator draws a timeline of rack input-power loss intervals from
+ * the Table I renewal processes (each component/failure type an
+ * independent block of a series system), then walks the Fig. 8(a)
+ * battery state machine over it: the battery is not-fully-charged
+ * from the start of each power loss until one full recharge time
+ * after power returns, with overlapping episodes merged (a new loss
+ * during recharge restarts the recharge).
+ *
+ * The timeline is generated once per simulator instance, so an AOR
+ * sweep over battery charge times (the Fig. 9a x-axis) reuses the
+ * identical failure history — the curve is smooth by construction,
+ * not by sample-count brute force.
+ */
+
+#ifndef DCBATT_RELIABILITY_AOR_SIMULATOR_H_
+#define DCBATT_RELIABILITY_AOR_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "reliability/failure_data.h"
+#include "util/units.h"
+
+namespace dcbatt::reliability {
+
+/** One rack input-power loss episode. */
+struct LossInterval
+{
+    double startSeconds = 0.0;
+    double durationSeconds = 0.0;
+
+    double endSeconds() const { return startSeconds + durationSeconds; }
+};
+
+/** Simulation horizon and distribution parameters. */
+struct AorConfig
+{
+    /** Simulated horizon; the paper uses 1e5 years. */
+    double years = 1e5;
+    /** Mean open-transition duration (exponential). */
+    util::Seconds meanOpenTransition{45.0};
+    /** Stddev of the annual-maintenance interval, in days. */
+    double annualSigmaDays = 41.0;
+    uint64_t seed = 7;
+};
+
+/** Result of one AOR evaluation. */
+struct AorResult
+{
+    double aor = 1.0;
+    double lossOfRedundancyHoursPerYear = 0.0;
+    /** Power-loss episodes per year (open transitions + outages). */
+    double lossEventsPerYear = 0.0;
+    /** Hours per year the rack input is actually dark. */
+    double darkHoursPerYear = 0.0;
+};
+
+/** Monte Carlo AOR engine over the Table I processes. */
+class AorSimulator
+{
+  public:
+    AorSimulator(std::vector<FailureProcess> processes,
+                 AorConfig config = {});
+
+    /** The generated loss timeline (sorted by start). */
+    const std::vector<LossInterval> &timeline() const
+    {
+        return timeline_;
+    }
+
+    /** AOR when every recharge takes a fixed @p charge_time. */
+    AorResult aorForChargeTime(util::Seconds charge_time) const;
+
+    /**
+     * AOR with a recharge time that depends on the loss episode:
+     * @p charge_time_fn maps the loss duration to the recharge time
+     * (e.g. via the CC-CV charge-time model and a rack load). Used by
+     * the charger-aware AOR extension bench.
+     */
+    AorResult aorForChargeModel(
+        const std::function<util::Seconds(const LossInterval &)>
+            &charge_time_fn) const;
+
+    double horizonYears() const { return config_.years; }
+
+  private:
+    void generateTimeline(const std::vector<FailureProcess> &processes);
+
+    AorConfig config_;
+    std::vector<LossInterval> timeline_;
+};
+
+} // namespace dcbatt::reliability
+
+#endif // DCBATT_RELIABILITY_AOR_SIMULATOR_H_

@@ -1,0 +1,45 @@
+#include "reliability/failure_data.h"
+
+namespace dcbatt::reliability {
+
+std::vector<FailureProcess>
+paperFailureData()
+{
+    using enum FailureEffect;
+    using enum IntervalModel;
+    return {
+        // Utility failure (IEEE 3006.8 industrial utility supply).
+        {"utility", "utility", 6.39e3, 0.6, OpenTransitionPair,
+         Exponential},
+        // Corrective maintenance.
+        {"corrective", "sub/msg", 5.87e4, 8.0, OpenTransitionPair,
+         Exponential},
+        {"corrective", "msb", 4.12e4, 20.2, OpenTransitionPair,
+         Exponential},
+        {"corrective", "sb", 1.51e5, 8.7, OpenTransitionPair,
+         Exponential},
+        {"corrective", "rpp", 6.31e5, 5.5, OpenTransitionPair,
+         Exponential},
+        // Annual preventive maintenance (MTBF 8760 h = 1 year).
+        {"annual", "msb", 8.76e3, 12.8, OpenTransitionPair,
+         AnnualNormal},
+        {"annual", "sb", 8.76e3, 7.4, OpenTransitionPair, AnnualNormal},
+        {"annual", "rpp", 8.76e3, 9.9, OpenTransitionPair,
+         AnnualNormal},
+        // Power outages (rack input dark until repair).
+        {"outage", "msb", 2.93e5, 6.4, Outage, Exponential},
+        {"outage", "sb", 5.20e5, 4.6, Outage, Exponential},
+        {"outage", "rpp", 6.25e6, 10.9, Outage, Exponential},
+    };
+}
+
+double
+totalEventsPerYear(const std::vector<FailureProcess> &processes)
+{
+    double rate = 0.0;
+    for (const FailureProcess &p : processes)
+        rate += 8760.0 / p.mtbfHours;
+    return rate;
+}
+
+} // namespace dcbatt::reliability

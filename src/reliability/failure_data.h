@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Component failure/repair data (Table I of the paper).
+ *
+ * Each row is an independent renewal process affecting the power path
+ * to a rack (Fig. 8b): utility failures, corrective maintenance,
+ * annual preventive maintenance, and outright power outages. Utility
+ * failures and maintenance cause *two* open transitions each (one
+ * when the primary source drops, one when it returns); power outages
+ * keep the rack dark until the repair completes.
+ *
+ * All failure interarrivals and repair durations are exponential with
+ * the Table I means, except annual maintenance which the paper models
+ * as Normal(mu = 1 year, sigma = 41 days).
+ */
+
+#ifndef DCBATT_RELIABILITY_FAILURE_DATA_H_
+#define DCBATT_RELIABILITY_FAILURE_DATA_H_
+
+#include <string>
+#include <vector>
+
+namespace dcbatt::reliability {
+
+/** How a process's event manifests at the rack input. */
+enum class FailureEffect
+{
+    /** Two brief open transitions (start and end of the episode). */
+    OpenTransitionPair,
+    /** Rack input power lost for the whole repair duration. */
+    Outage,
+};
+
+/** How interarrival times are drawn. */
+enum class IntervalModel
+{
+    Exponential,
+    AnnualNormal,
+};
+
+/** One Table I row. */
+struct FailureProcess
+{
+    std::string failureType;
+    std::string component;
+    double mtbfHours = 0.0;
+    double mttrHours = 0.0;
+    FailureEffect effect = FailureEffect::OpenTransitionPair;
+    IntervalModel interval = IntervalModel::Exponential;
+};
+
+/** The full Table I. */
+std::vector<FailureProcess> paperFailureData();
+
+/** Sum of event rates (events/year) over a process set. */
+double totalEventsPerYear(const std::vector<FailureProcess> &processes);
+
+} // namespace dcbatt::reliability
+
+#endif // DCBATT_RELIABILITY_FAILURE_DATA_H_

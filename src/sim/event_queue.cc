@@ -1,0 +1,111 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dcbatt::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback callback)
+{
+    if (when < now_) {
+        util::panic(util::strf(
+            "EventQueue::schedule: tick %lld is in the past (now %lld)",
+            static_cast<long long>(when), static_cast<long long>(now_)));
+    }
+    EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id, std::move(callback)});
+    pending_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback callback)
+{
+    return schedule(now_ + delay, std::move(callback));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return pending_.erase(id) > 0;
+}
+
+size_t
+EventQueue::execute(Tick until)
+{
+    size_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+        Entry entry = queue_.top();
+        queue_.pop();
+        if (pending_.erase(entry.id) == 0)
+            continue;  // cancelled while queued
+        now_ = entry.when;
+        entry.callback();
+        ++executed;
+    }
+    return executed;
+}
+
+size_t
+EventQueue::runUntil(Tick until)
+{
+    size_t executed = execute(until);
+    // The horizon was simulated even if no event landed exactly on it.
+    now_ = std::max(now_, until);
+    return executed;
+}
+
+size_t
+EventQueue::run()
+{
+    return execute(std::numeric_limits<Tick>::max());
+}
+
+PeriodicTask::PeriodicTask(EventQueue &queue, Tick period,
+                           Callback callback)
+    : queue_(queue), period_(period), callback_(std::move(callback))
+{
+    if (period_ <= 0)
+        util::panic("PeriodicTask: period must be positive");
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start(Tick phase)
+{
+    if (armed_)
+        stop();
+    armed_ = true;
+    Tick first = phase < 0 ? period_ : phase;
+    pending_ = queue_.scheduleAfter(first, [this] { fire(); });
+}
+
+void
+PeriodicTask::stop()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    queue_.cancel(pending_);
+    pending_ = 0;
+}
+
+void
+PeriodicTask::fire()
+{
+    if (!armed_)
+        return;
+    // Re-arm before invoking the callback so the callback may stop()
+    // the task and have that take effect.
+    pending_ = queue_.scheduleAfter(period_, [this] { fire(); });
+    callback_(queue_.now());
+}
+
+} // namespace dcbatt::sim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue in the gem5 tradition: events are
+ * (tick, callback) pairs; ties break in scheduling order so runs are
+ * deterministic. Events can be cancelled through the handle returned
+ * at scheduling time. Periodic activity (controller polling, physics
+ * integration steps) is built on top via PeriodicTask.
+ */
+
+#ifndef DCBATT_SIM_EVENT_QUEUE_H_
+#define DCBATT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace dcbatt::sim {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = uint64_t;
+
+/** Single-threaded deterministic event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * Scheduling in the past is a programming error (panics).
+     */
+    EventId schedule(Tick when, Callback callback);
+
+    /** Schedule a callback @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback callback);
+
+    /**
+     * Cancel a scheduled event. Returns true if the event was pending;
+     * false if it already ran, was already cancelled, or never existed.
+     */
+    bool cancel(EventId id);
+
+    /** Whether any events remain pending. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    size_t pendingCount() const { return pending_.size(); }
+
+    /**
+     * Run all events scheduled at or before @p until, then advance the
+     * clock to @p until (the horizon has been simulated even if no
+     * event landed exactly on it).
+     * @returns the number of events executed.
+     */
+    size_t runUntil(Tick until);
+
+    /**
+     * Run to quiescence; the clock stops at the last executed event.
+     * @returns the number of events executed.
+     */
+    size_t run();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;  // FIFO tie-break for same-tick events
+        EventId id;
+        Callback callback;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    size_t execute(Tick until);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    // Ids of scheduled-but-not-yet-executed events. Cancellation just
+    // removes the id; the queue entry is skipped when it surfaces.
+    std::unordered_set<EventId> pending_;
+    Tick now_ = 0;
+    uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+};
+
+/**
+ * Fixed-interval repeating task on an EventQueue. The task starts when
+ * start() is called and re-arms itself until stop() or queue teardown.
+ * The callback receives the current tick.
+ */
+class PeriodicTask
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    PeriodicTask(EventQueue &queue, Tick period, Callback callback);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    /** Arm the task; first firing at now + phase (default: one period). */
+    void start(Tick phase = -1);
+    /** Disarm the task; safe to call when not running. */
+    void stop();
+
+    bool running() const { return armed_; }
+    Tick period() const { return period_; }
+
+  private:
+    void fire();
+
+    EventQueue &queue_;
+    Tick period_;
+    Callback callback_;
+    EventId pending_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace dcbatt::sim
+
+#endif // DCBATT_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulation time.
+ *
+ * The event kernel runs on integer microsecond ticks so event ordering
+ * is exact and runs are bit-reproducible; physics code uses
+ * util::Seconds. Conversions between the two live here.
+ */
+
+#ifndef DCBATT_SIM_SIM_TIME_H_
+#define DCBATT_SIM_SIM_TIME_H_
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace dcbatt::sim {
+
+/** Simulation tick count; one tick is one microsecond. */
+using Tick = int64_t;
+
+/** Ticks per second. */
+inline constexpr Tick kTicksPerSecond = 1'000'000;
+
+/** Convert a physical duration to ticks (rounding to nearest). */
+constexpr Tick
+toTicks(util::Seconds s)
+{
+    double t = s.value() * static_cast<double>(kTicksPerSecond);
+    return static_cast<Tick>(t + (t >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert ticks to a physical duration. */
+constexpr util::Seconds
+toSeconds(Tick t)
+{
+    return util::Seconds(static_cast<double>(t)
+                         / static_cast<double>(kTicksPerSecond));
+}
+
+} // namespace dcbatt::sim
+
+#endif // DCBATT_SIM_SIM_TIME_H_

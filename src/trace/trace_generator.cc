@@ -1,0 +1,123 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "power/topology.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dcbatt::trace {
+
+using power::Priority;
+using util::Seconds;
+using util::Watts;
+
+namespace {
+
+/** Diurnal shape: cosine peaking at the configured time of day. */
+double
+diurnalShape(double t_s, double peak_s, double phase_shift_h)
+{
+    constexpr double day = 24.0 * 3600.0;
+    double shifted = t_s - peak_s - phase_shift_h * 3600.0;
+    return std::cos(2.0 * std::numbers::pi * shifted / day);
+}
+
+/** Weekly modulation: weekends run flatter/lower. */
+double
+weeklyScale(double t_s, double weekend_dip)
+{
+    constexpr double day = 24.0 * 3600.0;
+    int day_index = static_cast<int>(t_s / day) % 7;
+    bool weekend = day_index >= 5;
+    return weekend ? 1.0 - weekend_dip : 1.0;
+}
+
+} // namespace
+
+std::vector<Priority>
+paperMsbPriorities()
+{
+    return power::makePriorityMix(89, 142, 85);
+}
+
+TraceSet
+generateTraces(const TraceGenSpec &spec)
+{
+    if (spec.rackCount <= 0)
+        util::fatal("generateTraces: rack count must be positive");
+    if (spec.step.value() <= 0.0 || spec.duration < spec.step)
+        util::fatal("generateTraces: bad step/duration");
+
+    util::Rng rng(spec.seed);
+    auto samples = static_cast<size_t>(spec.duration / spec.step);
+    auto racks = static_cast<size_t>(spec.rackCount);
+
+    // Per-rack static parameters.
+    std::vector<double> base(racks);
+    std::vector<double> amplitude(racks);
+    std::vector<double> phase(racks);
+    std::vector<double> noise_sigma(racks);
+    std::vector<double> noise_rho(racks);
+    std::vector<double> ar_state(racks, 0.0);
+    for (size_t i = 0; i < racks; ++i) {
+        Priority p = spec.priorities.empty()
+            ? Priority::P2
+            : spec.priorities[i % spec.priorities.size()];
+        const RackProfile &prof =
+            spec.profiles[power::priorityIndex(p)];
+        base[i] = prof.baseMean.value()
+            + rng.uniform(-prof.baseSpread.value(),
+                          prof.baseSpread.value());
+        amplitude[i] = prof.diurnalAmplitude
+            * rng.uniform(0.7, 1.3);
+        phase[i] = prof.diurnalPhaseShift + rng.uniform(-1.0, 1.0);
+        noise_sigma[i] = prof.noiseSigma;
+        noise_rho[i] = prof.noisePersistence;
+        ar_state[i] = rng.normal(0.0, prof.noiseSigma);
+    }
+
+    TraceSet set(spec.startTime, spec.step, spec.rackCount);
+    double peak_s = spec.peakTimeOfDay.value();
+    std::vector<double> row(racks);
+    for (size_t s = 0; s < samples; ++s) {
+        double t = spec.startTime.value()
+            + static_cast<double>(s) * spec.step.value();
+        double weekly = weeklyScale(t, spec.weekendDip);
+        double raw_sum = 0.0;
+        for (size_t i = 0; i < racks; ++i) {
+            double innovation = rng.normal(
+                0.0, noise_sigma[i]
+                    * std::sqrt(1.0 - noise_rho[i] * noise_rho[i]));
+            ar_state[i] = noise_rho[i] * ar_state[i] + innovation;
+            double shape = 1.0
+                + amplitude[i] * weekly
+                    * diurnalShape(t, peak_s, phase[i])
+                + ar_state[i];
+            double watts = std::clamp(base[i] * shape,
+                                      spec.rackMinPower.value(),
+                                      spec.rackMaxPower.value());
+            row[i] = watts;
+            raw_sum += watts;
+        }
+        // Calibrate the column so the aggregate tracks the target
+        // diurnal band exactly (preserves rack-to-rack ratios).
+        double target = spec.aggregateMean.value()
+            + spec.aggregateAmplitude.value() * weekly
+                * diurnalShape(t, peak_s, 0.0)
+            + rng.normal(0.0, spec.aggregateMean.value()
+                                  * spec.aggregateNoiseFraction);
+        double scale = raw_sum > 0.0 ? target / raw_sum : 1.0;
+        for (size_t i = 0; i < racks; ++i) {
+            row[i] = std::clamp(row[i] * scale,
+                                spec.rackMinPower.value(),
+                                spec.rackMaxPower.value());
+        }
+        set.appendSample(row);
+    }
+    return set;
+}
+
+} // namespace dcbatt::trace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synthetic production rack-power trace generator.
+ *
+ * Substitutes for the Facebook production traces the paper replays
+ * (Section V-B1): 316 racks under one MSB whose aggregate power shows
+ * diurnal cycles between 1.9 MW and 2.1 MW at 3 s granularity
+ * (Fig. 12).
+ *
+ * Generation is two-stage:
+ *  1. Per-rack raw series: a priority-dependent base load and diurnal
+ *     amplitude (stateful P1 racks are flat, web-tier P2 racks swing
+ *     with the day, batch P3 racks run partly anti-cyclic), plus AR(1)
+ *     noise, clamped to the rack's power envelope.
+ *  2. Aggregate calibration: every sample column is rescaled so that
+ *     the fleet total exactly tracks the target diurnal band. This
+ *     pins the statistics the charging experiments consume (aggregate
+ *     mean/band and the per-rack spread at the peak) while keeping
+ *     rack-to-rack heterogeneity.
+ */
+
+#ifndef DCBATT_TRACE_TRACE_GENERATOR_H_
+#define DCBATT_TRACE_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "power/priority.h"
+#include "trace/trace_set.h"
+#include "util/units.h"
+
+namespace dcbatt::trace {
+
+/** Shape parameters for one priority class's load profile. */
+struct RackProfile
+{
+    util::Watts baseMean{6500.0};
+    util::Watts baseSpread{1200.0};  ///< uniform half-range around mean
+    double diurnalAmplitude = 0.2;   ///< fraction of base
+    double diurnalPhaseShift = 0.0;  ///< hours relative to fleet peak
+    double noiseSigma = 0.02;        ///< AR(1) innovation, fraction
+    double noisePersistence = 0.97;  ///< AR(1) coefficient per step
+};
+
+/** Full generator specification. */
+struct TraceGenSpec
+{
+    int rackCount = 316;
+    util::Seconds duration = util::hours(24.0 * 7.0);
+    util::Seconds step{3.0};
+    /** Absolute time of the first sample (sets the diurnal phase). */
+    util::Seconds startTime{0.0};
+    uint64_t seed = 42;
+
+    /** Target aggregate: mean +/- amplitude diurnal band (Fig. 12). */
+    util::Watts aggregateMean = util::megawatts(2.0);
+    util::Watts aggregateAmplitude = util::megawatts(0.1);
+    /** Small high-frequency noise on the aggregate target. */
+    double aggregateNoiseFraction = 0.002;
+    /** Time of day of the daily peak. */
+    util::Seconds peakTimeOfDay = util::hours(14.0);
+    /** Weekly modulation of the diurnal amplitude (weekend dip). */
+    double weekendDip = 0.3;
+
+    /** Per-rack priorities (cycled); empty means all P2. */
+    std::vector<power::Priority> priorities;
+
+    /** Physical rack envelope (Open Rack V2 limit). */
+    util::Watts rackMaxPower = util::kilowatts(12.6);
+    util::Watts rackMinPower = util::kilowatts(0.5);
+
+    /** Per-priority load profiles, indexed by priorityIndex(). */
+    RackProfile profiles[3] = {
+        // P1: stateful, high flat load.
+        {util::Watts(7200.0), util::Watts(900.0), 0.06, 0.0, 0.01,
+         0.985},
+        // P2: web tier, strongly diurnal.
+        {util::Watts(6400.0), util::Watts(1400.0), 0.28, 0.0, 0.025,
+         0.97},
+        // P3: batch, moderate and partly anti-cyclic.
+        {util::Watts(5300.0), util::Watts(1600.0), 0.15, 9.0, 0.035,
+         0.95},
+    };
+};
+
+/** Generate a TraceSet per @p spec (deterministic in the seed). */
+TraceSet generateTraces(const TraceGenSpec &spec);
+
+/**
+ * The rack-priority mix of the paper's MSB experiment:
+ * 89 P1, 142 P2, 85 P3 = 316 racks, proportionally interleaved.
+ */
+std::vector<power::Priority> paperMsbPriorities();
+
+} // namespace dcbatt::trace
+
+#endif // DCBATT_TRACE_TRACE_GENERATOR_H_

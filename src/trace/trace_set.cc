@@ -1,0 +1,120 @@
+#include "trace/trace_set.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace dcbatt::trace {
+
+using util::Seconds;
+using util::TimeSeries;
+
+TraceSet::TraceSet(Seconds start, Seconds step, int rack_count)
+    : start_(start), step_(step)
+{
+    if (rack_count <= 0)
+        util::panic("TraceSet: rack count must be positive");
+    racks_.assign(static_cast<size_t>(rack_count),
+                  TimeSeries(start, step));
+}
+
+TimeSeries
+TraceSet::aggregate() const
+{
+    if (racks_.empty())
+        util::panic("TraceSet::aggregate: no racks");
+    TimeSeries total = racks_.front();
+    for (size_t i = 1; i < racks_.size(); ++i)
+        total += racks_[i];
+    return total;
+}
+
+size_t
+TraceSet::firstPeakIndex() const
+{
+    TimeSeries agg = aggregate();
+    // Smooth over ~15 minutes to ignore sample noise, then find the
+    // first index whose smoothed value is not exceeded for a sustained
+    // window afterwards (a genuine diurnal crest, not a blip).
+    size_t window = std::max<size_t>(
+        1, static_cast<size_t>(900.0 / step_.value()));
+    TimeSeries smooth = agg.downsample(window);
+    size_t guard = std::max<size_t>(
+        1, static_cast<size_t>(4 * 3600.0 / smooth.step().value()));
+    for (size_t i = 1; i + 1 < smooth.size(); ++i) {
+        if (smooth[i] < smooth[i - 1])
+            continue;
+        bool is_peak = true;
+        size_t hi = std::min(smooth.size(), i + 1 + guard);
+        for (size_t j = i + 1; j < hi; ++j) {
+            if (smooth[j] > smooth[i]) {
+                is_peak = false;
+                break;
+            }
+        }
+        if (is_peak)
+            return std::min(agg.size() - 1, i * window + window / 2);
+    }
+    return agg.argMax();
+}
+
+void
+TraceSet::appendSample(const std::vector<double> &rack_watts)
+{
+    if (rack_watts.size() != racks_.size())
+        util::panic("TraceSet::appendSample: wrong rack count");
+    for (size_t i = 0; i < racks_.size(); ++i)
+        racks_[i].append(rack_watts[i]);
+}
+
+void
+TraceSet::save(const std::string &path) const
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> header;
+    header.push_back("time_s");
+    for (size_t i = 0; i < racks_.size(); ++i)
+        header.push_back(util::strf("rack%zu_w", i));
+    rows.push_back(std::move(header));
+    for (size_t s = 0; s < sampleCount(); ++s) {
+        std::vector<std::string> row;
+        row.push_back(util::strf(
+            "%.3f", racks_.front().timeAt(s).value()));
+        for (const auto &series : racks_)
+            row.push_back(util::strf("%.3f", series[s]));
+        rows.push_back(std::move(row));
+    }
+    util::writeCsvFile(path, rows);
+}
+
+TraceSet
+TraceSet::load(const std::string &path)
+{
+    auto rows = util::readCsvFile(path);
+    if (rows.size() < 3)
+        util::fatal(util::strf("trace file too short: %s", path.c_str()));
+    size_t cols = rows[0].size();
+    if (cols < 2)
+        util::fatal(util::strf("trace file has no racks: %s",
+                               path.c_str()));
+    double t0 = std::atof(rows[1][0].c_str());
+    double t1 = std::atof(rows[2][0].c_str());
+    TraceSet set(Seconds(t0), Seconds(t1 - t0),
+                 static_cast<int>(cols - 1));
+    for (size_t r = 1; r < rows.size(); ++r) {
+        if (rows[r].size() != cols) {
+            util::fatal(util::strf("trace row %zu has %zu fields, "
+                                   "expected %zu",
+                                   r, rows[r].size(), cols));
+        }
+        std::vector<double> sample(cols - 1);
+        for (size_t c = 1; c < cols; ++c)
+            sample[c - 1] = std::atof(rows[r][c].c_str());
+        set.appendSample(sample);
+    }
+    return set;
+}
+
+} // namespace dcbatt::trace

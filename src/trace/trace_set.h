@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A set of per-rack power traces sampled on a common clock.
+ *
+ * The paper's simulation experiments replay "rack power trace[s] at
+ * 3 second granularity for racks under an MSB" (Section V-B). TraceSet
+ * is that object: one fixed-step series per rack, plus aggregate and
+ * peak-finding helpers and CSV round-trip.
+ */
+
+#ifndef DCBATT_TRACE_TRACE_SET_H_
+#define DCBATT_TRACE_TRACE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcbatt::trace {
+
+/** Per-rack power traces on a shared clock. */
+class TraceSet
+{
+  public:
+    TraceSet() = default;
+    TraceSet(util::Seconds start, util::Seconds step, int rack_count);
+
+    int rackCount() const { return static_cast<int>(racks_.size()); }
+    size_t sampleCount() const
+    {
+        return racks_.empty() ? 0 : racks_.front().size();
+    }
+    util::Seconds step() const { return step_; }
+    util::Seconds start() const { return start_; }
+
+    util::TimeSeries &rack(int i)
+    {
+        return racks_[static_cast<size_t>(i)];
+    }
+    const util::TimeSeries &rack(int i) const
+    {
+        return racks_[static_cast<size_t>(i)];
+    }
+
+    /** Rack i's power at time t (zero-order hold), in watts. */
+    util::Watts rackPower(int i, util::Seconds t) const
+    {
+        return util::Watts(rack(i).sample(t));
+    }
+
+    /** Sum of all rack series. */
+    util::TimeSeries aggregate() const;
+
+    /**
+     * Index of the first local maximum of the day-smoothed aggregate —
+     * "the first peak in the trace", where the paper injects its open
+     * transitions because available power is most constrained.
+     */
+    size_t firstPeakIndex() const;
+
+    /** Append one sample per rack (values in watts). */
+    void appendSample(const std::vector<double> &rack_watts);
+
+    /** CSV persistence: header row, then time + one column per rack. */
+    void save(const std::string &path) const;
+    static TraceSet load(const std::string &path);
+
+  private:
+    util::Seconds start_{0.0};
+    util::Seconds step_{3.0};
+    std::vector<util::TimeSeries> racks_;
+};
+
+} // namespace dcbatt::trace
+
+#endif // DCBATT_TRACE_TRACE_SET_H_

@@ -1,0 +1,106 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+ChartSeries
+seriesFromTimeSeries(const TimeSeries &ts, const std::string &label,
+                     char glyph, double xScale, double yScale)
+{
+    ChartSeries s;
+    s.label = label;
+    s.glyph = glyph;
+    s.xs.reserve(ts.size());
+    s.ys.reserve(ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+        s.xs.push_back(ts.timeAt(i).value() * xScale);
+        s.ys.push_back(ts[i] * yScale);
+    }
+    return s;
+}
+
+std::string
+renderChart(const std::vector<ChartSeries> &series,
+            const ChartOptions &options)
+{
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -x_min;
+    double y_min = std::numeric_limits<double>::infinity();
+    double y_max = -y_min;
+    bool any = false;
+    for (const auto &s : series) {
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            any = true;
+            x_min = std::min(x_min, s.xs[i]);
+            x_max = std::max(x_max, s.xs[i]);
+            y_min = std::min(y_min, s.ys[i]);
+            y_max = std::max(y_max, s.ys[i]);
+        }
+    }
+    if (!any)
+        return "(empty chart)\n";
+    if (options.yMin != options.yMax) {
+        y_min = options.yMin;
+        y_max = options.yMax;
+    }
+    if (x_max == x_min)
+        x_max = x_min + 1.0;
+    if (y_max == y_min)
+        y_max = y_min + 1.0;
+
+    size_t w = std::max<size_t>(options.width, 8);
+    size_t h = std::max<size_t>(options.height, 4);
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    for (const auto &s : series) {
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            double tx = (s.xs[i] - x_min) / (x_max - x_min);
+            double ty = (s.ys[i] - y_min) / (y_max - y_min);
+            if (ty < 0.0 || ty > 1.0)
+                continue;
+            auto col = static_cast<size_t>(std::round(
+                tx * static_cast<double>(w - 1)));
+            auto row = static_cast<size_t>(std::round(
+                (1.0 - ty) * static_cast<double>(h - 1)));
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    std::ostringstream out;
+    if (!options.title.empty())
+        out << options.title << '\n';
+    if (!options.yLabel.empty())
+        out << options.yLabel << '\n';
+    std::string top_label = strf("%.4g", y_max);
+    std::string bottom_label = strf("%.4g", y_min);
+    size_t label_w = std::max(top_label.size(), bottom_label.size());
+    for (size_t r = 0; r < h; ++r) {
+        std::string label;
+        if (r == 0)
+            label = top_label;
+        else if (r == h - 1)
+            label = bottom_label;
+        out << strf("%*s |", static_cast<int>(label_w), label.c_str())
+            << grid[r] << '\n';
+    }
+    out << std::string(label_w + 2, ' ') << std::string(w, '-') << '\n';
+    out << std::string(label_w + 2, ' ')
+        << strf("%-*.4g%*.4g", static_cast<int>(w / 2), x_min,
+                static_cast<int>(w - w / 2), x_max)
+        << '\n';
+    if (!options.xLabel.empty()) {
+        out << std::string(label_w + 2, ' ') << options.xLabel << '\n';
+    }
+    for (const auto &s : series) {
+        out << "  " << s.glyph << " = " << s.label << '\n';
+    }
+    return out.str();
+}
+
+} // namespace dcbatt::util

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text line chart for the figure-reproduction benches: renders a small
+ * set of series into a fixed-size character grid with axis labels, so a
+ * `bench/figNN` binary can show the *shape* of the paper's figure in a
+ * terminal.
+ */
+
+#ifndef DCBATT_UTIL_ASCII_CHART_H_
+#define DCBATT_UTIL_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace dcbatt::util {
+
+/** One plotted series: a label, a glyph, and (x, y) points. */
+struct ChartSeries
+{
+    std::string label;
+    char glyph = '*';
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** Rendering options for AsciiChart. */
+struct ChartOptions
+{
+    size_t width = 72;   ///< plot area columns
+    size_t height = 18;  ///< plot area rows
+    std::string xLabel;
+    std::string yLabel;
+    std::string title;
+    /// Force the y range; if min == max the range is auto-scaled.
+    double yMin = 0.0;
+    double yMax = 0.0;
+};
+
+/** Render the series into a multi-line string. */
+std::string renderChart(const std::vector<ChartSeries> &series,
+                        const ChartOptions &options);
+
+/** Convenience: plot a TimeSeries against minutes on the x axis. */
+ChartSeries seriesFromTimeSeries(const TimeSeries &ts,
+                                 const std::string &label, char glyph,
+                                 double xScale = 1.0 / 60.0,
+                                 double yScale = 1.0);
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_ASCII_CHART_H_

@@ -1,0 +1,127 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+namespace {
+
+bool
+needsQuoting(const std::string &field)
+{
+    return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string
+quoteField(const std::string &field)
+{
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << (needsQuoting(fields[i]) ? quoteField(fields[i])
+                                         : fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values)
+        fields.push_back(strf("%.10g", v));
+    writeRow(fields);
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (c == '\r') {
+            // Tolerate CRLF line endings.
+        } else {
+            current += c;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+std::vector<std::vector<std::string>>
+readCsv(std::istream &in)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line == "\r")
+            continue;
+        rows.push_back(parseCsvLine(line));
+    }
+    return rows;
+}
+
+std::vector<std::vector<std::string>>
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strf("cannot open CSV file for reading: %s", path.c_str()));
+    return readCsv(in);
+}
+
+void
+writeCsvFile(const std::string &path,
+             const std::vector<std::vector<std::string>> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal(strf("cannot open CSV file for writing: %s", path.c_str()));
+    CsvWriter writer(out);
+    for (const auto &row : rows)
+        writer.writeRow(row);
+    if (!out)
+        fatal(strf("I/O error writing CSV file: %s", path.c_str()));
+}
+
+} // namespace dcbatt::util

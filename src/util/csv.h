@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small CSV reader/writer.
+ *
+ * Used to persist synthetic traces and benchmark outputs. Supports the
+ * RFC-4180 subset the project produces: comma separation, optional
+ * double-quote quoting with "" escapes, and one record per line.
+ */
+
+#ifndef DCBATT_UTIL_CSV_H_
+#define DCBATT_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcbatt::util {
+
+/** Writes rows to an output stream, quoting only when required. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    void writeRow(const std::vector<std::string> &fields);
+    /** Convenience for numeric rows; formatted with %.10g. */
+    void writeNumericRow(const std::vector<double> &values);
+
+  private:
+    std::ostream &out_;
+};
+
+/** Parse one CSV line into fields (handles quoted fields). */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/** Read all records from a stream; skips completely empty lines. */
+std::vector<std::vector<std::string>> readCsv(std::istream &in);
+
+/** Read a CSV file from disk; fatal() if the file cannot be opened. */
+std::vector<std::vector<std::string>> readCsvFile(const std::string &path);
+
+/** Write rows to a CSV file on disk; fatal() on I/O failure. */
+void writeCsvFile(const std::string &path,
+                  const std::vector<std::vector<std::string>> &rows);
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_CSV_H_

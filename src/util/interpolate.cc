@@ -1,0 +1,114 @@
+#include "util/interpolate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+namespace {
+
+void
+checkIncreasing(const std::vector<double> &axis, const char *what)
+{
+    if (axis.size() < 2)
+        panic(strf("%s: axis needs >= 2 samples", what));
+    for (size_t i = 1; i < axis.size(); ++i) {
+        if (axis[i] <= axis[i - 1])
+            panic(strf("%s: axis not strictly increasing at %zu", what, i));
+    }
+}
+
+} // namespace
+
+double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+size_t
+intervalIndex(const std::vector<double> &axis, double x)
+{
+    if (x <= axis.front())
+        return 0;
+    if (x >= axis[axis.size() - 2])
+        return axis.size() - 2;
+    auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    return static_cast<size_t>(it - axis.begin()) - 1;
+}
+
+Grid1D::Grid1D(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    checkIncreasing(xs_, "Grid1D");
+    if (ys_.size() != xs_.size())
+        panic("Grid1D: xs/ys size mismatch");
+}
+
+double
+Grid1D::operator()(double x) const
+{
+    if (x <= xs_.front())
+        return ys_.front();
+    if (x >= xs_.back())
+        return ys_.back();
+    size_t i = intervalIndex(xs_, x);
+    double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    return lerp(ys_[i], ys_[i + 1], t);
+}
+
+double
+Grid1D::invert(double y) const
+{
+    bool increasing = ys_.back() > ys_.front();
+    // Verify monotonicity once per call; the grids involved are tiny.
+    for (size_t i = 1; i < ys_.size(); ++i) {
+        bool step_up = ys_[i] > ys_[i - 1];
+        if (step_up != increasing)
+            panic("Grid1D::invert: values not strictly monotone");
+    }
+    double lo_val = increasing ? ys_.front() : ys_.back();
+    double hi_val = increasing ? ys_.back() : ys_.front();
+    if (y <= lo_val)
+        return increasing ? xs_.front() : xs_.back();
+    if (y >= hi_val)
+        return increasing ? xs_.back() : xs_.front();
+    for (size_t i = 1; i < ys_.size(); ++i) {
+        double a = ys_[i - 1], b = ys_[i];
+        bool inside = increasing ? (y >= a && y <= b)
+                                 : (y <= a && y >= b);
+        if (inside) {
+            double t = (y - a) / (b - a);
+            return lerp(xs_[i - 1], xs_[i], t);
+        }
+    }
+    return xs_.back(); // unreachable given the range checks above
+}
+
+Grid2D::Grid2D(std::vector<double> xs, std::vector<double> ys,
+               std::vector<double> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values))
+{
+    checkIncreasing(xs_, "Grid2D x");
+    checkIncreasing(ys_, "Grid2D y");
+    if (values_.size() != xs_.size() * ys_.size())
+        panic("Grid2D: values size != rows * cols");
+}
+
+double
+Grid2D::operator()(double x, double y) const
+{
+    double cx = std::clamp(x, xs_.front(), xs_.back());
+    double cy = std::clamp(y, ys_.front(), ys_.back());
+    size_t i = intervalIndex(xs_, cx);
+    size_t j = intervalIndex(ys_, cy);
+    double tx = (cx - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    double ty = (cy - ys_[j]) / (ys_[j + 1] - ys_[j]);
+    double v00 = at(i, j), v01 = at(i, j + 1);
+    double v10 = at(i + 1, j), v11 = at(i + 1, j + 1);
+    return lerp(lerp(v00, v01, ty), lerp(v10, v11, ty), tx);
+}
+
+} // namespace dcbatt::util

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interpolation helpers for tabulated models.
+ *
+ * The paper's charging-time data (Fig. 5) and SLA-current data
+ * (Fig. 9b) are tables; the simulation interpolates them linearly (the
+ * paper does the same: "by linearly interpolating the BBU charging time
+ * data in Fig. 5"). Grid1D/Grid2D provide clamped linear and bilinear
+ * interpolation over monotonically increasing axes.
+ */
+
+#ifndef DCBATT_UTIL_INTERPOLATE_H_
+#define DCBATT_UTIL_INTERPOLATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dcbatt::util {
+
+/**
+ * Piecewise-linear function on an increasing axis.
+ * Queries outside the axis range clamp to the end values.
+ */
+class Grid1D
+{
+  public:
+    Grid1D() = default;
+    /** @param xs strictly increasing sample positions.
+     *  @param ys values at those positions (same length, >= 2). */
+    Grid1D(std::vector<double> xs, std::vector<double> ys);
+
+    double operator()(double x) const;
+
+    /**
+     * Invert a monotone grid: find x with f(x) == y. Requires the ys
+     * to be strictly monotone (either direction). Clamped to the axis
+     * range when y is outside the value range.
+     */
+    double invert(double y) const;
+
+    const std::vector<double> &xs() const { return xs_; }
+    const std::vector<double> &ys() const { return ys_; }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/**
+ * Bilinear interpolation over a rectangular grid. Values are stored
+ * row-major: value(i, j) is at (xs[i], ys[j]). Queries clamp to the
+ * grid boundary.
+ */
+class Grid2D
+{
+  public:
+    Grid2D() = default;
+    Grid2D(std::vector<double> xs, std::vector<double> ys,
+           std::vector<double> values);
+
+    double operator()(double x, double y) const;
+
+    size_t rows() const { return xs_.size(); }
+    size_t cols() const { return ys_.size(); }
+    double at(size_t i, size_t j) const { return values_[i * cols() + j]; }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    std::vector<double> values_;
+};
+
+/** Index of the interval containing x in increasing axis (clamped). */
+size_t intervalIndex(const std::vector<double> &axis, double x);
+
+/** Scalar linear interpolation helper. */
+double lerp(double a, double b, double t);
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_INTERPOLATE_H_

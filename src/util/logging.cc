@@ -1,0 +1,80 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+namespace dcbatt::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+void
+emit(const char *prefix, std::string_view msg)
+{
+    std::cerr << prefix << msg << "\n";
+}
+
+} // namespace
+
+std::string
+strf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void
+debug(std::string_view msg)
+{
+    if (g_level <= LogLevel::Debug)
+        emit("debug: ", msg);
+}
+
+void
+inform(std::string_view msg)
+{
+    if (g_level <= LogLevel::Info)
+        emit("info: ", msg);
+}
+
+void
+warn(std::string_view msg)
+{
+    if (g_level <= LogLevel::Warn)
+        emit("warn: ", msg);
+}
+
+void
+fatal(std::string_view msg)
+{
+    emit("fatal: ", msg);
+    std::exit(1);
+}
+
+void
+panic(std::string_view msg)
+{
+    emit("panic: ", msg);
+    std::abort();
+}
+
+} // namespace dcbatt::util

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * Severity model follows gem5's logging conventions:
+ *  - inform(): normal operating status, no connotation of a problem.
+ *  - warn():   something is off but the run can continue.
+ *  - fatal():  the user asked for something impossible (bad config,
+ *              bad arguments); exits with status 1.
+ *  - panic():  an internal invariant is broken (a dcbatt bug); aborts.
+ */
+
+#ifndef DCBATT_UTIL_LOGGING_H_
+#define DCBATT_UTIL_LOGGING_H_
+
+#include <string>
+#include <string_view>
+
+namespace dcbatt::util {
+
+/** printf-style formatting into a std::string. */
+std::string strf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Log verbosity levels, ordered by increasing severity. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Set the minimum level that is actually emitted to stderr.
+ * Defaults to Info. Tests lower it to Error to keep output quiet.
+ */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit a debug-level message (suppressed by default). */
+void debug(std::string_view msg);
+/** Emit an informational status message. */
+void inform(std::string_view msg);
+/** Emit a warning; the simulation continues. */
+void warn(std::string_view msg);
+
+/** User error: print the message and exit(1). */
+[[noreturn]] void fatal(std::string_view msg);
+/** Internal invariant violation: print the message and abort(). */
+[[noreturn]] void panic(std::string_view msg);
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_LOGGING_H_

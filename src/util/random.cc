@@ -1,0 +1,69 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic(strf("Rng::exponential: nonpositive mean %g", mean));
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double
+Rng::truncatedNormal(double mean, double stddev, double lo, double hi)
+{
+    if (lo > hi)
+        panic("Rng::truncatedNormal: lo > hi");
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        double x = normal(mean, stddev);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    return std::clamp(mean, lo, hi);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream so that forked
+    // generators are independent but still fully determined by the
+    // original seed.
+    return Rng(engine_());
+}
+
+} // namespace dcbatt::util

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic random-number generation for the simulators.
+ *
+ * Every stochastic component takes an explicit Rng so experiments are
+ * reproducible from a seed. The distributions offered are exactly those
+ * the paper's models need: uniform, exponential (failure/repair/open-
+ * transition processes), and normal (annual-maintenance scheduling and
+ * trace noise).
+ */
+
+#ifndef DCBATT_UTIL_RANDOM_H_
+#define DCBATT_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dcbatt::util {
+
+/** Seeded pseudo-random generator with the distributions dcbatt uses. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+    /** Exponential with the given mean (not rate). */
+    double exponential(double mean);
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+    /**
+     * Normal truncated to [lo, hi] by resampling (up to a bounded
+     * number of attempts, then clamped). Used for annual-maintenance
+     * intervals, which must stay positive.
+     */
+    double truncatedNormal(double mean, double stddev, double lo,
+                           double hi);
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Fork an independent stream (stable given the parent's state). */
+    Rng fork();
+
+    /** Shuffle a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_RANDOM_H_

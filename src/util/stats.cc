@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        panic("percentile: empty sample");
+    if (p < 0.0 || p > 100.0)
+        panic(strf("percentile: p out of range: %g", p));
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo_idx = static_cast<size_t>(rank);
+    if (lo_idx >= values.size() - 1)
+        return values.back();
+    double frac = rank - static_cast<double>(lo_idx);
+    return values[lo_idx] + frac * (values[lo_idx + 1] - values[lo_idx]);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        panic("Histogram: invalid range or bin count");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<int64_t>(t * static_cast<double>(bins()));
+    idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(bins()) - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i)
+        / static_cast<double>(bins());
+}
+
+double
+Histogram::binHigh(size_t i) const
+{
+    return binLow(i + 1);
+}
+
+} // namespace dcbatt::util

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Summary statistics used by the benchmarks and the reliability
+ * simulator: streaming moments (Welford), percentiles, and a fixed-bin
+ * histogram.
+ */
+
+#ifndef DCBATT_UTIL_STATS_H_
+#define DCBATT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcbatt::util {
+
+/** Streaming count/mean/variance/min/max accumulator. */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void merge(const RunningStats &other);
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set with linear interpolation between order
+ * statistics. @param p in [0, 100]. The input is copied and sorted.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range values clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+    uint64_t binCount(size_t i) const { return counts_[i]; }
+    size_t bins() const { return counts_.size(); }
+    double binLow(size_t i) const;
+    double binHigh(size_t i) const;
+    uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_STATS_H_

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses. Each bench binary
+ * prints the paper's tables/series as aligned text so the reproduction
+ * can be compared against the paper by eye.
+ */
+
+#ifndef DCBATT_UTIL_TEXT_TABLE_H_
+#define DCBATT_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dcbatt::util {
+
+/** Simple column-aligned text table with an optional header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header = {});
+
+    void addRow(std::vector<std::string> row);
+
+    /** Render with columns padded to the widest cell. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_TEXT_TABLE_H_

@@ -1,0 +1,111 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dcbatt::util {
+
+size_t
+TimeSeries::indexAt(Seconds t) const
+{
+    if (empty())
+        panic("TimeSeries::indexAt on empty series");
+    double raw = (t - start_) / step_;
+    if (raw <= 0.0)
+        return 0;
+    auto idx = static_cast<size_t>(raw);
+    return std::min(idx, size() - 1);
+}
+
+double
+TimeSeries::sample(Seconds t) const
+{
+    return values_[indexAt(t)];
+}
+
+double
+TimeSeries::maxValue() const
+{
+    if (empty())
+        panic("TimeSeries::maxValue on empty series");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+double
+TimeSeries::minValue() const
+{
+    if (empty())
+        panic("TimeSeries::minValue on empty series");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+size_t
+TimeSeries::argMax() const
+{
+    if (empty())
+        panic("TimeSeries::argMax on empty series");
+    auto it = std::max_element(values_.begin(), values_.end());
+    return static_cast<size_t>(it - values_.begin());
+}
+
+double
+TimeSeries::mean() const
+{
+    if (empty())
+        return 0.0;
+    double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+    return sum / static_cast<double>(size());
+}
+
+double
+TimeSeries::integral() const
+{
+    double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+    return sum * step_.value();
+}
+
+TimeSeries &
+TimeSeries::operator+=(const TimeSeries &other)
+{
+    if (size() != other.size() || std::abs((step_ - other.step_).value())
+        > 1e-9 || std::abs((start_ - other.start_).value()) > 1e-9) {
+        panic("TimeSeries::operator+=: incompatible series");
+    }
+    for (size_t i = 0; i < size(); ++i)
+        values_[i] += other.values_[i];
+    return *this;
+}
+
+TimeSeries
+TimeSeries::slice(size_t from, size_t to) const
+{
+    if (from > to || to > size())
+        panic(strf("TimeSeries::slice: bad range [%zu, %zu)", from, to));
+    TimeSeries out(timeAt(from), step_);
+    out.values_.assign(values_.begin() + static_cast<ptrdiff_t>(from),
+                       values_.begin() + static_cast<ptrdiff_t>(to));
+    return out;
+}
+
+TimeSeries
+TimeSeries::downsample(size_t factor) const
+{
+    if (factor == 0)
+        panic("TimeSeries::downsample: zero factor");
+    TimeSeries out(start_, step_ * static_cast<double>(factor));
+    for (size_t i = 0; i < size(); i += factor) {
+        size_t hi = std::min(i + factor, size());
+        double sum = std::accumulate(values_.begin()
+                                         + static_cast<ptrdiff_t>(i),
+                                     values_.begin()
+                                         + static_cast<ptrdiff_t>(hi),
+                                     0.0);
+        out.append(sum / static_cast<double>(hi - i));
+    }
+    return out;
+}
+
+} // namespace dcbatt::util

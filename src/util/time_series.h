@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Uniformly sampled time series.
+ *
+ * Power traces, recharge-power curves, and benchmark outputs are all
+ * fixed-step series (the production traces in the paper are sampled at
+ * 3 s). TimeSeries stores a start time, a step, and the samples, and
+ * offers zero-order-hold sampling, peak search, integration, and
+ * element-wise combination.
+ */
+
+#ifndef DCBATT_UTIL_TIME_SERIES_H_
+#define DCBATT_UTIL_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dcbatt::util {
+
+/** Fixed-step sampled series of doubles indexed by Seconds. */
+class TimeSeries
+{
+  public:
+    TimeSeries() : start_(0.0), step_(1.0) {}
+    TimeSeries(Seconds start, Seconds step) : start_(start), step_(step) {}
+    TimeSeries(Seconds start, Seconds step, std::vector<double> values)
+        : start_(start), step_(step), values_(std::move(values)) {}
+
+    void append(double v) { values_.push_back(v); }
+
+    size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    Seconds start() const { return start_; }
+    Seconds step() const { return step_; }
+    Seconds end() const
+    {
+        return start_ + step_ * static_cast<double>(size());
+    }
+
+    double operator[](size_t i) const { return values_[i]; }
+    double &operator[](size_t i) { return values_[i]; }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Time of sample i. */
+    Seconds timeAt(size_t i) const
+    {
+        return start_ + step_ * static_cast<double>(i);
+    }
+
+    /**
+     * Zero-order-hold sample at time t: the value of the most recent
+     * sample at or before t. Clamps to the first/last sample outside
+     * the series range.
+     */
+    double sample(Seconds t) const;
+
+    /** Index of the sample covering time t (clamped). */
+    size_t indexAt(Seconds t) const;
+
+    double maxValue() const;
+    double minValue() const;
+    /** Index of the maximum value (first occurrence). */
+    size_t argMax() const;
+    double mean() const;
+
+    /** Integral of the series (sum * step), e.g. watts -> joules. */
+    double integral() const;
+
+    /** Element-wise sum; series must share start/step/size. */
+    TimeSeries &operator+=(const TimeSeries &other);
+
+    /** Contiguous slice [from, to) by sample index. */
+    TimeSeries slice(size_t from, size_t to) const;
+
+    /**
+     * Downsample by integer factor, averaging each group of samples.
+     * A trailing partial group is averaged over its actual length.
+     */
+    TimeSeries downsample(size_t factor) const;
+
+  private:
+    Seconds start_;
+    Seconds step_;
+    std::vector<double> values_;
+};
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_TIME_SERIES_H_

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Strong-typed physical quantities used throughout dcbatt.
+ *
+ * The simulator mixes electrical (volts, amperes), energetic (watts,
+ * joules, coulombs) and temporal quantities. Mixing them up silently is
+ * the classic failure mode of power-modelling code, so each carries its
+ * own type. Only the physically meaningful cross products are defined
+ * (e.g. Volts * Amperes = Watts); everything else is a compile error.
+ *
+ * This is deliberately not a general dimensional-analysis library: the
+ * handful of units below cover the whole project, and an explicit list
+ * of conversions is easier to audit than a template metaprogram.
+ */
+
+#ifndef DCBATT_UTIL_UNITS_H_
+#define DCBATT_UTIL_UNITS_H_
+
+#include <compare>
+#include <cmath>
+
+namespace dcbatt::util {
+
+/**
+ * Strong numeric wrapper parameterized by a tag type.
+ *
+ * Supports the closed arithmetic of a one-dimensional vector space:
+ * addition/subtraction with the same unit, scaling by dimensionless
+ * doubles, and ordering. Construction from a raw double is explicit.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** Underlying value in the unit's base scale (SI). */
+    constexpr double value() const { return value_; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+    constexpr Quantity operator+(Quantity other) const
+    {
+        return Quantity(value_ + other.value_);
+    }
+    constexpr Quantity operator-(Quantity other) const
+    {
+        return Quantity(value_ - other.value_);
+    }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator*(double scale) const
+    {
+        return Quantity(value_ * scale);
+    }
+    constexpr Quantity operator/(double scale) const
+    {
+        return Quantity(value_ / scale);
+    }
+    /** Ratio of two like quantities is dimensionless. */
+    constexpr double operator/(Quantity other) const
+    {
+        return value_ / other.value_;
+    }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double scale, Quantity<Tag> q)
+{
+    return q * scale;
+}
+
+/** Electrical power in watts. */
+using Watts = Quantity<struct WattsTag>;
+/** Energy in joules. */
+using Joules = Quantity<struct JoulesTag>;
+/** Electrical current in amperes. */
+using Amperes = Quantity<struct AmperesTag>;
+/** Electrical potential in volts. */
+using Volts = Quantity<struct VoltsTag>;
+/** Electrical charge in coulombs. */
+using Coulombs = Quantity<struct CoulombsTag>;
+/** Physical duration in seconds (simulation ticks live in sim/). */
+using Seconds = Quantity<struct SecondsTag>;
+
+// Scale helpers. Base scale is always SI; these exist so call sites can
+// say megawatts(2.5) instead of Watts(2.5e6).
+constexpr Watts kilowatts(double kw) { return Watts(kw * 1e3); }
+constexpr Watts megawatts(double mw) { return Watts(mw * 1e6); }
+constexpr double toKilowatts(Watts w) { return w.value() / 1e3; }
+constexpr double toMegawatts(Watts w) { return w.value() / 1e6; }
+constexpr Joules kilojoules(double kj) { return Joules(kj * 1e3); }
+constexpr double toKilojoules(Joules j) { return j.value() / 1e3; }
+constexpr Seconds minutes(double m) { return Seconds(m * 60.0); }
+constexpr Seconds hours(double h) { return Seconds(h * 3600.0); }
+constexpr double toMinutes(Seconds s) { return s.value() / 60.0; }
+constexpr double toHours(Seconds s) { return s.value() / 3600.0; }
+
+// Physically meaningful cross products.
+constexpr Watts operator*(Volts v, Amperes i)
+{
+    return Watts(v.value() * i.value());
+}
+constexpr Watts operator*(Amperes i, Volts v) { return v * i; }
+constexpr Joules operator*(Watts p, Seconds t)
+{
+    return Joules(p.value() * t.value());
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Coulombs operator*(Amperes i, Seconds t)
+{
+    return Coulombs(i.value() * t.value());
+}
+constexpr Coulombs operator*(Seconds t, Amperes i) { return i * t; }
+constexpr Seconds operator/(Joules e, Watts p)
+{
+    return Seconds(e.value() / p.value());
+}
+constexpr Watts operator/(Joules e, Seconds t)
+{
+    return Watts(e.value() / t.value());
+}
+constexpr Seconds operator/(Coulombs q, Amperes i)
+{
+    return Seconds(q.value() / i.value());
+}
+constexpr Amperes operator/(Coulombs q, Seconds t)
+{
+    return Amperes(q.value() / t.value());
+}
+constexpr Coulombs operator/(Joules e, Volts v)
+{
+    return Coulombs(e.value() / v.value());
+}
+constexpr Amperes operator/(Watts p, Volts v)
+{
+    return Amperes(p.value() / v.value());
+}
+constexpr Volts operator/(Watts p, Amperes i)
+{
+    return Volts(p.value() / i.value());
+}
+
+/** Clamp a quantity into [lo, hi]. */
+template <typename Tag>
+constexpr Quantity<Tag>
+clamp(Quantity<Tag> q, Quantity<Tag> lo, Quantity<Tag> hi)
+{
+    if (q < lo) return lo;
+    if (q > hi) return hi;
+    return q;
+}
+
+template <typename Tag>
+constexpr Quantity<Tag>
+min(Quantity<Tag> a, Quantity<Tag> b)
+{
+    return a < b ? a : b;
+}
+
+template <typename Tag>
+constexpr Quantity<Tag>
+max(Quantity<Tag> a, Quantity<Tag> b)
+{
+    return a > b ? a : b;
+}
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_UNITS_H_

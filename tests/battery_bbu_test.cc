@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests of the dynamic BBU model: state machine, discharge accounting,
+ * CC-CV stepping, override semantics, and exact agreement with the
+ * closed-form charge-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/bbu.h"
+#include "battery/charge_time_model.h"
+
+namespace dcbatt::battery {
+namespace {
+
+using util::Amperes;
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+TEST(Bbu, StartsFullyCharged)
+{
+    BbuModel bbu;
+    EXPECT_EQ(bbu.state(), BbuState::FullyCharged);
+    EXPECT_DOUBLE_EQ(bbu.dod(), 0.0);
+    EXPECT_DOUBLE_EQ(bbu.chargingCurrent().value(), 0.0);
+    EXPECT_DOUBLE_EQ(bbu.inputPower().value(), 0.0);
+}
+
+TEST(Bbu, StateNames)
+{
+    EXPECT_STREQ(toString(BbuState::FullyCharged), "fully_charged");
+    EXPECT_STREQ(toString(BbuState::Discharging), "discharging");
+    EXPECT_STREQ(toString(BbuState::FullyDischarged),
+                 "fully_discharged");
+    EXPECT_STREQ(toString(BbuState::Charging), "charging");
+}
+
+TEST(Bbu, DischargeTracksDod)
+{
+    BbuModel bbu;
+    // Paper footnote: 3,300 W for 90 s == 100% DOD.
+    Joules delivered = bbu.discharge(Watts(3300.0), Seconds(45.0));
+    EXPECT_EQ(bbu.state(), BbuState::Discharging);
+    EXPECT_NEAR(bbu.dod(), 0.5, 1e-9);
+    EXPECT_NEAR(delivered.value(), 3300.0 * 45.0, 1e-6);
+}
+
+TEST(Bbu, FullDischargeInNinetySecondsAtRatedPower)
+{
+    BbuModel bbu;
+    bbu.discharge(Watts(3300.0), Seconds(90.0));
+    EXPECT_EQ(bbu.state(), BbuState::FullyDischarged);
+    EXPECT_DOUBLE_EQ(bbu.dod(), 1.0);
+}
+
+TEST(Bbu, DischargeBeyondCapacityDeliversPartial)
+{
+    BbuModel bbu;
+    Joules delivered = bbu.discharge(Watts(3300.0), Seconds(120.0));
+    EXPECT_EQ(bbu.state(), BbuState::FullyDischarged);
+    EXPECT_NEAR(delivered.value(), 297000.0, 1e-6);
+    // Further discharge delivers nothing.
+    EXPECT_DOUBLE_EQ(bbu.discharge(Watts(100.0), Seconds(1.0)).value(),
+                     0.0);
+}
+
+TEST(Bbu, ZeroPowerDischargeIsNoop)
+{
+    BbuModel bbu;
+    EXPECT_DOUBLE_EQ(bbu.discharge(Watts(0.0), Seconds(10.0)).value(),
+                     0.0);
+    EXPECT_EQ(bbu.state(), BbuState::FullyCharged);
+}
+
+TEST(BbuDeathTest, NegativeDischargePanics)
+{
+    BbuModel bbu;
+    EXPECT_DEATH(bbu.discharge(Watts(-1.0), Seconds(1.0)), "negative");
+}
+
+TEST(Bbu, StartChargingOnFullPackIsNoop)
+{
+    BbuModel bbu;
+    bbu.startCharging(Amperes(5.0));
+    EXPECT_EQ(bbu.state(), BbuState::FullyCharged);
+}
+
+TEST(Bbu, SetpointClampedToHardwareRange)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.5);
+    bbu.startCharging(Amperes(9.0));
+    EXPECT_DOUBLE_EQ(bbu.setpoint().value(), 5.0);
+    bbu.setSetpoint(Amperes(0.2));
+    EXPECT_DOUBLE_EQ(bbu.setpoint().value(), 1.0);
+}
+
+TEST(Bbu, DeepDischargeStartsInCcPhase)
+{
+    BbuModel bbu;
+    bbu.forceDod(1.0);
+    bbu.startCharging(Amperes(5.0));
+    EXPECT_TRUE(bbu.charging());
+    EXPECT_FALSE(bbu.inCvPhase());
+    EXPECT_DOUBLE_EQ(bbu.chargingCurrent().value(), 5.0);
+}
+
+TEST(Bbu, ShallowDischargeStartsInCvPhase)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.05);
+    bbu.startCharging(Amperes(5.0));
+    EXPECT_TRUE(bbu.inCvPhase());
+}
+
+TEST(Bbu, InitialChargePowerIs260WattsAtFullDod)
+{
+    // Paper Fig. 3/4: initial charging power ~260 W at 5 A.
+    BbuModel bbu;
+    bbu.forceDod(1.0);
+    bbu.startCharging(Amperes(5.0));
+    EXPECT_NEAR(bbu.inputPower().value(), 260.0, 5.0);
+}
+
+TEST(Bbu, VoltageRisesThroughCcAndHoldsInCv)
+{
+    BbuModel bbu;
+    bbu.forceDod(1.0);
+    bbu.startCharging(Amperes(5.0));
+    double v0 = bbu.terminalVoltage().value();
+    EXPECT_NEAR(v0, 42.6, 0.1);
+    bbu.step(Seconds(600.0));
+    double v_mid = bbu.terminalVoltage().value();
+    EXPECT_GT(v_mid, v0);
+    EXPECT_LT(v_mid, 52.1);
+    // Run into CV.
+    while (!bbu.inCvPhase() && !bbu.fullyCharged())
+        bbu.step(Seconds(10.0));
+    EXPECT_NEAR(bbu.terminalVoltage().value(), 52.5, 1e-9);
+}
+
+TEST(Bbu, CvCurrentDecaysExponentially)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.05);
+    bbu.startCharging(Amperes(5.0));
+    ASSERT_TRUE(bbu.inCvPhase());
+    double i0 = bbu.chargingCurrent().value();
+    EXPECT_DOUBLE_EQ(i0, 5.0);
+    bbu.step(Seconds(373.0));  // one time constant
+    EXPECT_NEAR(bbu.chargingCurrent().value(), 5.0 / std::exp(1.0),
+                0.02);
+}
+
+TEST(Bbu, ChargingCompletesAtCutoff)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.3);
+    bbu.startCharging(Amperes(2.0));
+    for (int i = 0; i < 10000 && !bbu.fullyCharged(); ++i)
+        bbu.step(Seconds(1.0));
+    EXPECT_TRUE(bbu.fullyCharged());
+    EXPECT_DOUBLE_EQ(bbu.dod(), 0.0);
+    EXPECT_DOUBLE_EQ(bbu.chargingCurrent().value(), 0.0);
+}
+
+TEST(Bbu, DischargeDuringChargingRestartsCleanly)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.6);
+    bbu.startCharging(Amperes(3.0));
+    bbu.step(Seconds(300.0));
+    double dod_mid = bbu.dod();
+    EXPECT_LT(dod_mid, 0.6);
+    // A second open transition hits mid-charge.
+    bbu.discharge(Watts(2000.0), Seconds(30.0));
+    EXPECT_EQ(bbu.state(), BbuState::Discharging);
+    EXPECT_GT(bbu.dod(), dod_mid);
+    bbu.startCharging(Amperes(5.0));
+    EXPECT_TRUE(bbu.charging());
+}
+
+TEST(Bbu, ResetRestoresFullCharge)
+{
+    BbuModel bbu;
+    bbu.forceDod(0.8);
+    bbu.reset();
+    EXPECT_TRUE(bbu.fullyCharged());
+    EXPECT_DOUBLE_EQ(bbu.dod(), 0.0);
+}
+
+TEST(BbuDeathTest, ForceDodRejectsOutOfRange)
+{
+    BbuModel bbu;
+    EXPECT_DEATH(bbu.forceDod(-0.1), "bad DOD");
+    EXPECT_DEATH(bbu.forceDod(1.5), "bad DOD");
+}
+
+TEST(Bbu, StepWhileIdleIsNoop)
+{
+    BbuModel bbu;
+    bbu.step(Seconds(100.0));
+    EXPECT_TRUE(bbu.fullyCharged());
+    bbu.forceDod(0.5);  // Discharging state, not charging
+    bbu.step(Seconds(100.0));
+    EXPECT_NEAR(bbu.dod(), 0.5, 1e-12);
+}
+
+// --- agreement with the closed form --------------------------------
+
+struct AgreementCase
+{
+    double dod;
+    double amps;
+};
+
+class BbuAgreementTest : public ::testing::TestWithParam<AgreementCase>
+{
+};
+
+TEST_P(BbuAgreementTest, SteppedTimeMatchesClosedForm)
+{
+    auto [dod, amps] = GetParam();
+    ChargeTimeModel model;
+    BbuModel bbu;
+    bbu.forceDod(dod);
+    bbu.startCharging(Amperes(amps));
+    double elapsed = 0.0;
+    const double dt = 1.0;
+    while (!bbu.fullyCharged() && elapsed < 4.0 * 3600.0) {
+        bbu.step(Seconds(dt));
+        elapsed += dt;
+    }
+    ASSERT_TRUE(bbu.fullyCharged());
+    double expected = model.chargeTime(dod, Amperes(amps)).value();
+    EXPECT_NEAR(elapsed, expected, 2.0 * dt)
+        << "dod=" << dod << " amps=" << amps;
+}
+
+TEST_P(BbuAgreementTest, EnergyConservationInCc)
+{
+    auto [dod, amps] = GetParam();
+    ChargeTimeModel model;
+    double cc_s = model.ccDuration(dod, Amperes(amps)).value();
+    if (cc_s < 60.0)
+        return;  // pure-CV cases have no CC charge to check
+    BbuModel bbu;
+    bbu.forceDod(dod);
+    bbu.startCharging(Amperes(amps));
+    bbu.step(Seconds(cc_s / 2.0));
+    // Charge delivered at constant current for cc_s/2 seconds.
+    double delivered_c = amps * cc_s / 2.0;
+    double expected_dod = dod
+        - delivered_c / bbu.params().refillCharge.value();
+    EXPECT_NEAR(bbu.dod(), expected_dod, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BbuAgreementTest,
+    ::testing::Values(AgreementCase{1.0, 5.0}, AgreementCase{1.0, 1.0},
+                      AgreementCase{0.7, 3.2}, AgreementCase{0.5, 2.0},
+                      AgreementCase{0.3, 2.0}, AgreementCase{0.1, 5.0},
+                      AgreementCase{0.05, 1.0},
+                      AgreementCase{0.9, 4.5}),
+    [](const ::testing::TestParamInfo<AgreementCase> &info) {
+        return "dod" + std::to_string(int(info.param.dod * 100))
+            + "_amps" + std::to_string(int(info.param.amps * 10));
+    });
+
+} // namespace
+} // namespace dcbatt::battery

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests of the closed-form CC-CV charge-time model, including the
+ * paper-pinned calibration points and property sweeps over the whole
+ * (DOD, current) grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/charge_time_model.h"
+#include "util/units.h"
+
+namespace dcbatt::battery {
+namespace {
+
+using util::Amperes;
+using util::Seconds;
+using util::minutes;
+using util::toMinutes;
+
+class ChargeTimeModelTest : public ::testing::Test
+{
+  protected:
+    ChargeTimeModel model_;
+};
+
+// --- paper calibration points -------------------------------------
+
+TEST_F(ChargeTimeModelTest, FullChargeAtFiveAmpsTakes36Minutes)
+{
+    // Fig. 3: the entire charging sequence completes in ~36 minutes.
+    EXPECT_NEAR(toMinutes(model_.chargeTime(1.0, Amperes(5.0))), 36.0,
+                0.5);
+}
+
+TEST_F(ChargeTimeModelTest, CcPhaseAtFiveAmpsTakes20Minutes)
+{
+    // Fig. 3: CC at 5 A up to 52 V takes about 20 minutes.
+    EXPECT_NEAR(toMinutes(model_.ccDuration(1.0, Amperes(5.0))), 20.0,
+                0.6);
+}
+
+TEST_F(ChargeTimeModelTest, WorstCaseWithinOriginal45MinuteBound)
+{
+    // "the worst-case charge time for the original 5A charger is
+    // within 45 minutes"
+    EXPECT_LT(toMinutes(model_.chargeTime(1.0, Amperes(5.0))), 45.0);
+}
+
+TEST_F(ChargeTimeModelTest, FlatThresholdAtFiveAmpsIs22Percent)
+{
+    // "charging time remains constant below a certain DOD (for
+    // example, below 22% DOD)"
+    EXPECT_NEAR(model_.flatDodThreshold(Amperes(5.0)), 0.22, 0.005);
+}
+
+TEST_F(ChargeTimeModelTest, OneAmpIsConsiderablySlower)
+{
+    // Fig. 5: 1 A "has a considerably high charging time".
+    EXPECT_GT(toMinutes(model_.chargeTime(1.0, Amperes(1.0))), 100.0);
+}
+
+TEST_F(ChargeTimeModelTest, HalfDischargeAtTwoAmpsWithin45Minutes)
+{
+    // "if the BBU was less than 50% discharged, a 2A charging current
+    // would suffice to charge it back at around the same time"
+    double t = toMinutes(model_.chargeTime(0.5, Amperes(2.0)));
+    EXPECT_LT(t, 45.0);
+    EXPECT_GT(t, 30.0);
+}
+
+TEST_F(ChargeTimeModelTest, CvDecayMatchesPaperExponent)
+{
+    // The paper fits the CV power as 1.9*e^{-0.18 t} kW (t in
+    // minutes); our tau must give an exponent near 0.18/min.
+    double tau_min = model_.params().cvTimeConstant.value() / 60.0;
+    EXPECT_NEAR(1.0 / tau_min, 0.18, 0.03);
+}
+
+// --- structural properties ----------------------------------------
+
+TEST_F(ChargeTimeModelTest, CvDurationIndependentOfDod)
+{
+    // "the difference in time spent in the CV phase, for different
+    // DOD, is small" — in the model it is exactly zero.
+    Seconds cv = model_.cvDuration(Amperes(3.0));
+    EXPECT_GT(cv.value(), 0.0);
+    for (double dod : {0.1, 0.5, 1.0}) {
+        Seconds total = model_.chargeTime(dod, Amperes(3.0));
+        Seconds cc = model_.ccDuration(dod, Amperes(3.0));
+        EXPECT_NEAR((total - cc).value(), cv.value(), 1e-9) << dod;
+    }
+}
+
+TEST_F(ChargeTimeModelTest, FlatBelowThreshold)
+{
+    for (double amps : {1.0, 2.0, 3.0, 5.0}) {
+        double threshold = model_.flatDodThreshold(Amperes(amps));
+        Seconds at_threshold =
+            model_.chargeTime(threshold, Amperes(amps));
+        Seconds below = model_.chargeTime(threshold * 0.3,
+                                          Amperes(amps));
+        EXPECT_NEAR(at_threshold.value(), below.value(), 1e-9) << amps;
+    }
+}
+
+TEST_F(ChargeTimeModelTest, ZeroDodStillPaysCvTime)
+{
+    // The charger walks the full CV tail even for a shallow discharge
+    // (this is the paper's observed behaviour of the real hardware).
+    EXPECT_NEAR(model_.chargeTime(0.0, Amperes(5.0)).value(),
+                model_.cvDuration(Amperes(5.0)).value(), 1e-9);
+}
+
+TEST_F(ChargeTimeModelTest, CurrentForDeadlineExactlyMeets)
+{
+    for (double dod : {0.4, 0.6, 0.8, 1.0}) {
+        auto current = model_.currentForDeadline(dod, minutes(40.0));
+        ASSERT_TRUE(current.has_value()) << dod;
+        EXPECT_LE(model_.chargeTime(dod, *current).value(),
+                  minutes(40.0).value() + 1.0)
+            << dod;
+    }
+}
+
+TEST_F(ChargeTimeModelTest, CurrentForDeadlineUnattainable)
+{
+    // 100% DOD cannot be charged in 30 minutes even at 5 A (the
+    // hardware limitation the paper acknowledges for P1 racks).
+    EXPECT_FALSE(
+        model_.currentForDeadline(1.0, minutes(30.0)).has_value());
+}
+
+TEST_F(ChargeTimeModelTest, CurrentForDeadlineReturnsMinWhenEasy)
+{
+    auto current = model_.currentForDeadline(0.05, minutes(90.0));
+    ASSERT_TRUE(current.has_value());
+    EXPECT_DOUBLE_EQ(current->value(),
+                     model_.params().minCurrent.value());
+}
+
+TEST_F(ChargeTimeModelTest, LabTableMatchesModelOnGridPoints)
+{
+    util::Grid2D table = model_.defaultLabTable();
+    EXPECT_NEAR(table(1.0, 5.0),
+                model_.chargeTime(1.0, Amperes(5.0)).value(), 1e-9);
+    EXPECT_NEAR(table(0.5, 2.0),
+                model_.chargeTime(0.5, Amperes(2.0)).value(), 1e-9);
+}
+
+TEST_F(ChargeTimeModelTest, LabTableInterpolatesBetweenPoints)
+{
+    util::Grid2D table = model_.labTable({0.2, 0.8}, {2.0, 4.0});
+    double interp = table(0.5, 3.0);
+    double lo = model_.chargeTime(0.2, Amperes(2.0)).value();
+    double hi = model_.chargeTime(0.8, Amperes(4.0)).value();
+    EXPECT_GT(interp, std::min(lo, hi));
+    EXPECT_LT(interp, std::max(lo, hi));
+}
+
+TEST_F(ChargeTimeModelTest, DeathOnBadInputs)
+{
+    EXPECT_DEATH(model_.chargeTime(-0.1, Amperes(3.0)), "DOD");
+    EXPECT_DEATH(model_.chargeTime(1.1, Amperes(3.0)), "DOD");
+    EXPECT_DEATH(model_.chargeTime(0.5, Amperes(0.2)), "cutoff");
+}
+
+// --- property sweep over the full grid -----------------------------
+
+struct GridPoint
+{
+    double dod;
+    double amps;
+};
+
+class ChargeTimeGridTest : public ::testing::TestWithParam<GridPoint>
+{
+  protected:
+    ChargeTimeModel model_;
+};
+
+TEST_P(ChargeTimeGridTest, MonotoneIncreasingInDod)
+{
+    auto [dod, amps] = GetParam();
+    if (dod <= 0.02)
+        return;
+    Seconds lower = model_.chargeTime(dod - 0.02, Amperes(amps));
+    Seconds here = model_.chargeTime(dod, Amperes(amps));
+    EXPECT_GE(here.value() + 1e-9, lower.value());
+}
+
+TEST_P(ChargeTimeGridTest, CcPlusCvDecomposition)
+{
+    auto [dod, amps] = GetParam();
+    Seconds total = model_.chargeTime(dod, Amperes(amps));
+    Seconds parts = model_.ccDuration(dod, Amperes(amps))
+        + model_.cvDuration(Amperes(amps));
+    EXPECT_NEAR(total.value(), parts.value(), 1e-9);
+}
+
+TEST_P(ChargeTimeGridTest, HigherCurrentNeverSlowerAboveFlatRegion)
+{
+    auto [dod, amps] = GetParam();
+    if (amps >= 5.0)
+        return;
+    // Above both currents' flat regions, more current is faster.
+    double threshold = model_.flatDodThreshold(Amperes(amps + 0.5));
+    if (dod <= threshold)
+        return;
+    Seconds here = model_.chargeTime(dod, Amperes(amps));
+    Seconds faster = model_.chargeTime(dod, Amperes(amps + 0.5));
+    EXPECT_LE(faster.value(), here.value() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChargeTimeGridTest,
+    ::testing::ValuesIn([] {
+        std::vector<GridPoint> points;
+        for (double dod = 0.05; dod <= 1.0; dod += 0.19) {
+            for (double amps = 1.0; amps <= 5.0; amps += 1.0)
+                points.push_back({dod, amps});
+        }
+        return points;
+    }()),
+    [](const ::testing::TestParamInfo<GridPoint> &info) {
+        return "dod" + std::to_string(int(info.param.dod * 100))
+            + "_amps" + std::to_string(int(info.param.amps * 10));
+    });
+
+} // namespace
+} // namespace dcbatt::battery

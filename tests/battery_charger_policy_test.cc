@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests of the local charger policies (original 5 A and Eq. 1), and
+ * the variable charger's key guarantees: power reduction at shallow
+ * DOD and the 45-minute worst-case recharge bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/charge_time_model.h"
+#include "battery/charger_policy.h"
+
+namespace dcbatt::battery {
+namespace {
+
+using util::Amperes;
+
+TEST(OriginalCharger, AlwaysMaximumCurrent)
+{
+    OriginalChargerPolicy policy;
+    for (double dod : {0.0, 0.1, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(policy.initialCurrent(dod).value(), 5.0) << dod;
+    EXPECT_EQ(policy.name(), "original-5A");
+}
+
+TEST(VariableCharger, Equation1BelowHalf)
+{
+    VariableChargerPolicy policy;
+    // I_C = 2 if DOD < 50%.
+    for (double dod : {0.0, 0.2, 0.49})
+        EXPECT_DOUBLE_EQ(policy.initialCurrent(dod).value(), 2.0) << dod;
+}
+
+TEST(VariableCharger, Equation1LinearAboveHalf)
+{
+    VariableChargerPolicy policy;
+    // I_C = 2 + (DOD - 0.5) * 6 if DOD >= 50%.
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(0.5).value(), 2.0);
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(0.6).value(), 2.6);
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(0.75).value(), 3.5);
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(1.0).value(), 5.0);
+    EXPECT_EQ(policy.name(), "variable");
+}
+
+TEST(VariableCharger, MonotoneNondecreasingInDod)
+{
+    VariableChargerPolicy policy;
+    double prev = 0.0;
+    for (double dod = 0.0; dod <= 1.0; dod += 0.01) {
+        double amps = policy.initialCurrent(dod).value();
+        EXPECT_GE(amps, prev);
+        prev = amps;
+    }
+}
+
+TEST(VariableCharger, ReducesRechargePowerBy60PercentAtShallowDod)
+{
+    // "The recharge power is decreased by as much as 60% (if DOD is
+    // less than 50%)": 2 A vs 5 A is exactly a 60% reduction in CC
+    // power.
+    VariableChargerPolicy variable;
+    OriginalChargerPolicy original;
+    double ratio = variable.initialCurrent(0.3).value()
+        / original.initialCurrent(0.3).value();
+    EXPECT_NEAR(1.0 - ratio, 0.6, 1e-12);
+}
+
+TEST(VariableCharger, AlwaysChargesWithin45Minutes)
+{
+    // The design objective of the variable charger: for every DOD the
+    // selected current charges the battery within the 45-minute bound
+    // of the original charger.
+    VariableChargerPolicy policy;
+    ChargeTimeModel model;
+    for (double dod = 0.0; dod <= 1.0; dod += 0.005) {
+        Amperes amps = policy.initialCurrent(dod);
+        double minutes = util::toMinutes(model.chargeTime(dod, amps));
+        EXPECT_LE(minutes, 45.0) << "dod=" << dod;
+    }
+}
+
+TEST(ChargerFactories, ProduceCorrectTypes)
+{
+    auto original = makeOriginalCharger();
+    auto variable = makeVariableCharger();
+    EXPECT_EQ(original->name(), "original-5A");
+    EXPECT_EQ(variable->name(), "variable");
+    EXPECT_DOUBLE_EQ(original->initialCurrent(0.1).value(), 5.0);
+    EXPECT_DOUBLE_EQ(variable->initialCurrent(0.1).value(), 2.0);
+}
+
+TEST(VariableCharger, CustomParamsRespectFloorAndMax)
+{
+    BbuParams params;
+    params.variableFloorCurrent = Amperes(1.5);
+    params.maxCurrent = Amperes(4.0);
+    VariableChargerPolicy policy(params);
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(0.2).value(), 1.5);
+    EXPECT_DOUBLE_EQ(policy.initialCurrent(1.0).value(), 4.0);
+}
+
+} // namespace
+} // namespace dcbatt::battery

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests of the 6-BBU rack power shelf: load sharing, discharge,
+ * charging orchestration, overrides, and BBU failure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/power_shelf.h"
+
+namespace dcbatt::battery {
+namespace {
+
+using util::Amperes;
+using util::Seconds;
+using util::Watts;
+
+PowerShelf
+makeShelf(bool variable = true)
+{
+    return PowerShelf(variable ? makeVariableCharger()
+                               : makeOriginalCharger());
+}
+
+TEST(PowerShelf, InitialState)
+{
+    PowerShelf shelf = makeShelf();
+    EXPECT_TRUE(shelf.inputPowerOn());
+    EXPECT_TRUE(shelf.fullyCharged());
+    EXPECT_FALSE(shelf.anyCharging());
+    EXPECT_EQ(shelf.bbuCount(), 6);
+    EXPECT_DOUBLE_EQ(shelf.rechargePower().value(), 0.0);
+    EXPECT_DOUBLE_EQ(shelf.maxDod(), 0.0);
+    EXPECT_TRUE(shelf.canCarryLoad());
+}
+
+TEST(PowerShelf, LoadSharedAcrossSixBbus)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    // 6 kW rack for 60 s: each BBU sees 1 kW for 60 s = 60 kJ
+    // = 60/297 of full DOD.
+    Watts carried = shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    EXPECT_NEAR(carried.value(), 6000.0, 1.0);
+    EXPECT_NEAR(shelf.meanDod(), 60.0 / 297.0, 1e-6);
+    EXPECT_NEAR(shelf.maxDod(), shelf.meanDod(), 1e-9);
+}
+
+TEST(PowerShelf, RestoreStartsChargingAtPolicyCurrent)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));  // ~20% DOD
+    shelf.restoreInputPower();
+    EXPECT_EQ(shelf.chargingCount(), 6);
+    // Variable charger: DOD < 50% => 2 A.
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 2.0);
+}
+
+TEST(PowerShelf, OriginalChargerRestoresAtFiveAmps)
+{
+    PowerShelf shelf = makeShelf(false);
+    shelf.loseInputPower();
+    shelf.step(Seconds(10.0), util::kilowatts(6.0));
+    shelf.restoreInputPower();
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 5.0);
+}
+
+TEST(PowerShelf, RackCcPowerMatchesPaperAtFiveAmps)
+{
+    // "The initial recharge power for a rack can be up to 1.9 kW".
+    PowerShelf shelf = makeShelf(false);
+    shelf.loseInputPower();
+    // Deep discharge at rated power.
+    shelf.step(Seconds(85.0), Watts(3300.0 * 6.0));
+    shelf.restoreInputPower();
+    // Step to mid-CC where voltage approaches the CC end value.
+    shelf.step(Seconds(15.0 * 60.0), Watts(0.0));
+    EXPECT_GT(shelf.rechargePower().value(), 1700.0);
+    EXPECT_LT(shelf.rechargePower().value(), 1950.0);
+}
+
+TEST(PowerShelf, FullyChargesAfterRestore)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(45.0), util::kilowatts(6.0));
+    shelf.restoreInputPower();
+    for (int i = 0; i < 7200 && !shelf.fullyCharged(); ++i)
+        shelf.step(Seconds(1.0), util::kilowatts(6.0));
+    EXPECT_TRUE(shelf.fullyCharged());
+    EXPECT_DOUBLE_EQ(shelf.rechargePower().value(), 0.0);
+}
+
+TEST(PowerShelf, OverrideAppliesToChargingBbus)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    shelf.restoreInputPower();
+    shelf.setOverride(Amperes(1.0));
+    EXPECT_TRUE(shelf.overrideActive());
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 1.0);
+}
+
+TEST(PowerShelf, OverrideClampedToHardwareRange)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    shelf.restoreInputPower();
+    shelf.setOverride(Amperes(0.1));
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 1.0);
+    shelf.setOverride(Amperes(99.0));
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 5.0);
+}
+
+TEST(PowerShelf, OverrideBeforeRestoreAppliesAtChargeStart)
+{
+    // "Also applies to BBUs that *start* charging later while the
+    // override is active."
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    shelf.setOverride(Amperes(1.5));
+    shelf.restoreInputPower();
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 1.5);
+}
+
+TEST(PowerShelf, ClearOverrideRestoresPolicyForNewStarts)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    shelf.setOverride(Amperes(1.0));
+    shelf.clearOverride();
+    EXPECT_FALSE(shelf.overrideActive());
+    shelf.restoreInputPower();
+    EXPECT_DOUBLE_EQ(shelf.chargeSetpoint().value(), 2.0);
+}
+
+TEST(PowerShelf, BatteriesRunOutCausesBrownout)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    // 12 kW rack: each BBU at 2 kW, runtime = 297 kJ / 2 kW = 148.5 s.
+    Watts carried(0.0);
+    for (int i = 0; i < 150; ++i)
+        carried = shelf.step(Seconds(1.0), util::kilowatts(12.0));
+    EXPECT_LT(carried.value(), 12000.0);
+    EXPECT_FALSE(shelf.canCarryLoad());
+    EXPECT_DOUBLE_EQ(shelf.maxDod(), 1.0);
+}
+
+TEST(PowerShelf, PerBbuDischargeRatingRespected)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.loseInputPower();
+    // 60 kW rack demand: each BBU would see 10 kW but is limited to
+    // its 3.3 kW rating; the carried power reflects the brown-out.
+    Watts carried = shelf.step(Seconds(1.0), util::kilowatts(60.0));
+    EXPECT_NEAR(carried.value(), 6.0 * 3300.0, 1.0);
+}
+
+TEST(PowerShelf, FailedBbuDropsFromSharing)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.failBbu(0);
+    EXPECT_FALSE(shelf.bbuHealthy(0));
+    shelf.loseInputPower();
+    shelf.step(Seconds(60.0), util::kilowatts(6.0));
+    // Zone 0 has 2 healthy BBUs sharing 3 kW: 1.5 kW each; zone 1 has
+    // 3 sharing: 1 kW each. DODs differ accordingly.
+    EXPECT_NEAR(shelf.bbu(1).dod(), 1.5 * 60.0 / 297.0, 1e-6);
+    EXPECT_NEAR(shelf.bbu(3).dod(), 1.0 * 60.0 / 297.0, 1e-6);
+    // Failed BBU untouched.
+    EXPECT_DOUBLE_EQ(shelf.bbu(0).dod(), 0.0);
+}
+
+TEST(PowerShelf, ZoneWithAllBbusFailedCannotCarry)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.failBbu(0);
+    shelf.failBbu(1);
+    shelf.failBbu(2);
+    shelf.loseInputPower();
+    EXPECT_FALSE(shelf.canCarryLoad());
+    Watts carried = shelf.step(Seconds(1.0), util::kilowatts(6.0));
+    // Only zone 1's half of the load is carried.
+    EXPECT_NEAR(carried.value(), 3000.0, 1.0);
+}
+
+TEST(PowerShelf, RepairRestoresBbu)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.failBbu(2);
+    shelf.repairBbu(2);
+    EXPECT_TRUE(shelf.bbuHealthy(2));
+    EXPECT_TRUE(shelf.bbu(2).fullyCharged());
+}
+
+TEST(PowerShelfDeathTest, NullPolicyPanics)
+{
+    EXPECT_DEATH(PowerShelf(nullptr), "null charger policy");
+}
+
+TEST(PowerShelfDeathTest, BadGeometryPanics)
+{
+    BbuParams params;
+    params.bbusPerRack = 5;  // not divisible by 2 zones
+    EXPECT_DEATH(PowerShelf(makeVariableCharger(), params),
+                 "geometry");
+}
+
+TEST(PowerShelf, ForceUniformDod)
+{
+    PowerShelf shelf = makeShelf();
+    shelf.forceUniformDod(0.42);
+    EXPECT_NEAR(shelf.meanDod(), 0.42, 1e-12);
+    EXPECT_NEAR(shelf.maxDod(), 0.42, 1e-12);
+}
+
+} // namespace
+} // namespace dcbatt::battery

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Integration tests of the charging-event engine: full trace replay +
+ * open transition + control plane, on a reduced fleet for speed. The
+ * 316-rack paper-scale checks live in integration_paper_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_generator.h"
+
+namespace dcbatt::core {
+namespace {
+
+using power::Priority;
+using util::Seconds;
+using util::Watts;
+
+class ChargingEventTest : public ::testing::Test
+{
+  protected:
+    static const trace::TraceSet &
+    traces()
+    {
+        static trace::TraceSet set = [] {
+            trace::TraceGenSpec spec;
+            spec.rackCount = 48;
+            spec.startTime = util::hours(10.0);
+            spec.duration = util::hours(7.0);
+            spec.step = Seconds(3.0);
+            spec.aggregateMean = util::kilowatts(300.0);
+            spec.aggregateAmplitude = util::kilowatts(15.0);
+            spec.priorities = priorities();
+            return trace::generateTraces(spec);
+        }();
+        return set;
+    }
+
+    static std::vector<Priority>
+    priorities()
+    {
+        return power::makePriorityMix(16, 16, 16);
+    }
+
+    static ChargingEventConfig
+    baseConfig()
+    {
+        ChargingEventConfig config;
+        config.priorities = priorities();
+        config.msbLimit = util::kilowatts(360.0);
+        config.targetMeanDod = 0.5;
+        config.postEventDuration = util::hours(2.0);
+        return config;
+    }
+};
+
+TEST_F(ChargingEventTest, MeanDodLandsOnTarget)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::VariableLocal;
+    auto result = runChargingEvent(config, traces());
+    EXPECT_NEAR(result.meanInitialDod, 0.5, 0.05);
+}
+
+TEST_F(ChargingEventTest, ExplicitOtLengthRespected)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::VariableLocal;
+    config.openTransitionLength = Seconds(45.0);
+    auto result = runChargingEvent(config, traces());
+    EXPECT_DOUBLE_EQ(result.otLength.value(), 45.0);
+    // 45 s at ~6 kW mean rack load: DOD ~= 45 * 6250 / 1782000.
+    EXPECT_NEAR(result.meanInitialDod, 0.16, 0.05);
+}
+
+TEST_F(ChargingEventTest, PowerDipsDuringOtThenSpikes)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::OriginalLocal;
+    config.msbLimit = util::kilowatts(1000.0);  // unconstrained
+    auto result = runChargingEvent(config, traces());
+    size_t during_ot = result.msbPower.indexAt(
+        result.otStart + result.otLength * 0.5);
+    EXPECT_NEAR(result.msbPower[during_ot], 0.0, 1.0);
+    // After restore, power exceeds IT alone: recharge spike.
+    size_t after = result.msbPower.indexAt(result.chargeStart
+                                           + Seconds(60.0));
+    EXPECT_GT(result.msbPower[after], result.itPower[after] + 10e3);
+}
+
+TEST_F(ChargingEventTest, OriginalChargerSpikesHardestAndCaps)
+{
+    ChargingEventConfig original = baseConfig();
+    original.policy = PolicyKind::OriginalLocal;
+    auto orig = runChargingEvent(original, traces());
+
+    ChargingEventConfig variable = baseConfig();
+    variable.policy = PolicyKind::VariableLocal;
+    auto vari = runChargingEvent(variable, traces());
+
+    // Original charger: every rack at 5 A -> much bigger spike.
+    EXPECT_GT(orig.maxCap.value(), vari.maxCap.value());
+    EXPECT_GT(orig.maxCap.value(), 0.0);
+    EXPECT_GT(orig.peakPower.value(), 0.9 * orig.limit.value());
+}
+
+TEST_F(ChargingEventTest, CoordinatedPoliciesAvoidCapping)
+{
+    for (PolicyKind kind :
+         {PolicyKind::GlobalRate, PolicyKind::PriorityAware}) {
+        ChargingEventConfig config = baseConfig();
+        config.policy = kind;
+        auto result = runChargingEvent(config, traces());
+        EXPECT_DOUBLE_EQ(result.maxCap.value(), 0.0)
+            << toString(kind);
+        EXPECT_FALSE(result.breakerTripped) << toString(kind);
+    }
+}
+
+TEST_F(ChargingEventTest, PriorityAwareMeetsAllP1WithModerateBudget)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::PriorityAware;
+    auto result = runChargingEvent(config, traces());
+    EXPECT_EQ(result.racksByPriority[0], 16);
+    EXPECT_EQ(result.slaMetByPriority[0], result.racksByPriority[0]);
+    // P3's 90-minute SLA is satisfiable at the floor for DOD ~0.5.
+    EXPECT_EQ(result.slaMetByPriority[2], result.racksByPriority[2]);
+}
+
+TEST_F(ChargingEventTest, PriorityAwareBeatsGlobalOnP1)
+{
+    // Tight budget: global spreads current evenly and starves P1.
+    ChargingEventConfig pa = baseConfig();
+    pa.msbLimit = util::kilowatts(345.0);
+    pa.policy = PolicyKind::PriorityAware;
+    auto pa_result = runChargingEvent(pa, traces());
+
+    ChargingEventConfig global = pa;
+    global.policy = PolicyKind::GlobalRate;
+    auto global_result = runChargingEvent(global, traces());
+
+    EXPECT_GE(pa_result.slaMetByPriority[0],
+              global_result.slaMetByPriority[0]);
+    EXPECT_GT(pa_result.slaMetByPriority[0], 0);
+}
+
+TEST_F(ChargingEventTest, RacksChargeToCompletion)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::VariableLocal;
+    auto result = runChargingEvent(config, traces());
+    for (const RackOutcome &outcome : result.racks) {
+        ASSERT_TRUE(outcome.chargeDuration.has_value())
+            << outcome.rackId;
+        // Variable charger bound: everything within 45 minutes plus
+        // sampling slack.
+        EXPECT_LE(util::toMinutes(*outcome.chargeDuration), 46.0);
+    }
+}
+
+TEST_F(ChargingEventTest, SlaAccountingConsistent)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::PriorityAware;
+    auto result = runChargingEvent(config, traces());
+    std::array<int, 3> met{0, 0, 0};
+    std::array<int, 3> total{0, 0, 0};
+    for (const RackOutcome &outcome : result.racks) {
+        int pri = power::priorityIndex(outcome.priority);
+        ++total[static_cast<size_t>(pri)];
+        if (outcome.slaMet)
+            ++met[static_cast<size_t>(pri)];
+        if (outcome.slaMet) {
+            EXPECT_LE(outcome.chargeDuration->value(),
+                      config.slaTable.chargeTimeSla(outcome.priority)
+                          .value());
+        }
+    }
+    EXPECT_EQ(met, result.slaMetByPriority);
+    EXPECT_EQ(total, result.racksByPriority);
+    EXPECT_EQ(result.slaMetTotal(), met[0] + met[1] + met[2]);
+}
+
+TEST_F(ChargingEventTest, HighDischargeDeepensDod)
+{
+    ChargingEventConfig low = baseConfig();
+    low.policy = PolicyKind::VariableLocal;
+    low.targetMeanDod = 0.3;
+    ChargingEventConfig high = low;
+    high.targetMeanDod = 0.7;
+    auto low_result = runChargingEvent(low, traces());
+    auto high_result = runChargingEvent(high, traces());
+    EXPECT_NEAR(low_result.meanInitialDod, 0.3, 0.05);
+    EXPECT_NEAR(high_result.meanInitialDod, 0.7, 0.07);
+    EXPECT_GT(high_result.otLength.value(),
+              low_result.otLength.value());
+}
+
+TEST_F(ChargingEventTest, PolicyNames)
+{
+    EXPECT_STREQ(toString(PolicyKind::OriginalLocal), "original-5A");
+    EXPECT_STREQ(toString(PolicyKind::VariableLocal), "variable");
+    EXPECT_STREQ(toString(PolicyKind::GlobalRate), "global");
+    EXPECT_STREQ(toString(PolicyKind::PriorityAware),
+                 "priority-aware");
+}
+
+TEST_F(ChargingEventTest, WindowOutsideTraceIsFatal)
+{
+    ChargingEventConfig config = baseConfig();
+    config.postEventDuration = util::hours(200.0);
+    EXPECT_EXIT(runChargingEvent(config, traces()),
+                testing::ExitedWithCode(1), "outside trace");
+}
+
+} // namespace
+} // namespace dcbatt::core

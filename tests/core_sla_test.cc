@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the SLA table (Table II) and the SLA-current calculator
+ * (Fig. 9b), including the paper's prototype data point: at <5% DOD
+ * the SLA current is 2 A for P1 racks and 1 A for P2/P3 racks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sla.h"
+#include "core/sla_current.h"
+
+namespace dcbatt::core {
+namespace {
+
+using power::Priority;
+using util::Amperes;
+using util::minutes;
+using util::toMinutes;
+
+TEST(SlaTable, PaperDefaultsMatchTableII)
+{
+    SlaTable table = SlaTable::paperDefault();
+    EXPECT_DOUBLE_EQ(table.targetAor(Priority::P1), 0.9994);
+    EXPECT_DOUBLE_EQ(table.targetAor(Priority::P2), 0.9990);
+    EXPECT_DOUBLE_EQ(table.targetAor(Priority::P3), 0.9985);
+    EXPECT_DOUBLE_EQ(toMinutes(table.chargeTimeSla(Priority::P1)),
+                     30.0);
+    EXPECT_DOUBLE_EQ(toMinutes(table.chargeTimeSla(Priority::P2)),
+                     60.0);
+    EXPECT_DOUBLE_EQ(toMinutes(table.chargeTimeSla(Priority::P3)),
+                     90.0);
+}
+
+TEST(SlaTable, LossOfRedundancyMatchesTableII)
+{
+    // Table II column 3: 5.26 / 8.76 / 13.14 hours per year.
+    SlaTable table = SlaTable::paperDefault();
+    EXPECT_NEAR(table.lossOfRedundancyHoursPerYear(Priority::P1), 5.26,
+                0.01);
+    EXPECT_NEAR(table.lossOfRedundancyHoursPerYear(Priority::P2), 8.76,
+                0.01);
+    EXPECT_NEAR(table.lossOfRedundancyHoursPerYear(Priority::P3),
+                13.14, 0.01);
+}
+
+TEST(SlaTable, CustomEntries)
+{
+    SlaTable table(std::array<SlaEntry, 3>{
+        SlaEntry{0.99, minutes(10.0)},
+        SlaEntry{0.98, minutes(20.0)},
+        SlaEntry{0.97, minutes(40.0)},
+    });
+    EXPECT_DOUBLE_EQ(toMinutes(table.chargeTimeSla(Priority::P3)),
+                     40.0);
+    EXPECT_DOUBLE_EQ(table.targetAor(Priority::P1), 0.99);
+}
+
+class SlaCurrentTest : public ::testing::Test
+{
+  protected:
+    SlaCurrentTest()
+        : calc_(battery::ChargeTimeModel(), SlaTable::paperDefault())
+    {
+    }
+
+    SlaCurrentCalculator calc_;
+};
+
+TEST_F(SlaCurrentTest, PrototypeDataPoint)
+{
+    // Fig. 10: at <5% DOD, "2 A for P1 racks and 1 A for P2 and P3
+    // racks (from Fig. 9(b))".
+    EXPECT_DOUBLE_EQ(calc_.requiredCurrent(0.04, Priority::P1).value(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(calc_.requiredCurrent(0.04, Priority::P2).value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(calc_.requiredCurrent(0.04, Priority::P3).value(),
+                     1.0);
+}
+
+TEST_F(SlaCurrentTest, MonotoneNondecreasingInDod)
+{
+    for (Priority p : power::kAllPriorities) {
+        double prev = 0.0;
+        for (double dod = 0.0; dod <= 1.0; dod += 0.02) {
+            double amps = calc_.requiredCurrent(dod, p).value();
+            EXPECT_GE(amps + 1e-9, prev)
+                << toString(p) << " dod=" << dod;
+            prev = amps;
+        }
+    }
+}
+
+TEST_F(SlaCurrentTest, HigherPriorityNeedsAtLeastAsMuchCurrent)
+{
+    for (double dod = 0.0; dod <= 1.0; dod += 0.05) {
+        double p1 = calc_.requiredCurrent(dod, Priority::P1).value();
+        double p2 = calc_.requiredCurrent(dod, Priority::P2).value();
+        double p3 = calc_.requiredCurrent(dod, Priority::P3).value();
+        EXPECT_GE(p1 + 1e-9, p2) << dod;
+        EXPECT_GE(p2 + 1e-9, p3) << dod;
+    }
+}
+
+TEST_F(SlaCurrentTest, GrantedCurrentActuallyMeetsSla)
+{
+    battery::ChargeTimeModel model;
+    SlaTable table = SlaTable::paperDefault();
+    for (Priority p : power::kAllPriorities) {
+        for (double dod = 0.05; dod <= 1.0; dod += 0.05) {
+            if (!calc_.attainable(dod, p))
+                continue;
+            Amperes amps = calc_.requiredCurrent(dod, p);
+            double charge_time =
+                model.chargeTime(dod, amps).value();
+            EXPECT_LE(charge_time, table.chargeTimeSla(p).value() + 1.0)
+                << toString(p) << " dod=" << dod;
+        }
+    }
+}
+
+TEST_F(SlaCurrentTest, UnattainableSlaSaturatesAtMax)
+{
+    // Full discharge cannot meet P1's 30-minute SLA; the calculator
+    // returns the hardware maximum (the paper's acknowledged limit).
+    EXPECT_FALSE(calc_.attainable(1.0, Priority::P1));
+    EXPECT_DOUBLE_EQ(calc_.requiredCurrent(1.0, Priority::P1).value(),
+                     5.0);
+}
+
+TEST_F(SlaCurrentTest, MaxAttainableDodOrdering)
+{
+    double p1 = calc_.maxAttainableDod(Priority::P1);
+    double p2 = calc_.maxAttainableDod(Priority::P2);
+    double p3 = calc_.maxAttainableDod(Priority::P3);
+    EXPECT_LT(p1, 1.0);       // P1's 30-min SLA saturates first
+    EXPECT_GT(p1, 0.5);
+    EXPECT_DOUBLE_EQ(p2, 1.0);
+    EXPECT_DOUBLE_EQ(p3, 1.0);
+}
+
+TEST_F(SlaCurrentTest, FloorsConfigurable)
+{
+    calc_.setFloor(Priority::P3, Amperes(1.8));
+    EXPECT_DOUBLE_EQ(calc_.requiredCurrent(0.01, Priority::P3).value(),
+                     1.8);
+    EXPECT_DOUBLE_EQ(calc_.floor(Priority::P3).value(), 1.8);
+}
+
+TEST_F(SlaCurrentTest, LatencyMarginTightensCurrent)
+{
+    SlaCurrentCalculator no_margin(battery::ChargeTimeModel(),
+                                   SlaTable::paperDefault());
+    no_margin.setCommandLatencyMargin(util::Seconds(0.0));
+    SlaCurrentCalculator big_margin(battery::ChargeTimeModel(),
+                                    SlaTable::paperDefault());
+    big_margin.setCommandLatencyMargin(minutes(5.0));
+    double relaxed =
+        no_margin.requiredCurrent(0.6, Priority::P1).value();
+    double tight =
+        big_margin.requiredCurrent(0.6, Priority::P1).value();
+    EXPECT_GT(tight, relaxed);
+}
+
+} // namespace
+} // namespace dcbatt::core

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests of the Dynamo control plane: agents (actuation lag, dedup),
+ * the capping engine (priority order, ledger semantics), and the
+ * breaker controller's escalation ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/local_coordinator.h"
+
+#include "util/logging.h"
+#include "dynamo/agent.h"
+#include "dynamo/capping.h"
+#include "dynamo/controller.h"
+#include "power/topology.h"
+
+namespace dcbatt::dynamo {
+namespace {
+
+using power::Priority;
+using power::Rack;
+using util::Amperes;
+using util::Seconds;
+using util::Watts;
+using util::kilowatts;
+
+class AgentTest : public ::testing::Test
+{
+  protected:
+    AgentTest()
+        : rack_(0, "r0", Priority::P2, battery::makeVariableCharger()),
+          agent_(rack_, queue_, Seconds(20.0))
+    {
+        rack_.setItDemand(kilowatts(6.0));
+    }
+
+    void
+    dischargeAndRestore(double seconds = 60.0)
+    {
+        rack_.loseInputPower();
+        rack_.step(Seconds(seconds));
+        rack_.restoreInputPower();
+    }
+
+    sim::EventQueue queue_;
+    Rack rack_;
+    RackAgent agent_;
+};
+
+TEST_F(AgentTest, ReadPaths)
+{
+    EXPECT_DOUBLE_EQ(agent_.readItLoad().value(), 6000.0);
+    EXPECT_TRUE(agent_.inputPowerOn());
+    EXPECT_FALSE(agent_.charging());
+    dischargeAndRestore();
+    EXPECT_TRUE(agent_.charging());
+    EXPECT_GT(agent_.readRechargePower().value(), 0.0);
+    EXPECT_GT(agent_.readInputPower().value(), 6000.0);
+    EXPECT_DOUBLE_EQ(agent_.readSetpoint().value(), 2.0);
+}
+
+TEST_F(AgentTest, OverrideTakesEffectAfterActuationLag)
+{
+    dischargeAndRestore();
+    agent_.commandOverride(Amperes(1.0));
+    // Not yet: 10 s in.
+    queue_.runUntil(sim::toTicks(Seconds(10.0)));
+    EXPECT_DOUBLE_EQ(agent_.readSetpoint().value(), 2.0);
+    // After the 20 s lag (Fig. 11).
+    queue_.runUntil(sim::toTicks(Seconds(21.0)));
+    EXPECT_DOUBLE_EQ(agent_.readSetpoint().value(), 1.0);
+    EXPECT_DOUBLE_EQ(agent_.lastCommanded().value(), 1.0);
+}
+
+TEST_F(AgentTest, DuplicateCommandsSuppressed)
+{
+    dischargeAndRestore();
+    agent_.commandOverride(Amperes(3.0));
+    size_t pending_after_first = queue_.pendingCount();
+    agent_.commandOverride(Amperes(3.0));
+    EXPECT_EQ(queue_.pendingCount(), pending_after_first);
+    agent_.commandOverride(Amperes(4.0));
+    EXPECT_EQ(queue_.pendingCount(), pending_after_first + 1);
+}
+
+TEST_F(AgentTest, ClearOverrideImmediate)
+{
+    dischargeAndRestore();
+    agent_.commandOverride(Amperes(1.0));
+    queue_.runUntil(sim::toTicks(Seconds(25.0)));
+    agent_.clearOverride();
+    EXPECT_DOUBLE_EQ(agent_.lastCommanded().value(), 0.0);
+    EXPECT_FALSE(rack_.shelf().overrideActive());
+}
+
+TEST_F(AgentTest, CapCommands)
+{
+    agent_.commandCap(kilowatts(1.0));
+    EXPECT_DOUBLE_EQ(rack_.itLoad().value(), 5000.0);
+    agent_.commandUncap();
+    EXPECT_DOUBLE_EQ(rack_.itLoad().value(), 6000.0);
+}
+
+// --- capping engine -------------------------------------------------
+
+class CappingTest : public ::testing::Test
+{
+  protected:
+    CappingTest()
+    {
+        // Two racks of each priority, 6 kW demand each.
+        for (int i = 0; i < 6; ++i) {
+            racks_.push_back(std::make_unique<Rack>(
+                i, util::strf("r%d", i),
+                static_cast<Priority>(i / 2),
+                battery::makeVariableCharger()));
+            racks_.back()->setItDemand(kilowatts(6.0));
+            agents_.push_back(std::make_unique<RackAgent>(
+                *racks_.back(), queue_));
+            ptrs_.push_back(agents_.back().get());
+        }
+    }
+
+    Watts
+    capOf(int rack)
+    {
+        return racks_[static_cast<size_t>(rack)]->capAmount();
+    }
+
+    sim::EventQueue queue_;
+    std::vector<std::unique_ptr<Rack>> racks_;
+    std::vector<std::unique_ptr<RackAgent>> agents_;
+    std::vector<RackAgent *> ptrs_;
+    CappingEngine engine_;
+};
+
+TEST_F(CappingTest, LowPriorityCappedFirst)
+{
+    // 3 kW reduction fits entirely in the two P3 racks (4.8 kW room).
+    Watts applied = engine_.applyReduction(ptrs_, kilowatts(3.0));
+    EXPECT_NEAR(applied.value(), 3000.0, 1.0);
+    EXPECT_NEAR(capOf(4).value(), 1500.0, 1.0);
+    EXPECT_NEAR(capOf(5).value(), 1500.0, 1.0);
+    EXPECT_DOUBLE_EQ(capOf(0).value(), 0.0);
+    EXPECT_DOUBLE_EQ(capOf(2).value(), 0.0);
+}
+
+TEST_F(CappingTest, SpillsUpThePriorityLadder)
+{
+    // 40% max cap => each rack can shed 2.4 kW; P3 pair sheds 4.8,
+    // P2 pair sheds 4.8, remaining 0.4 comes from P1.
+    Watts applied = engine_.applyReduction(ptrs_, kilowatts(10.0));
+    EXPECT_NEAR(applied.value(), 10000.0, 1.0);
+    EXPECT_NEAR(capOf(4).value(), 2400.0, 1.0);
+    EXPECT_NEAR(capOf(2).value(), 2400.0, 1.0);
+    EXPECT_NEAR(capOf(0).value(), 200.0, 1.0);
+}
+
+TEST_F(CappingTest, FloorLimitsTotalReduction)
+{
+    // Total cappable = 6 racks * 2.4 kW = 14.4 kW.
+    Watts applied = engine_.applyReduction(ptrs_, kilowatts(50.0));
+    EXPECT_NEAR(applied.value(), 14400.0, 1.0);
+    EXPECT_NEAR(engine_.totalCap().value(), 14400.0, 1.0);
+}
+
+TEST_F(CappingTest, ZeroReductionIsNoop)
+{
+    EXPECT_DOUBLE_EQ(
+        engine_.applyReduction(ptrs_, Watts(0.0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        engine_.applyReduction(ptrs_, Watts(-10.0)).value(), 0.0);
+}
+
+TEST_F(CappingTest, ReleaseHighestPriorityFirst)
+{
+    engine_.applyReduction(ptrs_, kilowatts(10.0));
+    Watts released = engine_.release(ptrs_, kilowatts(1.0));
+    EXPECT_NEAR(released.value(), 1000.0, 1.0);
+    // P1 rack 0 had 200 W, released first; remainder from rack 1.
+    EXPECT_DOUBLE_EQ(capOf(0).value(), 0.0);
+    EXPECT_NEAR(capOf(1).value(), 0.0, 1.0);
+    // P3 still fully capped.
+    EXPECT_NEAR(capOf(4).value(), 2400.0, 1.0);
+}
+
+TEST_F(CappingTest, ReleaseOnlyOwnLedger)
+{
+    // A cap imposed by somebody else must survive this engine's
+    // release pass.
+    racks_[4]->setCapAmount(kilowatts(2.0));
+    Watts released = engine_.release(ptrs_, kilowatts(5.0));
+    EXPECT_DOUBLE_EQ(released.value(), 0.0);
+    EXPECT_DOUBLE_EQ(capOf(4).value(), 2000.0);
+}
+
+TEST_F(CappingTest, ReleaseAllClearsOwnCapsOnly)
+{
+    engine_.applyReduction(ptrs_, kilowatts(3.0));
+    racks_[0]->setCapAmount(kilowatts(1.0));  // foreign cap
+    engine_.releaseAll(ptrs_);
+    EXPECT_DOUBLE_EQ(engine_.totalCap().value(), 0.0);
+    EXPECT_DOUBLE_EQ(capOf(4).value(), 0.0);
+    EXPECT_DOUBLE_EQ(capOf(0).value(), 1000.0);
+    EXPECT_DOUBLE_EQ(CappingEngine::fleetCap(ptrs_).value(), 1000.0);
+}
+
+// --- breaker controller ---------------------------------------------
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest()
+    {
+        power::TopologySpec spec;
+        spec.rootKind = power::NodeKind::Rpp;
+        spec.racksPerRpp = 4;
+        spec.rppLimit = kilowatts(30.0);
+        spec.priorities = {Priority::P1, Priority::P2, Priority::P3,
+                           Priority::P3};
+        topo_ = std::make_unique<power::Topology>(power::Topology::build(
+            spec, battery::makeOriginalCharger()));
+        for (Rack *rack : topo_->racks())
+            rack->setItDemand(kilowatts(6.0));
+    }
+
+    std::unique_ptr<power::Topology> topo_;
+    sim::EventQueue queue_;
+};
+
+TEST_F(ControllerTest, CapsOnOverloadWithoutCoordinator)
+{
+    core::LocalOnlyCoordinator coordinator;
+    ControlPlane plane(*topo_, topo_->root(), queue_, &coordinator);
+    EXPECT_EQ(plane.controllers().size(), 1u);
+
+    // Force a discharge/recharge cycle: 4 racks * ~1.9 kW recharge
+    // pushes the 24 kW IT load over the 30 kW RPP limit.
+    power::Topology::startOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(60.0));
+    power::Topology::endOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(1.0));
+    ASSERT_GT(topo_->root().inputPower().value(), 30e3);
+
+    plane.tickAll();
+    EXPECT_GT(plane.totalCap().value(), 0.0);
+    EXPECT_LE(topo_->root().inputPower().value(), 30e3 + 1.0);
+    EXPECT_GT(plane.rootController().maxCapObserved().value(), 0.0);
+    EXPECT_TRUE(plane.rootController().chargingEventActive());
+}
+
+TEST_F(ControllerTest, ReleasesCapsWhenHeadroomReturns)
+{
+    core::LocalOnlyCoordinator coordinator;
+    ControlPlane plane(*topo_, topo_->root(), queue_, &coordinator);
+    power::Topology::startOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(60.0));
+    power::Topology::endOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(1.0));
+    plane.tickAll();
+    ASSERT_GT(plane.totalCap().value(), 0.0);
+
+    // Let charging finish (power drops), then tick again: the caps
+    // must be released.
+    for (int i = 0; i < 4800; ++i)
+        topo_->stepRacks(Seconds(1.0));
+    queue_.runUntil(queue_.now() + sim::toTicks(Seconds(1.0)));
+    plane.tickAll();
+    EXPECT_DOUBLE_EQ(plane.totalCap().value(), 0.0);
+}
+
+TEST_F(ControllerTest, ChargingEventLifecycle)
+{
+    core::LocalOnlyCoordinator coordinator;
+    ControlPlane plane(*topo_, topo_->root(), queue_, &coordinator);
+    EXPECT_FALSE(plane.rootController().chargingEventActive());
+    EXPECT_EQ(plane.rootController().chargingEventCount(), 0);
+
+    power::Topology::startOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(30.0));
+    power::Topology::endOpenTransition(topo_->root());
+    plane.tickAll();
+    EXPECT_TRUE(plane.rootController().chargingEventActive());
+    EXPECT_EQ(plane.rootController().chargingEventCount(), 1);
+
+    // Finish the charge; the event must close.
+    for (int i = 0; i < 4800; ++i)
+        topo_->stepRacks(Seconds(1.0));
+    plane.tickAll();
+    EXPECT_FALSE(plane.rootController().chargingEventActive());
+}
+
+TEST_F(ControllerTest, PeriodicTickViaQueue)
+{
+    core::LocalOnlyCoordinator coordinator;
+    ControllerConfig config;
+    config.tickPeriod = Seconds(3.0);
+    ControlPlane plane(*topo_, topo_->root(), queue_, &coordinator,
+                       config);
+    plane.start();
+    power::Topology::startOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(60.0));
+    power::Topology::endOpenTransition(topo_->root());
+    topo_->stepRacks(Seconds(1.0));
+    queue_.runUntil(sim::toTicks(Seconds(4.0)));
+    EXPECT_GT(plane.totalCap().value(), 0.0);
+    plane.stop();
+}
+
+TEST_F(ControllerTest, AgentLookup)
+{
+    core::LocalOnlyCoordinator coordinator;
+    ControlPlane plane(*topo_, topo_->root(), queue_, &coordinator);
+    EXPECT_EQ(plane.agentFor(2).rackId(), 2);
+    EXPECT_EQ(plane.agents().size(), 4u);
+}
+
+} // namespace
+} // namespace dcbatt::dynamo

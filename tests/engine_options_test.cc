@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the charging-event engine's configuration surface:
+ * explicit event times, physics-step convergence, deep-discharge
+ * outage flags, controller cadence, and custom SLA tables flowing
+ * through to outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_generator.h"
+
+namespace dcbatt::core {
+namespace {
+
+using power::Priority;
+using util::Seconds;
+
+const trace::TraceSet &
+traces()
+{
+    static const trace::TraceSet set = [] {
+        trace::TraceGenSpec spec;
+        spec.rackCount = 24;
+        spec.startTime = util::hours(8.0);
+        spec.duration = util::hours(10.0);
+        spec.aggregateMean = util::kilowatts(150.0);
+        spec.aggregateAmplitude = util::kilowatts(8.0);
+        spec.priorities = power::makePriorityMix(8, 8, 8);
+        return trace::generateTraces(spec);
+    }();
+    return set;
+}
+
+ChargingEventConfig
+baseConfig()
+{
+    ChargingEventConfig config;
+    config.policy = PolicyKind::VariableLocal;
+    config.msbLimit = util::kilowatts(250.0);
+    config.priorities = power::makePriorityMix(8, 8, 8);
+    config.postEventDuration = util::hours(1.5);
+    return config;
+}
+
+TEST(EngineOptions, ExplicitEventTimeMovesTheTransition)
+{
+    ChargingEventConfig config = baseConfig();
+    config.eventTime = util::hours(9.0);
+    config.openTransitionLength = Seconds(60.0);
+    auto result = runChargingEvent(config, traces());
+    // Sim time 0 is eventTime - preEventDuration, so the OT starts
+    // exactly at the lead-in mark.
+    EXPECT_NEAR(result.otStart.value(),
+                config.preEventDuration.value(), 1.5);
+
+    ChargingEventConfig late = config;
+    late.eventTime = util::hours(16.0);
+    auto late_result = runChargingEvent(late, traces());
+    // Different time of day, different IT level at the event.
+    EXPECT_NE(result.itPower.sample(result.otStart - Seconds(30.0)),
+              late_result.itPower.sample(late_result.otStart
+                                         - Seconds(30.0)));
+}
+
+TEST(EngineOptions, PhysicsStepConverges)
+{
+    ChargingEventConfig coarse = baseConfig();
+    coarse.eventTime = util::hours(12.0);
+    coarse.physicsStep = Seconds(3.0);
+    ChargingEventConfig fine = coarse;
+    fine.physicsStep = Seconds(1.0);
+    auto coarse_result = runChargingEvent(coarse, traces());
+    auto fine_result = runChargingEvent(fine, traces());
+    EXPECT_NEAR(coarse_result.peakPower.value(),
+                fine_result.peakPower.value(),
+                0.02 * fine_result.peakPower.value());
+    EXPECT_NEAR(coarse_result.meanInitialDod,
+                fine_result.meanInitialDod, 0.02);
+    // Completion times agree within the coarse step for each rack.
+    for (size_t i = 0; i < coarse_result.racks.size(); ++i) {
+        ASSERT_TRUE(coarse_result.racks[i].chargeDuration.has_value());
+        ASSERT_TRUE(fine_result.racks[i].chargeDuration.has_value());
+        // Detection quantization plus OT-boundary alignment can slip
+        // a few coarse steps.
+        EXPECT_NEAR(coarse_result.racks[i].chargeDuration->value(),
+                    fine_result.racks[i].chargeDuration->value(),
+                    15.0)
+            << i;
+    }
+}
+
+TEST(EngineOptions, VeryLongTransitionFlagsOutages)
+{
+    ChargingEventConfig config = baseConfig();
+    config.eventTime = util::hours(12.0);
+    // 6 kW mean racks empty their 1782 kJ shelves in ~300 s; 400 s
+    // guarantees fleet-wide outages.
+    config.openTransitionLength = Seconds(400.0);
+    auto result = runChargingEvent(config, traces());
+    int outages = 0;
+    double dod_sum = 0.0;
+    for (const RackOutcome &rack : result.racks) {
+        outages += rack.sawOutage ? 1 : 0;
+        dod_sum += rack.initialDod;
+    }
+    EXPECT_GT(outages, 12);
+    EXPECT_GT(dod_sum / 24.0, 0.9);
+}
+
+TEST(EngineOptions, CustomSlaTableChangesOutcomes)
+{
+    // Impossible SLAs: nobody can charge in one minute.
+    ChargingEventConfig config = baseConfig();
+    config.eventTime = util::hours(12.0);
+    config.slaTable = SlaTable(std::array<SlaEntry, 3>{
+        SlaEntry{0.9999, util::minutes(1.0)},
+        SlaEntry{0.9999, util::minutes(1.0)},
+        SlaEntry{0.9999, util::minutes(1.0)},
+    });
+    auto result = runChargingEvent(config, traces());
+    EXPECT_EQ(result.slaMetTotal(), 0);
+
+    // Generous SLAs: everyone passes.
+    config.slaTable = SlaTable(std::array<SlaEntry, 3>{
+        SlaEntry{0.99, util::hours(5.0)},
+        SlaEntry{0.99, util::hours(5.0)},
+        SlaEntry{0.99, util::hours(5.0)},
+    });
+    auto generous = runChargingEvent(config, traces());
+    EXPECT_EQ(generous.slaMetTotal(), 24);
+}
+
+TEST(EngineOptions, SlowerControllerCadenceStillConverges)
+{
+    ChargingEventConfig config = baseConfig();
+    config.policy = PolicyKind::PriorityAware;
+    config.eventTime = util::hours(12.0);
+    config.controllerConfig.tickPeriod = Seconds(9.0);
+    config.controllerConfig.overrideGrace = Seconds(32.0);
+    auto result = runChargingEvent(config, traces());
+    EXPECT_FALSE(result.breakerTripped);
+    for (const RackOutcome &rack : result.racks)
+        EXPECT_TRUE(rack.chargeDuration.has_value()) << rack.rackId;
+}
+
+TEST(EngineOptions, ResultSeriesShareClock)
+{
+    ChargingEventConfig config = baseConfig();
+    config.eventTime = util::hours(12.0);
+    auto result = runChargingEvent(config, traces());
+    EXPECT_EQ(result.msbPower.size(), result.itPower.size());
+    EXPECT_EQ(result.msbPower.size(), result.rechargePower.size());
+    EXPECT_EQ(result.msbPower.size(), result.capPower.size());
+    // MSB power decomposes into IT + recharge while uncapped.
+    size_t idx = result.msbPower.indexAt(result.chargeStart
+                                         + util::minutes(5.0));
+    EXPECT_NEAR(result.msbPower[idx],
+                result.itPower[idx] + result.rechargePower[idx],
+                1.0);
+}
+
+} // namespace
+} // namespace dcbatt::core

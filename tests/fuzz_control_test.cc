@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Randomized control-plane robustness tests: random sequences of open
+ * transitions at random levels of a small hierarchy, driven through
+ * the full stack with the priority-aware coordinator. The assertions
+ * are invariants rather than numbers:
+ *
+ *  - no breaker ever trips when the configuration is feasible,
+ *  - server caps are always released after the fleet recovers,
+ *  - every battery eventually returns to fully charged,
+ *  - rack input power is never negative and never exceeds the fleet's
+ *    physical envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/priority_aware_coordinator.h"
+#include "dynamo/controller.h"
+#include "power/topology.h"
+#include "trace/trace_generator.h"
+#include "util/random.h"
+
+namespace dcbatt {
+namespace {
+
+using power::Priority;
+using util::Seconds;
+using util::Watts;
+
+class FuzzControlTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzControlTest, RandomOpenTransitionsKeepInvariants)
+{
+    const uint64_t seed = GetParam();
+    util::Rng rng(seed);
+
+    // Small two-row hierarchy under one SB.
+    power::TopologySpec spec;
+    spec.rootKind = power::NodeKind::Sb;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 8;
+    spec.priorities = power::makePriorityMix(5, 6, 5);
+    spec.sbLimit = util::kilowatts(130.0);
+    spec.rppLimit = util::kilowatts(66.0);
+    auto topo = power::Topology::build(spec,
+                                       battery::makeVariableCharger());
+
+    trace::TraceGenSpec tspec;
+    tspec.rackCount = 16;
+    tspec.duration = util::hours(6.0);
+    tspec.step = Seconds(3.0);
+    tspec.seed = seed * 7 + 1;
+    tspec.aggregateMean = util::kilowatts(95.0);
+    tspec.aggregateAmplitude = util::kilowatts(5.0);
+    tspec.priorities = spec.priorities;
+    auto traces = trace::generateTraces(tspec);
+
+    sim::EventQueue queue;
+    core::PriorityAwareOptions options;
+    options.restoreOnHeadroom = rng.chance(0.5);
+    options.allowPostponement = rng.chance(0.5);
+    core::PriorityAwareCoordinator coordinator(
+        core::SlaCurrentCalculator(battery::ChargeTimeModel(),
+                                   core::SlaTable::paperDefault()),
+        options);
+    dynamo::ControlPlane plane(topo, topo.root(), queue, &coordinator);
+    plane.start();
+
+    // 3-5 open transitions at random nodes and times in [5, 150] min,
+    // each 5-90 s long.
+    auto rpps = topo.nodesOfKind(power::NodeKind::Rpp);
+    int events = static_cast<int>(rng.uniformInt(3, 5));
+    for (int e = 0; e < events; ++e) {
+        power::PowerNode *target = rng.chance(0.5)
+            ? &topo.root()
+            : rpps[static_cast<size_t>(
+                  rng.uniformInt(0, static_cast<int64_t>(rpps.size())
+                                        - 1))];
+        Seconds at(rng.uniform(300.0, 9000.0));
+        Seconds len(rng.uniform(5.0, 90.0));
+        topo.scheduleOpenTransition(queue, *target, sim::toTicks(at),
+                                    sim::toTicks(len));
+    }
+
+    double max_power = 0.0;
+    sim::PeriodicTask physics(queue, sim::toTicks(Seconds(1.0)),
+                              [&](sim::Tick now) {
+        Seconds t = sim::toSeconds(now);
+        for (power::Rack *rack : topo.racks()) {
+            Watts demand = traces.rackPower(rack->id(), t);
+            ASSERT_GE(demand.value(), 0.0);
+            rack->setItDemand(demand);
+        }
+        topo.stepRacks(Seconds(1.0));
+        topo.observeBreakers(Seconds(1.0));
+        double power = topo.root().inputPower().value();
+        ASSERT_GE(power, 0.0);
+        // Physical envelope: rack max power + full 5 A recharge.
+        ASSERT_LE(power,
+                  16.0 * (12600.0 + 6.0 * 52.5 * 5.0 / 0.82) + 1.0);
+        max_power = std::max(max_power, power);
+    });
+    physics.start(0);
+
+    // Run past the last possible event plus the longest recharge.
+    queue.runUntil(sim::toTicks(util::hours(6.0)));
+
+    // Invariants at quiescence.
+    EXPECT_FALSE(topo.root().breaker()->tripped()) << "seed " << seed;
+    for (power::PowerNode *rpp : rpps)
+        EXPECT_FALSE(rpp->breaker()->tripped()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(plane.totalCap().value(), 0.0) << "seed " << seed;
+    for (power::Rack *rack : topo.racks()) {
+        EXPECT_TRUE(rack->shelf().fullyCharged())
+            << "seed " << seed << " rack " << rack->id();
+        EXPECT_FALSE(rack->sawOutage())
+            << "seed " << seed << " rack " << rack->id();
+    }
+    EXPECT_GT(max_power, 90e3);  // the scenario actually exercised load
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzControlTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+} // namespace
+} // namespace dcbatt

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests of the circuit-breaker thermal trip model, pinned to the
+ * paper's hazard: "a 30% power overdraw at a circuit breaker for more
+ * than 30 seconds could trip it".
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/breaker.h"
+
+namespace dcbatt::power {
+namespace {
+
+using util::Seconds;
+using util::Watts;
+using util::kilowatts;
+
+TEST(Breaker, BasicAccessors)
+{
+    CircuitBreaker breaker("rpp0", kilowatts(190.0));
+    EXPECT_EQ(breaker.name(), "rpp0");
+    EXPECT_DOUBLE_EQ(breaker.limit().value(), 190e3);
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_TRUE(breaker.overloaded(kilowatts(200.0)));
+    EXPECT_FALSE(breaker.overloaded(kilowatts(100.0)));
+    EXPECT_DOUBLE_EQ(breaker.available(kilowatts(100.0)).value(), 90e3);
+}
+
+TEST(Breaker, ThirtyPercentOverFor30SecondsTrips)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    // 130 kW on a 100 kW breaker.
+    for (int s = 0; s < 29; ++s) {
+        EXPECT_FALSE(breaker.observe(kilowatts(130.0), Seconds(1.0)))
+            << s;
+    }
+    EXPECT_TRUE(breaker.observe(kilowatts(130.0), Seconds(1.0)));
+    EXPECT_TRUE(breaker.tripped());
+}
+
+TEST(Breaker, LargerOverloadTripsFaster)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    // 60% overdraw should trip in ~15 s (inverse-time).
+    int s = 0;
+    while (!breaker.tripped() && s < 60) {
+        breaker.observe(kilowatts(160.0), Seconds(1.0));
+        ++s;
+    }
+    EXPECT_TRUE(breaker.tripped());
+    EXPECT_NEAR(s, 15, 1);
+}
+
+TEST(Breaker, SmallOverloadTakesLonger)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    int s = 0;
+    while (!breaker.tripped() && s < 1000) {
+        breaker.observe(kilowatts(110.0), Seconds(1.0));
+        ++s;
+    }
+    EXPECT_TRUE(breaker.tripped());
+    EXPECT_NEAR(s, 90, 2);
+}
+
+TEST(Breaker, RunningAtLimitNeverTrips)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    for (int s = 0; s < 3600; ++s)
+        breaker.observe(kilowatts(100.0), Seconds(1.0));
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_DOUBLE_EQ(breaker.thermalAccumulator(), 0.0);
+}
+
+TEST(Breaker, AccumulatorCoolsWhenUnderLimit)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    for (int s = 0; s < 20; ++s)
+        breaker.observe(kilowatts(130.0), Seconds(1.0));
+    double hot = breaker.thermalAccumulator();
+    EXPECT_GT(hot, 0.0);
+    for (int s = 0; s < 120; ++s)
+        breaker.observe(kilowatts(50.0), Seconds(1.0));
+    EXPECT_LT(breaker.thermalAccumulator(), hot * 0.2);
+    EXPECT_FALSE(breaker.tripped());
+}
+
+TEST(Breaker, IntermittentOverloadSurvives)
+{
+    // Alternating 10 s over / 60 s under never accumulates to a trip.
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    for (int cycle = 0; cycle < 30; ++cycle) {
+        for (int s = 0; s < 10; ++s)
+            breaker.observe(kilowatts(130.0), Seconds(1.0));
+        for (int s = 0; s < 60; ++s)
+            breaker.observe(kilowatts(90.0), Seconds(1.0));
+    }
+    EXPECT_FALSE(breaker.tripped());
+}
+
+TEST(Breaker, ResetTripClearsState)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    for (int s = 0; s < 40; ++s)
+        breaker.observe(kilowatts(140.0), Seconds(1.0));
+    ASSERT_TRUE(breaker.tripped());
+    breaker.resetTrip();
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_DOUBLE_EQ(breaker.thermalAccumulator(), 0.0);
+}
+
+TEST(Breaker, ObserveAfterTripIsInert)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    for (int s = 0; s < 40; ++s)
+        breaker.observe(kilowatts(140.0), Seconds(1.0));
+    ASSERT_TRUE(breaker.tripped());
+    EXPECT_FALSE(breaker.observe(kilowatts(500.0), Seconds(1.0)));
+}
+
+TEST(Breaker, CustomTripCurve)
+{
+    BreakerTripCurve curve;
+    curve.referenceOverload = 0.5;
+    curve.referenceTime = Seconds(10.0);
+    CircuitBreaker breaker("b", kilowatts(100.0), curve);
+    EXPECT_DOUBLE_EQ(breaker.tripThreshold(), 5.0);
+    int s = 0;
+    while (!breaker.tripped() && s < 100) {
+        breaker.observe(kilowatts(150.0), Seconds(1.0));
+        ++s;
+    }
+    EXPECT_NEAR(s, 10, 1);
+}
+
+TEST(Breaker, SetLimitChangesHeadroom)
+{
+    CircuitBreaker breaker("b", kilowatts(100.0));
+    breaker.setLimit(kilowatts(200.0));
+    EXPECT_FALSE(breaker.overloaded(kilowatts(150.0)));
+}
+
+TEST(BreakerDeathTest, NonpositiveLimitPanics)
+{
+    EXPECT_DEATH(CircuitBreaker("b", Watts(0.0)), "nonpositive");
+    CircuitBreaker breaker("b", kilowatts(1.0));
+    EXPECT_DEATH(breaker.setLimit(Watts(-5.0)), "nonpositive");
+}
+
+} // namespace
+} // namespace dcbatt::power

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the Rack: IT demand/capping, input power accounting, and
+ * outage detection during open transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/rack.h"
+
+namespace dcbatt::power {
+namespace {
+
+using util::Seconds;
+using util::Watts;
+using util::kilowatts;
+
+Rack
+makeRack(Priority priority = Priority::P2)
+{
+    return Rack(0, "rack0", priority, battery::makeVariableCharger());
+}
+
+TEST(Rack, Accessors)
+{
+    Rack rack = makeRack(Priority::P1);
+    EXPECT_EQ(rack.id(), 0);
+    EXPECT_EQ(rack.name(), "rack0");
+    EXPECT_EQ(rack.priority(), Priority::P1);
+    rack.setPriority(Priority::P3);
+    EXPECT_EQ(rack.priority(), Priority::P3);
+}
+
+TEST(Rack, ItLoadFollowsDemand)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(6.0));
+    EXPECT_DOUBLE_EQ(rack.itLoad().value(), 6000.0);
+    EXPECT_DOUBLE_EQ(rack.inputPower().value(), 6000.0);
+}
+
+TEST(Rack, CappingReducesLoad)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(6.0));
+    rack.setCapAmount(kilowatts(1.5));
+    EXPECT_DOUBLE_EQ(rack.itLoad().value(), 4500.0);
+    EXPECT_DOUBLE_EQ(rack.capAmount().value(), 1500.0);
+    rack.uncap();
+    EXPECT_DOUBLE_EQ(rack.itLoad().value(), 6000.0);
+}
+
+TEST(Rack, CapBeyondDemandClampsToZeroLoad)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(2.0));
+    rack.setCapAmount(kilowatts(5.0));
+    EXPECT_DOUBLE_EQ(rack.itLoad().value(), 0.0);
+}
+
+TEST(Rack, NegativeCapClampsToZero)
+{
+    Rack rack = makeRack();
+    rack.setCapAmount(kilowatts(-3.0));
+    EXPECT_DOUBLE_EQ(rack.capAmount().value(), 0.0);
+}
+
+TEST(Rack, NoInputPowerWhileOnBattery)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(6.0));
+    rack.loseInputPower();
+    EXPECT_FALSE(rack.inputPowerOn());
+    EXPECT_DOUBLE_EQ(rack.inputPower().value(), 0.0);
+    EXPECT_DOUBLE_EQ(rack.rechargePower().value(), 0.0);
+}
+
+TEST(Rack, OpenTransitionDischargesAndRecharges)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(6.0));
+    rack.loseInputPower();
+    for (int s = 0; s < 45; ++s)
+        rack.step(Seconds(1.0));
+    EXPECT_GT(rack.shelf().meanDod(), 0.1);
+    EXPECT_FALSE(rack.sawOutage());
+    rack.restoreInputPower();
+    EXPECT_TRUE(rack.shelf().anyCharging());
+    // Input power now includes IT load plus recharge power.
+    EXPECT_GT(rack.inputPower().value(), 6000.0);
+    EXPECT_GT(rack.rechargePower().value(), 100.0);
+}
+
+TEST(Rack, LongOutageSetsOutageFlag)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(12.0));
+    rack.loseInputPower();
+    // 12 kW rack: batteries run ~148 s; step past that.
+    for (int s = 0; s < 200; ++s)
+        rack.step(Seconds(1.0));
+    EXPECT_TRUE(rack.sawOutage());
+    rack.clearOutageFlag();
+    EXPECT_FALSE(rack.sawOutage());
+}
+
+TEST(Rack, InputPowerIncludesRechargeTail)
+{
+    Rack rack = makeRack();
+    rack.setItDemand(kilowatts(6.0));
+    rack.loseInputPower();
+    for (int s = 0; s < 30; ++s)
+        rack.step(Seconds(1.0));
+    rack.restoreInputPower();
+    double with_charge = rack.inputPower().value();
+    // Run the charge to completion.
+    for (int s = 0; s < 7200 && rack.shelf().anyCharging(); ++s)
+        rack.step(Seconds(1.0));
+    EXPECT_TRUE(rack.shelf().fullyCharged());
+    EXPECT_LT(rack.inputPower().value(), with_charge);
+    EXPECT_DOUBLE_EQ(rack.inputPower().value(), 6000.0);
+}
+
+} // namespace
+} // namespace dcbatt::power

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the Table I failure data and the Monte Carlo AOR simulator,
+ * pinned against Table II: the paper's charge-time SLAs correspond to
+ * AOR 99.94 / 99.90 / 99.85 % at 30 / 60 / 90 minutes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/aor_simulator.h"
+#include "reliability/failure_data.h"
+#include "util/units.h"
+
+namespace dcbatt::reliability {
+namespace {
+
+using util::Seconds;
+using util::minutes;
+
+TEST(FailureData, TableIRowCount)
+{
+    auto data = paperFailureData();
+    EXPECT_EQ(data.size(), 11u);
+}
+
+TEST(FailureData, TableIValuesSpotChecked)
+{
+    auto data = paperFailureData();
+    // Utility row.
+    EXPECT_EQ(data[0].component, "utility");
+    EXPECT_DOUBLE_EQ(data[0].mtbfHours, 6.39e3);
+    EXPECT_DOUBLE_EQ(data[0].mttrHours, 0.6);
+    EXPECT_EQ(data[0].effect, FailureEffect::OpenTransitionPair);
+    // MSB corrective maintenance.
+    EXPECT_DOUBLE_EQ(data[2].mtbfHours, 4.12e4);
+    EXPECT_DOUBLE_EQ(data[2].mttrHours, 20.2);
+    // Annual maintenance rows use the normal interval model.
+    EXPECT_EQ(data[5].interval, IntervalModel::AnnualNormal);
+    EXPECT_DOUBLE_EQ(data[5].mtbfHours, 8.76e3);
+    // Outage rows keep the rack dark.
+    EXPECT_EQ(data[8].effect, FailureEffect::Outage);
+    EXPECT_DOUBLE_EQ(data[10].mtbfHours, 6.25e6);
+}
+
+TEST(FailureData, TotalEventRate)
+{
+    // Sum of 8760/MTBF over Table I: ~4.85 failures per year, which
+    // produce ~9.7 rack power-loss episodes (2 OTs per episode).
+    double rate = totalEventsPerYear(paperFailureData());
+    EXPECT_NEAR(rate, 4.85, 0.1);
+}
+
+class AorTest : public ::testing::Test
+{
+  protected:
+    static AorSimulator &
+    simulator()
+    {
+        // Shared across tests: the timeline generation is the
+        // expensive part and is immutable.
+        static AorSimulator sim(paperFailureData(), config());
+        return sim;
+    }
+
+    static AorConfig
+    config()
+    {
+        AorConfig cfg;
+        cfg.years = 2e4;
+        cfg.seed = 7;
+        return cfg;
+    }
+};
+
+TEST_F(AorTest, LossEventsPerYearNearDoubleTheFailureRate)
+{
+    auto result = simulator().aorForChargeTime(minutes(30.0));
+    // Almost every failure yields two open transitions.
+    EXPECT_NEAR(result.lossEventsPerYear, 9.7, 0.3);
+}
+
+TEST_F(AorTest, TableIIAnchors)
+{
+    auto r30 = simulator().aorForChargeTime(minutes(30.0));
+    auto r60 = simulator().aorForChargeTime(minutes(60.0));
+    auto r90 = simulator().aorForChargeTime(minutes(90.0));
+    // Paper Table II: 99.94 / 99.90 / 99.85 %.
+    EXPECT_NEAR(r30.aor, 0.9994, 2e-4);
+    EXPECT_NEAR(r60.aor, 0.9990, 2e-4);
+    EXPECT_NEAR(r90.aor, 0.9985, 2e-4);
+}
+
+TEST_F(AorTest, LossOfRedundancyHoursNearTableII)
+{
+    auto r30 = simulator().aorForChargeTime(minutes(30.0));
+    EXPECT_NEAR(r30.lossOfRedundancyHoursPerYear, 5.26, 0.6);
+    auto r90 = simulator().aorForChargeTime(minutes(90.0));
+    EXPECT_NEAR(r90.lossOfRedundancyHoursPerYear, 13.14, 0.6);
+}
+
+TEST_F(AorTest, AorDecreasesLinearlyInChargeTime)
+{
+    // Fig. 9(a): AOR falls linearly with charging time. Check the
+    // slope is constant across the sweep to within a few percent.
+    std::vector<double> aors;
+    for (double m = 15.0; m <= 120.0; m += 15.0)
+        aors.push_back(simulator().aorForChargeTime(minutes(m)).aor);
+    for (size_t i = 1; i < aors.size(); ++i)
+        EXPECT_LT(aors[i], aors[i - 1]);
+    // Mild sublinearity is genuine: with longer recharges, more
+    // recharge windows swallow the episode's paired return
+    // transition. The paper's "decreases linearly" holds to ~15%.
+    double first_drop = aors[0] - aors[1];
+    double last_drop = aors[aors.size() - 2] - aors.back();
+    EXPECT_NEAR(first_drop, last_drop, 0.20 * first_drop);
+}
+
+TEST_F(AorTest, ZeroChargeTimeStillLosesDischargeAndDarkTime)
+{
+    auto result = simulator().aorForChargeTime(Seconds(0.0));
+    EXPECT_LT(result.aor, 1.0);
+    EXPECT_GT(result.darkHoursPerYear, 0.0);
+    // Dark time: ~9.7 OTs * 45 s plus rare outage repairs (~0.3 h/yr).
+    EXPECT_NEAR(result.darkHoursPerYear, 0.4, 0.2);
+}
+
+TEST_F(AorTest, ChargeModelVariantUsesLossDuration)
+{
+    // A duration-dependent recharge (longer loss -> deeper discharge
+    // -> longer recharge) must land between the fixed bounds.
+    auto fixed_short = simulator().aorForChargeTime(minutes(10.0));
+    auto fixed_long = simulator().aorForChargeTime(minutes(60.0));
+    auto variable = simulator().aorForChargeModel(
+        [](const LossInterval &loss) {
+            return loss.durationSeconds > 60.0 ? minutes(60.0)
+                                               : minutes(10.0);
+        });
+    EXPECT_LE(variable.aor, fixed_short.aor);
+    EXPECT_GE(variable.aor, fixed_long.aor);
+}
+
+TEST_F(AorTest, TimelineSortedAndPositive)
+{
+    const auto &timeline = simulator().timeline();
+    ASSERT_GT(timeline.size(), 1000u);
+    for (size_t i = 1; i < timeline.size(); ++i) {
+        ASSERT_LE(timeline[i - 1].startSeconds,
+                  timeline[i].startSeconds);
+        ASSERT_GE(timeline[i].durationSeconds, 0.0);
+    }
+}
+
+TEST(AorSimulator, DeterministicInSeed)
+{
+    AorConfig cfg;
+    cfg.years = 500.0;
+    AorSimulator a(paperFailureData(), cfg);
+    AorSimulator b(paperFailureData(), cfg);
+    EXPECT_EQ(a.timeline().size(), b.timeline().size());
+    EXPECT_DOUBLE_EQ(a.aorForChargeTime(minutes(30.0)).aor,
+                     b.aorForChargeTime(minutes(30.0)).aor);
+}
+
+TEST(AorSimulator, OutageOnlyProcessKeepsRackDarkUntilRepair)
+{
+    std::vector<FailureProcess> processes{
+        {"outage", "msb", 8760.0, 10.0, FailureEffect::Outage,
+         IntervalModel::Exponential}};
+    AorConfig cfg;
+    cfg.years = 2000.0;
+    AorSimulator sim(processes, cfg);
+    auto result = sim.aorForChargeTime(Seconds(0.0));
+    // One outage per year lasting ~10 h on average.
+    EXPECT_NEAR(result.darkHoursPerYear, 10.0, 1.5);
+    EXPECT_NEAR(result.lossEventsPerYear, 1.0, 0.15);
+}
+
+TEST(AorSimulator, OpenTransitionPairYieldsTwoEventsPerFailure)
+{
+    std::vector<FailureProcess> processes{
+        {"corrective", "msb", 8760.0, 8.0,
+         FailureEffect::OpenTransitionPair,
+         IntervalModel::Exponential}};
+    AorConfig cfg;
+    cfg.years = 2000.0;
+    AorSimulator sim(processes, cfg);
+    auto result = sim.aorForChargeTime(minutes(30.0));
+    EXPECT_NEAR(result.lossEventsPerYear, 2.0, 0.2);
+    // Not-full time ~= 2 episodes * (45 s + 30 min) per year.
+    EXPECT_NEAR(result.lossOfRedundancyHoursPerYear,
+                2.0 * (45.0 / 3600.0 + 0.5), 0.2);
+}
+
+TEST(AorSimulatorDeathTest, RejectsBadHorizon)
+{
+    AorConfig cfg;
+    cfg.years = 0.0;
+    EXPECT_EXIT(AorSimulator(paperFailureData(), cfg),
+                testing::ExitedWithCode(1), "horizon");
+}
+
+} // namespace
+} // namespace dcbatt::reliability

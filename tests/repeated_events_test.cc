@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Repeated-event robustness: open transitions are "the norm rather
+ * than an exception" (Section II-C), so the control plane must handle
+ * back-to-back events cleanly — including a second transition landing
+ * *during* the recharge of the first. Exercises the controller's
+ * charging-event lifecycle (override clearing between events, DOD
+ * re-estimation) through the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/priority_aware_coordinator.h"
+#include "dynamo/controller.h"
+#include "power/topology.h"
+#include "util/random.h"
+
+namespace dcbatt {
+namespace {
+
+using power::Priority;
+using util::Seconds;
+
+class RepeatedEventsTest : public ::testing::Test
+{
+  protected:
+    RepeatedEventsTest()
+        : coordinator_(core::SlaCurrentCalculator(
+                           battery::ChargeTimeModel(),
+                           core::SlaTable::paperDefault()))
+    {
+        power::TopologySpec spec;
+        spec.rootKind = power::NodeKind::Rpp;
+        spec.racksPerRpp = 8;
+        spec.rppLimit = util::kilowatts(70.0);
+        spec.priorities = power::makePriorityMix(3, 3, 2);
+        topo_ = std::make_unique<power::Topology>(
+            power::Topology::build(spec,
+                                   battery::makeVariableCharger()));
+        plane_ = std::make_unique<dynamo::ControlPlane>(
+            *topo_, topo_->root(), queue_, &coordinator_);
+        plane_->start();
+        for (power::Rack *rack : topo_->racks())
+            rack->setItDemand(util::kilowatts(6.0));
+        physics_ = std::make_unique<sim::PeriodicTask>(
+            queue_, sim::toTicks(Seconds(1.0)), [this](sim::Tick) {
+                topo_->stepRacks(Seconds(1.0));
+                topo_->observeBreakers(Seconds(1.0));
+            });
+        physics_->start(0);
+    }
+
+    void
+    runUntil(double seconds)
+    {
+        queue_.runUntil(sim::toTicks(Seconds(seconds)));
+    }
+
+    bool
+    allFull() const
+    {
+        for (power::Rack *rack : topo_->racks()) {
+            if (!rack->shelf().fullyCharged())
+                return false;
+        }
+        return true;
+    }
+
+    sim::EventQueue queue_;
+    core::PriorityAwareCoordinator coordinator_;
+    std::unique_ptr<power::Topology> topo_;
+    std::unique_ptr<dynamo::ControlPlane> plane_;
+    std::unique_ptr<sim::PeriodicTask> physics_;
+};
+
+TEST_F(RepeatedEventsTest, TwoSeparatedEventsBothRecover)
+{
+    topo_->scheduleOpenTransition(queue_, topo_->root(),
+                                  sim::toTicks(Seconds(60.0)),
+                                  sim::toTicks(Seconds(45.0)));
+    // Well after the first recharge completes.
+    topo_->scheduleOpenTransition(queue_, topo_->root(),
+                                  sim::toTicks(util::hours(1.8)),
+                                  sim::toTicks(Seconds(45.0)));
+    runUntil(util::hours(1.5).value());
+    EXPECT_TRUE(allFull());
+    EXPECT_EQ(plane_->rootController().chargingEventCount(), 1);
+    EXPECT_FALSE(plane_->rootController().chargingEventActive());
+
+    runUntil(util::hours(3.5).value());
+    EXPECT_TRUE(allFull());
+    EXPECT_EQ(plane_->rootController().chargingEventCount(), 2);
+    EXPECT_FALSE(topo_->root().breaker()->tripped());
+    EXPECT_DOUBLE_EQ(plane_->totalCap().value(), 0.0);
+}
+
+TEST_F(RepeatedEventsTest, SecondTransitionDuringRechargeDeepensDod)
+{
+    topo_->scheduleOpenTransition(queue_, topo_->root(),
+                                  sim::toTicks(Seconds(60.0)),
+                                  sim::toTicks(Seconds(45.0)));
+    // Mid-recharge (a few minutes in), power drops again.
+    topo_->scheduleOpenTransition(queue_, topo_->root(),
+                                  sim::toTicks(Seconds(400.0)),
+                                  sim::toTicks(Seconds(45.0)));
+    runUntil(450.0);
+    // Batteries discharged twice without completing the recharge.
+    for (power::Rack *rack : topo_->racks())
+        EXPECT_GT(rack->shelf().meanDod(), 0.15) << rack->id();
+    runUntil(util::hours(2.5).value());
+    EXPECT_TRUE(allFull());
+    EXPECT_FALSE(topo_->root().breaker()->tripped());
+    EXPECT_DOUBLE_EQ(plane_->totalCap().value(), 0.0);
+}
+
+TEST_F(RepeatedEventsTest, DailyMaintenanceCadenceSurvivesAWeek)
+{
+    // One 45 s transition per simulated day for a week ("an MSB level
+    // open transition takes place almost every workday").
+    for (int day = 0; day < 7; ++day) {
+        topo_->scheduleOpenTransition(
+            queue_, topo_->root(),
+            sim::toTicks(util::hours(24.0 * day + 9.0)),
+            sim::toTicks(Seconds(45.0)));
+    }
+    // Step physics at a coarse 5 s to keep the week affordable.
+    physics_->stop();
+    sim::PeriodicTask coarse(queue_, sim::toTicks(Seconds(5.0)),
+                             [this](sim::Tick) {
+                                 topo_->stepRacks(Seconds(5.0));
+                             });
+    coarse.start(0);
+    runUntil(util::hours(24.0 * 7.0).value());
+    EXPECT_TRUE(allFull());
+    EXPECT_EQ(plane_->rootController().chargingEventCount(), 7);
+    EXPECT_DOUBLE_EQ(plane_->totalCap().value(), 0.0);
+}
+
+} // namespace
+} // namespace dcbatt

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace dcbatt::sim {
+namespace {
+
+TEST(SimTime, TickConversions)
+{
+    EXPECT_EQ(toTicks(util::Seconds(1.0)), 1'000'000);
+    EXPECT_EQ(toTicks(util::Seconds(0.0000005)), 1);  // rounds
+    EXPECT_DOUBLE_EQ(toSeconds(3'000'000).value(), 3.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(100, [&] { ++ran; });
+    EXPECT_EQ(q.runUntil(50), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q.now(), 50);  // clock advances to the horizon
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, ScheduleAfter)
+{
+    EventQueue q;
+    Tick seen = -1;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelExecutedEventReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, EventsScheduledDuringRun)
+{
+    EventQueue q;
+    std::vector<Tick> times;
+    q.schedule(10, [&] {
+        times.push_back(q.now());
+        q.schedule(10, [&] { times.push_back(q.now()); });  // same tick
+    });
+    q.run();
+    EXPECT_EQ(times, (std::vector<Tick>{10, 10}));
+}
+
+TEST(EventQueueDeathTest, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "in the past");
+}
+
+TEST(PeriodicTask, FiresAtPeriod)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    PeriodicTask task(q, 10, [&](Tick now) { fires.push_back(now); });
+    task.start();
+    q.runUntil(35);
+    EXPECT_EQ(fires, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_TRUE(task.running());
+}
+
+TEST(PeriodicTask, CustomPhase)
+{
+    EventQueue q;
+    std::vector<Tick> fires;
+    PeriodicTask task(q, 10, [&](Tick now) { fires.push_back(now); });
+    task.start(0);
+    q.runUntil(25);
+    EXPECT_EQ(fires, (std::vector<Tick>{0, 10, 20}));
+}
+
+TEST(PeriodicTask, StopHalts)
+{
+    EventQueue q;
+    int count = 0;
+    PeriodicTask task(q, 10, [&](Tick) { ++count; });
+    task.start();
+    q.runUntil(25);
+    task.stop();
+    EXPECT_FALSE(task.running());
+    q.runUntil(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, StopFromCallback)
+{
+    EventQueue q;
+    int count = 0;
+    PeriodicTask task(q, 10, [&](Tick) {
+        if (++count == 2)
+            task.stop();
+    });
+    task.start();
+    q.runUntil(1000);
+    EXPECT_EQ(count, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(PeriodicTask, DestructorCancels)
+{
+    EventQueue q;
+    int count = 0;
+    {
+        PeriodicTask task(q, 10, [&](Tick) { ++count; });
+        task.start();
+        q.runUntil(15);
+    }
+    q.runUntil(100);
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(PeriodicTaskDeathTest, RejectsNonpositivePeriod)
+{
+    EventQueue q;
+    EXPECT_DEATH(PeriodicTask(q, 0, [](Tick) {}), "positive");
+}
+
+} // namespace
+} // namespace dcbatt::sim

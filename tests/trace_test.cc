@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the TraceSet container and the synthetic production trace
+ * generator (Fig. 12 calibration).
+ */
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+#include "trace/trace_set.h"
+
+namespace dcbatt::trace {
+namespace {
+
+using util::Seconds;
+using util::TimeSeries;
+
+TraceGenSpec
+smallSpec()
+{
+    TraceGenSpec spec;
+    spec.rackCount = 32;
+    spec.duration = util::hours(24.0);
+    spec.step = Seconds(30.0);
+    spec.aggregateMean = util::kilowatts(200.0);
+    spec.aggregateAmplitude = util::kilowatts(10.0);
+    spec.priorities = {power::Priority::P1, power::Priority::P2,
+                       power::Priority::P3};
+    return spec;
+}
+
+TEST(TraceSet, AppendAndAggregate)
+{
+    TraceSet set(Seconds(0.0), Seconds(3.0), 2);
+    set.appendSample({100.0, 200.0});
+    set.appendSample({150.0, 250.0});
+    EXPECT_EQ(set.rackCount(), 2);
+    EXPECT_EQ(set.sampleCount(), 2u);
+    TimeSeries agg = set.aggregate();
+    EXPECT_DOUBLE_EQ(agg[0], 300.0);
+    EXPECT_DOUBLE_EQ(agg[1], 400.0);
+    EXPECT_DOUBLE_EQ(set.rackPower(1, Seconds(4.0)).value(), 250.0);
+}
+
+TEST(TraceSetDeathTest, WrongSampleWidthPanics)
+{
+    TraceSet set(Seconds(0.0), Seconds(3.0), 2);
+    EXPECT_DEATH(set.appendSample({1.0}), "wrong rack count");
+}
+
+TEST(TraceSet, CsvRoundTrip)
+{
+    TraceSet set(Seconds(12.0), Seconds(3.0), 3);
+    set.appendSample({1.5, 2.5, 3.5});
+    set.appendSample({4.25, 5.0, 6.0});
+    set.appendSample({7.0, 8.0, 9.0});
+    std::string path = testing::TempDir() + "/dcbatt_trace_test.csv";
+    set.save(path);
+    TraceSet loaded = TraceSet::load(path);
+    EXPECT_EQ(loaded.rackCount(), 3);
+    EXPECT_EQ(loaded.sampleCount(), 3u);
+    EXPECT_NEAR(loaded.step().value(), 3.0, 1e-9);
+    EXPECT_NEAR(loaded.start().value(), 12.0, 1e-9);
+    for (int r = 0; r < 3; ++r) {
+        for (size_t s = 0; s < 3; ++s)
+            EXPECT_NEAR(loaded.rack(r)[s], set.rack(r)[s], 1e-3);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Generator, DeterministicInSeed)
+{
+    TraceGenSpec spec = smallSpec();
+    TraceSet a = generateTraces(spec);
+    TraceSet b = generateTraces(spec);
+    for (size_t s = 0; s < a.sampleCount(); s += 97)
+        EXPECT_DOUBLE_EQ(a.rack(5)[s], b.rack(5)[s]);
+    spec.seed = 43;
+    TraceSet c = generateTraces(spec);
+    EXPECT_NE(a.rack(5)[100], c.rack(5)[100]);
+}
+
+TEST(Generator, AggregateTracksTargetBand)
+{
+    TraceGenSpec spec = smallSpec();
+    TraceSet set = generateTraces(spec);
+    TimeSeries agg = set.aggregate();
+    // Mean within 2% of target; excursions within the diurnal band
+    // plus noise slack.
+    EXPECT_NEAR(agg.mean(), 200e3, 4e3);
+    EXPECT_GT(agg.minValue(), 200e3 - 10e3 - 4e3);
+    EXPECT_LT(agg.maxValue(), 200e3 + 10e3 + 4e3);
+}
+
+TEST(Generator, PaperFleetBandIs1_9To2_1MW)
+{
+    // The headline Fig. 12 calibration: 316 racks, diurnal band
+    // 1.9-2.1 MW.
+    TraceGenSpec spec;
+    spec.rackCount = 316;
+    spec.duration = util::hours(48.0);
+    spec.step = Seconds(60.0);
+    spec.priorities = paperMsbPriorities();
+    TraceSet set = generateTraces(spec);
+    TimeSeries agg = set.aggregate();
+    EXPECT_NEAR(agg.maxValue(), 2.1e6, 0.03e6);
+    EXPECT_NEAR(agg.minValue(), 1.9e6, 0.03e6);
+}
+
+TEST(Generator, RackPowerWithinEnvelope)
+{
+    TraceGenSpec spec = smallSpec();
+    TraceSet set = generateTraces(spec);
+    for (int r = 0; r < set.rackCount(); ++r) {
+        for (size_t s = 0; s < set.sampleCount(); s += 13) {
+            ASSERT_GE(set.rack(r)[s], spec.rackMinPower.value());
+            ASSERT_LE(set.rack(r)[s], spec.rackMaxPower.value());
+        }
+    }
+}
+
+TEST(Generator, FirstPeakNearConfiguredPeakTime)
+{
+    TraceGenSpec spec = smallSpec();
+    spec.duration = util::hours(36.0);
+    TraceSet set = generateTraces(spec);
+    size_t peak = set.firstPeakIndex();
+    double peak_hour = util::toHours(set.rack(0).timeAt(peak));
+    // Peak of the first day: 14:00 +/- 1.5 h.
+    EXPECT_NEAR(peak_hour, 14.0, 1.5);
+}
+
+TEST(Generator, StartTimeShiftsPhase)
+{
+    TraceGenSpec spec = smallSpec();
+    spec.duration = util::hours(8.0);
+    spec.startTime = util::hours(10.0);
+    TraceSet set = generateTraces(spec);
+    EXPECT_NEAR(set.start().value(), 10.0 * 3600.0, 1e-6);
+    size_t peak = set.firstPeakIndex();
+    double peak_hour = util::toHours(set.rack(0).timeAt(peak));
+    EXPECT_NEAR(peak_hour, 14.0, 1.5);
+}
+
+TEST(Generator, WeekendDipVisible)
+{
+    TraceGenSpec spec = smallSpec();
+    spec.duration = util::hours(24.0 * 7.0);
+    spec.step = Seconds(300.0);
+    TraceSet set = generateTraces(spec);
+    TimeSeries agg = set.aggregate();
+    // Compare the diurnal swing of day 2 (weekday) vs day 6 (weekend).
+    auto day_swing = [&](int day) {
+        size_t per_day = static_cast<size_t>(24.0 * 3600.0 / 300.0);
+        TimeSeries slice = agg.slice(day * per_day,
+                                     (day + 1) * per_day);
+        return slice.maxValue() - slice.minValue();
+    };
+    EXPECT_LT(day_swing(5), day_swing(1));
+}
+
+TEST(Generator, PaperPrioritiesCount)
+{
+    auto priorities = paperMsbPriorities();
+    EXPECT_EQ(priorities.size(), 316u);
+}
+
+TEST(GeneratorDeathTest, RejectsBadSpec)
+{
+    TraceGenSpec spec = smallSpec();
+    spec.rackCount = 0;
+    EXPECT_EXIT(generateTraces(spec), testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace dcbatt::trace

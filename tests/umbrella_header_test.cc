@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Compile-level test: the umbrella header is self-contained and
+ * exposes the whole public API.
+ */
+
+#include "dcbatt.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, ExposesEveryLayer)
+{
+    using namespace dcbatt;
+    EXPECT_GT(util::kilowatts(1.0).value(), 0.0);
+    sim::EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    battery::ChargeTimeModel model;
+    EXPECT_GT(model.chargeTime(0.5, util::Amperes(2.0)).value(), 0.0);
+    EXPECT_STREQ(power::toString(power::Priority::P1), "P1");
+    EXPECT_EQ(trace::paperMsbPriorities().size(), 316u);
+    core::SlaTable sla = core::SlaTable::paperDefault();
+    EXPECT_DOUBLE_EQ(sla.targetAor(power::Priority::P1), 0.9994);
+    EXPECT_EQ(reliability::paperFailureData().size(), 11u);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for CSV reading/writing and round-trips.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesWhenNeeded)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeRow({"plain", "has,comma", "has\"quote", "has\nnewline"});
+    EXPECT_EQ(out.str(),
+              "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, NumericRow)
+{
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.writeNumericRow({1.0, 2.5, -3.125});
+    EXPECT_EQ(out.str(), "1,2.5,-3.125\n");
+}
+
+TEST(ParseCsvLine, SimpleFields)
+{
+    auto fields = parseCsvLine("a,b,c");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyFields)
+{
+    auto fields = parseCsvLine("a,,c,");
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLine, QuotedFields)
+{
+    auto fields = parseCsvLine("\"has,comma\",\"esc\"\"aped\",plain");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "has,comma");
+    EXPECT_EQ(fields[1], "esc\"aped");
+    EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn)
+{
+    auto fields = parseCsvLine("a,b\r");
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ReadCsv, SkipsEmptyLines)
+{
+    std::istringstream in("a,b\n\nc,d\n\r\n");
+    auto rows = readCsv(in);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(CsvFile, RoundTrip)
+{
+    std::string path = testing::TempDir() + "/dcbatt_csv_test.csv";
+    std::vector<std::vector<std::string>> rows{
+        {"time", "value"},
+        {"0.0", "1,5"},
+        {"3.0", "quote\"d"},
+    };
+    writeCsvFile(path, rows);
+    auto read_back = readCsvFile(path);
+    EXPECT_EQ(read_back, rows);
+    std::filesystem::remove(path);
+}
+
+TEST(CsvFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readCsvFile("/nonexistent/dir/nope.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace dcbatt::util

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for linear/bilinear interpolation grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/interpolate.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(Lerp, Basics)
+{
+    EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(lerp(10.0, 0.0, 0.25), 7.5);
+    EXPECT_DOUBLE_EQ(lerp(3.0, 3.0, 0.9), 3.0);
+}
+
+TEST(IntervalIndex, ClampsAndFinds)
+{
+    std::vector<double> axis{0.0, 1.0, 2.0, 4.0};
+    EXPECT_EQ(intervalIndex(axis, -1.0), 0u);
+    EXPECT_EQ(intervalIndex(axis, 0.5), 0u);
+    EXPECT_EQ(intervalIndex(axis, 1.5), 1u);
+    EXPECT_EQ(intervalIndex(axis, 3.0), 2u);
+    EXPECT_EQ(intervalIndex(axis, 9.0), 2u);
+}
+
+TEST(Grid1D, InterpolatesLinearly)
+{
+    Grid1D g({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+    EXPECT_DOUBLE_EQ(g(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(g(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(g(1.5), 25.0);
+    EXPECT_DOUBLE_EQ(g(2.0), 40.0);
+}
+
+TEST(Grid1D, ClampsOutsideRange)
+{
+    Grid1D g({0.0, 1.0}, {3.0, 7.0});
+    EXPECT_DOUBLE_EQ(g(-5.0), 3.0);
+    EXPECT_DOUBLE_EQ(g(5.0), 7.0);
+}
+
+TEST(Grid1D, InvertIncreasing)
+{
+    Grid1D g({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+    EXPECT_DOUBLE_EQ(g.invert(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(g.invert(25.0), 1.5);
+    EXPECT_DOUBLE_EQ(g.invert(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(g.invert(99.0), 2.0);
+}
+
+TEST(Grid1D, InvertDecreasing)
+{
+    Grid1D g({0.0, 1.0, 2.0}, {40.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(g.invert(25.0), 0.5);
+    EXPECT_DOUBLE_EQ(g.invert(5.0), 1.5);
+    EXPECT_DOUBLE_EQ(g.invert(99.0), 0.0);
+    EXPECT_DOUBLE_EQ(g.invert(-1.0), 2.0);
+}
+
+TEST(Grid1DDeathTest, RejectsBadAxes)
+{
+    EXPECT_DEATH(Grid1D({1.0, 1.0}, {0.0, 1.0}), "increasing");
+    EXPECT_DEATH(Grid1D({0.0, 1.0}, {0.0}), "mismatch");
+    EXPECT_DEATH(Grid1D({0.0}, {0.0}), "samples");
+}
+
+TEST(Grid2D, ReproducesCornerValues)
+{
+    // values row-major: x in {0,1}, y in {0,10}
+    Grid2D g({0.0, 1.0}, {0.0, 10.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g(0.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(g(0.0, 10.0), 2.0);
+    EXPECT_DOUBLE_EQ(g(1.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(g(1.0, 10.0), 4.0);
+}
+
+TEST(Grid2D, BilinearMidpoint)
+{
+    Grid2D g({0.0, 1.0}, {0.0, 10.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g(0.5, 5.0), 2.5);
+    EXPECT_DOUBLE_EQ(g(0.5, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(g(0.0, 5.0), 1.5);
+}
+
+TEST(Grid2D, ClampsOutside)
+{
+    Grid2D g({0.0, 1.0}, {0.0, 10.0}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(g(-3.0, -3.0), 1.0);
+    EXPECT_DOUBLE_EQ(g(9.0, 99.0), 4.0);
+}
+
+TEST(Grid2D, ExactlyLinearFunctionIsReproduced)
+{
+    // f(x, y) = 2x + 3y sampled on a 3x4 grid; bilinear interpolation
+    // must reproduce a separable linear function exactly everywhere.
+    std::vector<double> xs{0.0, 0.5, 2.0};
+    std::vector<double> ys{0.0, 1.0, 1.5, 4.0};
+    std::vector<double> values;
+    for (double x : xs) {
+        for (double y : ys)
+            values.push_back(2.0 * x + 3.0 * y);
+    }
+    Grid2D g(xs, ys, values);
+    for (double x : {0.1, 0.77, 1.9}) {
+        for (double y : {0.2, 1.2, 3.7})
+            EXPECT_NEAR(g(x, y), 2.0 * x + 3.0 * y, 1e-12);
+    }
+}
+
+TEST(Grid2DDeathTest, RejectsSizeMismatch)
+{
+    EXPECT_DEATH(Grid2D({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0}),
+                 "values size");
+}
+
+} // namespace
+} // namespace dcbatt::util

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Statistical sanity tests for the Rng distributions. Tolerances are
+ * sized for the fixed sample counts; the generator is deterministic,
+ * so these never flake.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) {
+        double x = rng.uniform(2.0, 6.0);
+        ASSERT_GE(x, 2.0);
+        ASSERT_LT(x, 6.0);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), 4.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t x = rng.uniformInt(1, 6);
+        ASSERT_GE(x, 1);
+        ASSERT_LE(x, 6);
+        saw_lo |= (x == 1);
+        saw_hi |= (x == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.exponential(45.0));
+    EXPECT_NEAR(s.mean(), 45.0, 1.0);
+    // Exponential: stddev == mean.
+    EXPECT_NEAR(s.stddev(), 45.0, 2.0);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RngDeathTest, ExponentialRejectsNonpositiveMean)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.exponential(0.0), "nonpositive");
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.normal(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, TruncatedNormalStaysInRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        double x = rng.truncatedNormal(1.0, 5.0, 0.5, 1.5);
+        ASSERT_GE(x, 0.5);
+        ASSERT_LE(x, 1.5);
+    }
+}
+
+TEST(Rng, TruncatedNormalDegenerateRangeClamps)
+{
+    Rng rng(17);
+    // Impossible-to-hit narrow band far from the mean: resampling
+    // gives up and clamps the mean into range.
+    double x = rng.truncatedNormal(100.0, 0.001, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(23);
+    Rng child1 = parent.fork();
+    Rng child2 = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child1.uniform() == child2.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+} // namespace
+} // namespace dcbatt::util

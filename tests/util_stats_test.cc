@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for streaming statistics, percentiles, and histograms.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.2);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.2);
+    EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic dataset: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i * 0.7) * 10.0 + i * 0.01;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats before = a;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, OrderStatistics)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(PercentileDeathTest, RejectsBadInput)
+{
+    EXPECT_DEATH(percentile({}, 50.0), "empty");
+    EXPECT_DEATH(percentile({1.0}, -1.0), "range");
+    EXPECT_DEATH(percentile({1.0}, 101.0), "range");
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-5.0);  // clamps to bin 0
+    h.add(50.0);  // clamps to bin 4
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+}
+
+TEST(HistogramDeathTest, RejectsBadRange)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "invalid");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "invalid");
+}
+
+} // namespace
+} // namespace dcbatt::util

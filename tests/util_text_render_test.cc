@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the text table and ASCII chart renderers, plus strf
+ * and logging level plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(Strf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strf("%.2f kW", 1.2345), "1.23 kW");
+    EXPECT_EQ(strf("%s", "plain"), "plain");
+    EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Strf, LongOutput)
+{
+    std::string big(500, 'x');
+    EXPECT_EQ(strf("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(LogLevel, SetAndGet)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Column alignment: "value" header starts at the same column as
+    // "1" and "22" within their respective lines.
+    auto column_of = [&out](const std::string &needle) {
+        size_t pos = out.find(needle);
+        size_t line_start = out.rfind('\n', pos);
+        line_start = line_start == std::string::npos ? 0 : line_start + 1;
+        return pos - line_start;
+    };
+    EXPECT_EQ(column_of("value"), column_of("22"));
+    EXPECT_EQ(column_of("value"), column_of("1"));
+}
+
+TEST(TextTable, NoHeader)
+{
+    TextTable t;
+    t.addRow({"a", "b"});
+    std::string out = t.render();
+    EXPECT_EQ(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRows)
+{
+    TextTable t({"c1"});
+    t.addRow({"a", "b", "c"});
+    t.addRow({"only"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("c"), std::string::npos);
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChart)
+{
+    EXPECT_EQ(renderChart({}, {}), "(empty chart)\n");
+}
+
+TEST(AsciiChart, PlotsGlyphsAndLegend)
+{
+    ChartSeries s;
+    s.label = "power";
+    s.glyph = '*';
+    for (int i = 0; i <= 10; ++i) {
+        s.xs.push_back(i);
+        s.ys.push_back(i * i);
+    }
+    ChartOptions opt;
+    opt.title = "ti tle";
+    opt.xLabel = "time";
+    std::string out = renderChart({s}, opt);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("ti tle"), std::string::npos);
+    EXPECT_NE(out.find("time"), std::string::npos);
+    EXPECT_NE(out.find("* = power"), std::string::npos);
+    // y-axis labels include the max value (100).
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(AsciiChart, RespectsForcedYRange)
+{
+    ChartSeries s;
+    s.label = "x";
+    s.glyph = 'o';
+    s.xs = {0.0, 1.0};
+    s.ys = {0.5, 0.6};
+    ChartOptions opt;
+    opt.yMin = 0.0;
+    opt.yMax = 10.0;
+    std::string out = renderChart({s}, opt);
+    EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs)
+{
+    ChartSeries a{"up", 'u', {0, 1, 2}, {0, 1, 2}};
+    ChartSeries b{"down", 'd', {0, 1, 2}, {2, 1, 0}};
+    std::string out = renderChart({a, b}, {});
+    EXPECT_NE(out.find('u'), std::string::npos);
+    EXPECT_NE(out.find('d'), std::string::npos);
+}
+
+TEST(AsciiChart, FromTimeSeries)
+{
+    TimeSeries ts(Seconds(0.0), Seconds(60.0), {1000.0, 2000.0});
+    ChartSeries s = seriesFromTimeSeries(ts, "load", 'x',
+                                         1.0 / 60.0, 1e-3);
+    ASSERT_EQ(s.xs.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.xs[1], 1.0);  // minutes
+    EXPECT_DOUBLE_EQ(s.ys[1], 2.0);  // kilo-scaled
+}
+
+} // namespace
+} // namespace dcbatt::util

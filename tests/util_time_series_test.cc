@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the fixed-step TimeSeries container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/time_series.h"
+
+namespace dcbatt::util {
+namespace {
+
+TimeSeries
+ramp(size_t n, double step = 1.0)
+{
+    TimeSeries ts(Seconds(0.0), Seconds(step));
+    for (size_t i = 0; i < n; ++i)
+        ts.append(static_cast<double>(i));
+    return ts;
+}
+
+TEST(TimeSeries, AppendAndIndex)
+{
+    TimeSeries ts = ramp(5);
+    EXPECT_EQ(ts.size(), 5u);
+    EXPECT_FALSE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts[3], 3.0);
+    EXPECT_DOUBLE_EQ(ts.timeAt(3).value(), 3.0);
+    EXPECT_DOUBLE_EQ(ts.end().value(), 5.0);
+}
+
+TEST(TimeSeries, NonzeroStartTime)
+{
+    TimeSeries ts(Seconds(100.0), Seconds(3.0));
+    ts.append(1.0);
+    ts.append(2.0);
+    EXPECT_DOUBLE_EQ(ts.timeAt(1).value(), 103.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(104.0)), 2.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(0.0)), 1.0);  // clamps low
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(1e6)), 2.0);  // clamps high
+}
+
+TEST(TimeSeries, ZeroOrderHold)
+{
+    TimeSeries ts = ramp(4, 2.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(0.0)), 0.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(1.9)), 0.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(2.0)), 1.0);
+    EXPECT_DOUBLE_EQ(ts.sample(Seconds(5.5)), 2.0);
+}
+
+TEST(TimeSeries, MinMaxMeanArgMax)
+{
+    TimeSeries ts(Seconds(0.0), Seconds(1.0), {3.0, 9.0, 1.0, 9.0});
+    EXPECT_DOUBLE_EQ(ts.maxValue(), 9.0);
+    EXPECT_DOUBLE_EQ(ts.minValue(), 1.0);
+    EXPECT_EQ(ts.argMax(), 1u);  // first occurrence
+    EXPECT_DOUBLE_EQ(ts.mean(), 5.5);
+}
+
+TEST(TimeSeries, Integral)
+{
+    TimeSeries ts(Seconds(0.0), Seconds(3.0), {2.0, 4.0});
+    EXPECT_DOUBLE_EQ(ts.integral(), 18.0);
+}
+
+TEST(TimeSeries, ElementWiseSum)
+{
+    TimeSeries a(Seconds(0.0), Seconds(1.0), {1.0, 2.0});
+    TimeSeries b(Seconds(0.0), Seconds(1.0), {10.0, 20.0});
+    a += b;
+    EXPECT_DOUBLE_EQ(a[0], 11.0);
+    EXPECT_DOUBLE_EQ(a[1], 22.0);
+}
+
+TEST(TimeSeriesDeathTest, SumRejectsMismatch)
+{
+    TimeSeries a(Seconds(0.0), Seconds(1.0), {1.0, 2.0});
+    TimeSeries b(Seconds(0.0), Seconds(2.0), {1.0, 2.0});
+    EXPECT_DEATH(a += b, "incompatible");
+    TimeSeries c(Seconds(0.0), Seconds(1.0), {1.0});
+    EXPECT_DEATH(a += c, "incompatible");
+}
+
+TEST(TimeSeries, Slice)
+{
+    TimeSeries ts = ramp(10);
+    TimeSeries s = ts.slice(3, 7);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+    EXPECT_DOUBLE_EQ(s.start().value(), 3.0);
+}
+
+TEST(TimeSeriesDeathTest, SliceRejectsBadRange)
+{
+    TimeSeries ts = ramp(4);
+    EXPECT_DEATH(ts.slice(3, 2), "bad range");
+    EXPECT_DEATH(ts.slice(0, 5), "bad range");
+}
+
+TEST(TimeSeries, DownsampleAverages)
+{
+    TimeSeries ts(Seconds(0.0), Seconds(1.0),
+                  {1.0, 3.0, 5.0, 7.0, 9.0});
+    TimeSeries d = ts.downsample(2);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d[0], 2.0);
+    EXPECT_DOUBLE_EQ(d[1], 6.0);
+    EXPECT_DOUBLE_EQ(d[2], 9.0);  // trailing partial group
+    EXPECT_DOUBLE_EQ(d.step().value(), 2.0);
+}
+
+TEST(TimeSeriesDeathTest, EmptySeriesPanics)
+{
+    TimeSeries ts;
+    EXPECT_DEATH(ts.maxValue(), "empty");
+    EXPECT_DEATH(ts.sample(Seconds(0.0)), "empty");
+}
+
+} // namespace
+} // namespace dcbatt::util

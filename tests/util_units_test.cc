@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the strong-typed quantity system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace dcbatt::util {
+namespace {
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    Watts w;
+    EXPECT_EQ(w.value(), 0.0);
+}
+
+TEST(Units, AdditionAndSubtraction)
+{
+    Watts a(100.0), b(40.0);
+    EXPECT_DOUBLE_EQ((a + b).value(), 140.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 60.0);
+    EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(Units, ScalarScaling)
+{
+    Watts a(100.0);
+    EXPECT_DOUBLE_EQ((a * 2.5).value(), 250.0);
+    EXPECT_DOUBLE_EQ((2.5 * a).value(), 250.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+}
+
+TEST(Units, RatioIsDimensionless)
+{
+    Watts a(100.0), b(50.0);
+    double ratio = a / b;
+    EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Watts a(10.0);
+    a += Watts(5.0);
+    EXPECT_DOUBLE_EQ(a.value(), 15.0);
+    a -= Watts(3.0);
+    EXPECT_DOUBLE_EQ(a.value(), 12.0);
+    a *= 2.0;
+    EXPECT_DOUBLE_EQ(a.value(), 24.0);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Watts(1.0), Watts(2.0));
+    EXPECT_GT(Watts(3.0), Watts(2.0));
+    EXPECT_EQ(Watts(2.0), Watts(2.0));
+    EXPECT_LE(Watts(2.0), Watts(2.0));
+}
+
+TEST(Units, ElectricalCrossProducts)
+{
+    Volts v(52.0);
+    Amperes i(5.0);
+    EXPECT_DOUBLE_EQ((v * i).value(), 260.0);
+    EXPECT_DOUBLE_EQ((i * v).value(), 260.0);
+    EXPECT_DOUBLE_EQ((Watts(260.0) / v).value(), 5.0);
+    EXPECT_DOUBLE_EQ((Watts(260.0) / i).value(), 52.0);
+}
+
+TEST(Units, EnergyCrossProducts)
+{
+    Watts p(3300.0);
+    Seconds t(90.0);
+    Joules e = p * t;
+    EXPECT_DOUBLE_EQ(e.value(), 297000.0);
+    EXPECT_DOUBLE_EQ((e / p).value(), 90.0);
+    EXPECT_DOUBLE_EQ((e / t).value(), 3300.0);
+}
+
+TEST(Units, ChargeCrossProducts)
+{
+    Amperes i(5.0);
+    Seconds t(1200.0);
+    Coulombs q = i * t;
+    EXPECT_DOUBLE_EQ(q.value(), 6000.0);
+    EXPECT_DOUBLE_EQ((q / i).value(), 1200.0);
+    EXPECT_DOUBLE_EQ((q / t).value(), 5.0);
+    EXPECT_DOUBLE_EQ((Joules(297000.0) / Volts(48.0)).value(), 6187.5);
+}
+
+TEST(Units, ScaleHelpers)
+{
+    EXPECT_DOUBLE_EQ(kilowatts(2.5).value(), 2500.0);
+    EXPECT_DOUBLE_EQ(megawatts(2.5).value(), 2.5e6);
+    EXPECT_DOUBLE_EQ(toKilowatts(Watts(1900.0)), 1.9);
+    EXPECT_DOUBLE_EQ(toMegawatts(megawatts(30.0)), 30.0);
+    EXPECT_DOUBLE_EQ(minutes(30.0).value(), 1800.0);
+    EXPECT_DOUBLE_EQ(hours(2.0).value(), 7200.0);
+    EXPECT_DOUBLE_EQ(toMinutes(Seconds(90.0)), 1.5);
+    EXPECT_DOUBLE_EQ(toHours(Seconds(7200.0)), 2.0);
+    EXPECT_DOUBLE_EQ(kilojoules(297.0).value(), 297000.0);
+    EXPECT_DOUBLE_EQ(toKilojoules(Joules(5000.0)), 5.0);
+}
+
+TEST(Units, ClampMinMax)
+{
+    EXPECT_EQ(clamp(Amperes(0.5), Amperes(1.0), Amperes(5.0)),
+              Amperes(1.0));
+    EXPECT_EQ(clamp(Amperes(7.0), Amperes(1.0), Amperes(5.0)),
+              Amperes(5.0));
+    EXPECT_EQ(clamp(Amperes(3.0), Amperes(1.0), Amperes(5.0)),
+              Amperes(3.0));
+    EXPECT_EQ(min(Watts(1.0), Watts(2.0)), Watts(1.0));
+    EXPECT_EQ(max(Watts(1.0), Watts(2.0)), Watts(2.0));
+}
+
+TEST(Units, ConstexprUsable)
+{
+    constexpr Watts w = kilowatts(12.6);
+    static_assert(w.value() == 12600.0);
+    constexpr Joules e = Watts(3300.0) * Seconds(90.0);
+    static_assert(e.value() == 297000.0);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace dcbatt::util

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * dcbatt_sim — command-line driver for the charging-event simulator.
+ *
+ * Runs one charging event (the paper's Section V-B experiment) with
+ * everything configurable from flags, and prints the outcome as a
+ * table plus an optional CSV of the power series. This is the
+ * "try your own scenario" entry point of the repo:
+ *
+ *   dcbatt_sim --policy priority-aware --limit-mw 2.3 --dod 0.5
+ *   dcbatt_sim --policy original --racks 100 --ot-seconds 60 \
+ *              --csv out.csv
+ *
+ * Flags (all optional):
+ *   --policy original|variable|global|priority-aware   (default pa)
+ *   --racks N          fleet size                      (default 316)
+ *   --p1 N --p2 N --p3 N  priority counts (default paper's 89/142/85,
+ *                       scaled when --racks differs)
+ *   --limit-mw X       MSB power limit                 (default 2.5)
+ *   --mean-mw X        fleet mean IT load              (default 2.0)
+ *   --dod X            target mean DOD                 (default 0.5)
+ *   --ot-seconds X     explicit open-transition length
+ *   --postpone         enable the postponement extension
+ *   --restore          enable restore-on-headroom
+ *   --seed N           trace seed                      (default 42)
+ *   --csv PATH         write time,msb,it,recharge,cap series
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_generator.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+
+using namespace dcbatt;
+
+namespace {
+
+struct CliOptions
+{
+    core::PolicyKind policy = core::PolicyKind::PriorityAware;
+    int racks = 316;
+    int p1 = -1, p2 = -1, p3 = -1;
+    double limitMw = 2.5;
+    double meanMw = 2.0;
+    double dod = 0.5;
+    double otSeconds = -1.0;
+    bool postpone = false;
+    bool restore = false;
+    uint64_t seed = 42;
+    std::string csvPath;
+};
+
+core::PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "original")
+        return core::PolicyKind::OriginalLocal;
+    if (name == "variable")
+        return core::PolicyKind::VariableLocal;
+    if (name == "global")
+        return core::PolicyKind::GlobalRate;
+    if (name == "priority-aware" || name == "pa")
+        return core::PolicyKind::PriorityAware;
+    util::fatal(util::strf("unknown policy: %s", name.c_str()));
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            util::fatal(util::strf("flag %s needs a value", argv[i]));
+        }
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--policy") {
+            options.policy = parsePolicy(need_value(i++));
+        } else if (flag == "--racks") {
+            options.racks = std::atoi(need_value(i++));
+        } else if (flag == "--p1") {
+            options.p1 = std::atoi(need_value(i++));
+        } else if (flag == "--p2") {
+            options.p2 = std::atoi(need_value(i++));
+        } else if (flag == "--p3") {
+            options.p3 = std::atoi(need_value(i++));
+        } else if (flag == "--limit-mw") {
+            options.limitMw = std::atof(need_value(i++));
+        } else if (flag == "--mean-mw") {
+            options.meanMw = std::atof(need_value(i++));
+        } else if (flag == "--dod") {
+            options.dod = std::atof(need_value(i++));
+        } else if (flag == "--ot-seconds") {
+            options.otSeconds = std::atof(need_value(i++));
+        } else if (flag == "--postpone") {
+            options.postpone = true;
+        } else if (flag == "--restore") {
+            options.restore = true;
+        } else if (flag == "--seed") {
+            options.seed = static_cast<uint64_t>(
+                std::atoll(need_value(i++)));
+        } else if (flag == "--csv") {
+            options.csvPath = need_value(i++);
+        } else if (flag == "--help" || flag == "-h") {
+            std::printf("see the header comment of tools/dcbatt_sim.cc"
+                        " for the flag list\n");
+            std::exit(0);
+        } else {
+            util::fatal(util::strf("unknown flag: %s (try --help)",
+                                   flag.c_str()));
+        }
+    }
+    if (options.racks <= 0)
+        util::fatal("--racks must be positive");
+    if (options.dod <= 0.0 || options.dod > 1.0)
+        util::fatal("--dod must be in (0, 1]");
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options = parseArgs(argc, argv);
+
+    // Priority mix: explicit counts, or the paper's ratio scaled.
+    int p1 = options.p1, p2 = options.p2, p3 = options.p3;
+    if (p1 < 0 || p2 < 0 || p3 < 0) {
+        p1 = options.racks * 89 / 316;
+        p3 = options.racks * 85 / 316;
+        p2 = options.racks - p1 - p3;
+    } else if (p1 + p2 + p3 != options.racks) {
+        util::fatal(util::strf("--p1+--p2+--p3 = %d but --racks = %d",
+                               p1 + p2 + p3, options.racks));
+    }
+    auto priorities = power::makePriorityMix(p1, p2, p3);
+
+    trace::TraceGenSpec tspec;
+    tspec.rackCount = options.racks;
+    tspec.startTime = util::hours(10.0);
+    tspec.duration = util::hours(8.0);
+    tspec.seed = options.seed;
+    tspec.aggregateMean = util::megawatts(options.meanMw);
+    tspec.aggregateAmplitude = util::megawatts(0.05 * options.meanMw);
+    tspec.priorities = priorities;
+    trace::TraceSet traces = trace::generateTraces(tspec);
+
+    core::ChargingEventConfig config;
+    config.policy = options.policy;
+    config.msbLimit = util::megawatts(options.limitMw);
+    config.targetMeanDod = options.dod;
+    if (options.otSeconds > 0.0)
+        config.openTransitionLength = util::Seconds(options.otSeconds);
+    config.priorities = priorities;
+    config.priorityAwareOptions.allowPostponement = options.postpone;
+    config.priorityAwareOptions.restoreOnHeadroom = options.restore;
+    auto result = core::runChargingEvent(config, traces);
+
+    std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d P3), "
+                "limit %.2f MW\n",
+                core::toString(options.policy), options.racks, p1, p2,
+                p3, options.limitMw);
+    std::printf("open transition %.0f s at the trace peak, fleet mean "
+                "DOD %.2f\n\n",
+                result.otLength.value(), result.meanInitialDod);
+
+    util::TextTable table({"metric", "value"});
+    table.addRow({"peak MSB power",
+                  util::strf("%.3f MW",
+                             util::toMegawatts(result.peakPower))});
+    table.addRow({"seconds above the limit",
+                  util::strf("%d", result.overloadSteps)});
+    table.addRow({"breaker tripped",
+                  result.breakerTripped ? "YES" : "no"});
+    table.addRow({"max server capping",
+                  util::strf("%.1f kW (%.1f%% of IT)",
+                             util::toKilowatts(result.maxCap),
+                             result.maxCapFractionOfIt * 100.0)});
+    for (power::Priority p : power::kAllPriorities) {
+        int idx = power::priorityIndex(p);
+        table.addRow({util::strf("%s SLAs met", toString(p)),
+                      util::strf("%d / %d",
+                                 result.slaMetByPriority[idx],
+                                 result.racksByPriority[idx])});
+    }
+    int held = 0, outages = 0;
+    for (const auto &rack : result.racks) {
+        held += rack.everHeld ? 1 : 0;
+        outages += rack.sawOutage ? 1 : 0;
+    }
+    table.addRow({"racks postponed", util::strf("%d", held)});
+    table.addRow({"racks with battery-exhaustion outage",
+                  util::strf("%d", outages)});
+    std::printf("%s", table.render().c_str());
+
+    if (!options.csvPath.empty()) {
+        std::vector<std::vector<std::string>> rows;
+        rows.push_back({"time_s", "msb_w", "it_w", "recharge_w",
+                        "cap_w"});
+        for (size_t i = 0; i < result.msbPower.size(); ++i) {
+            rows.push_back({
+                util::strf("%.1f", result.msbPower.timeAt(i).value()),
+                util::strf("%.1f", result.msbPower[i]),
+                util::strf("%.1f", result.itPower[i]),
+                util::strf("%.1f", result.rechargePower[i]),
+                util::strf("%.1f", result.capPower[i]),
+            });
+        }
+        util::writeCsvFile(options.csvPath, rows);
+        std::printf("\npower series written to %s\n",
+                    options.csvPath.c_str());
+    }
+    return result.breakerTripped ? 2 : 0;
+}
