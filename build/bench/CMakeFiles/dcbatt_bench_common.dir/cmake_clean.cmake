@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dcbatt_bench_common.dir/bench_common.cc.o.d"
+  "libdcbatt_bench_common.a"
+  "libdcbatt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

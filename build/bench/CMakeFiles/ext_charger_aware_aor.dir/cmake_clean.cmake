@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_charger_aware_aor.dir/ext_charger_aware_aor.cc.o"
+  "CMakeFiles/ext_charger_aware_aor.dir/ext_charger_aware_aor.cc.o.d"
+  "ext_charger_aware_aor"
+  "ext_charger_aware_aor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_charger_aware_aor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

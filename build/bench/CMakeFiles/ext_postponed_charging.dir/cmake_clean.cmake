@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_postponed_charging.dir/ext_postponed_charging.cc.o"
+  "CMakeFiles/ext_postponed_charging.dir/ext_postponed_charging.cc.o.d"
+  "ext_postponed_charging"
+  "ext_postponed_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_postponed_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_postponed_charging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_region_outage.dir/fig02_region_outage.cc.o"
+  "CMakeFiles/fig02_region_outage.dir/fig02_region_outage.cc.o.d"
+  "fig02_region_outage"
+  "fig02_region_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_region_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

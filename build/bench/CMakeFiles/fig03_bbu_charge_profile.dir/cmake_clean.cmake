@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bbu_charge_profile.dir/fig03_bbu_charge_profile.cc.o"
+  "CMakeFiles/fig03_bbu_charge_profile.dir/fig03_bbu_charge_profile.cc.o.d"
+  "fig03_bbu_charge_profile"
+  "fig03_bbu_charge_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bbu_charge_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

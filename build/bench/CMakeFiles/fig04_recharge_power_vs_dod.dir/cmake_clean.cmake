@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_recharge_power_vs_dod.dir/fig04_recharge_power_vs_dod.cc.o"
+  "CMakeFiles/fig04_recharge_power_vs_dod.dir/fig04_recharge_power_vs_dod.cc.o.d"
+  "fig04_recharge_power_vs_dod"
+  "fig04_recharge_power_vs_dod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_recharge_power_vs_dod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_recharge_power_vs_dod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_charge_time_vs_dod.dir/fig05_charge_time_vs_dod.cc.o"
+  "CMakeFiles/fig05_charge_time_vs_dod.dir/fig05_charge_time_vs_dod.cc.o.d"
+  "fig05_charge_time_vs_dod"
+  "fig05_charge_time_vs_dod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_charge_time_vs_dod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

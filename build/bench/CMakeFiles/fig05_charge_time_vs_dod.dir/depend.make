@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_charge_time_vs_dod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_variable_charger.dir/fig06_variable_charger.cc.o"
+  "CMakeFiles/fig06_variable_charger.dir/fig06_variable_charger.cc.o.d"
+  "fig06_variable_charger"
+  "fig06_variable_charger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_variable_charger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_production_validation.cc" "bench/CMakeFiles/fig07_production_validation.dir/fig07_production_validation.cc.o" "gcc" "bench/CMakeFiles/fig07_production_validation.dir/fig07_production_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dcbatt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcbatt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamo/CMakeFiles/dcbatt_dynamo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcbatt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcbatt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/dcbatt_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcbatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/dcbatt_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcbatt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_production_validation.dir/fig07_production_validation.cc.o"
+  "CMakeFiles/fig07_production_validation.dir/fig07_production_validation.cc.o.d"
+  "fig07_production_validation"
+  "fig07_production_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_production_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_production_validation.
+# This may be replaced when dependencies are built.

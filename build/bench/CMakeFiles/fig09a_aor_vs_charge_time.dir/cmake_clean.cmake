@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_aor_vs_charge_time.dir/fig09a_aor_vs_charge_time.cc.o"
+  "CMakeFiles/fig09a_aor_vs_charge_time.dir/fig09a_aor_vs_charge_time.cc.o.d"
+  "fig09a_aor_vs_charge_time"
+  "fig09a_aor_vs_charge_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_aor_vs_charge_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

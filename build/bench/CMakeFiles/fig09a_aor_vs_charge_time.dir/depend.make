@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_aor_vs_charge_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_sla_current.dir/fig09b_sla_current.cc.o"
+  "CMakeFiles/fig09b_sla_current.dir/fig09b_sla_current.cc.o.d"
+  "fig09b_sla_current"
+  "fig09b_sla_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_sla_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prototype_row.dir/fig10_prototype_row.cc.o"
+  "CMakeFiles/fig10_prototype_row.dir/fig10_prototype_row.cc.o.d"
+  "fig10_prototype_row"
+  "fig10_prototype_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prototype_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

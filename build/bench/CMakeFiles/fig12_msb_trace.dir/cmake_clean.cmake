@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_msb_trace.dir/fig12_msb_trace.cc.o"
+  "CMakeFiles/fig12_msb_trace.dir/fig12_msb_trace.cc.o.d"
+  "fig12_msb_trace"
+  "fig12_msb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_msb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_charging_comparison.dir/fig13_charging_comparison.cc.o"
+  "CMakeFiles/fig13_charging_comparison.dir/fig13_charging_comparison.cc.o.d"
+  "fig13_charging_comparison"
+  "fig13_charging_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_charging_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

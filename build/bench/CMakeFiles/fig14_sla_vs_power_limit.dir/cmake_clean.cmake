@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sla_vs_power_limit.dir/fig14_sla_vs_power_limit.cc.o"
+  "CMakeFiles/fig14_sla_vs_power_limit.dir/fig14_sla_vs_power_limit.cc.o.d"
+  "fig14_sla_vs_power_limit"
+  "fig14_sla_vs_power_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sla_vs_power_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

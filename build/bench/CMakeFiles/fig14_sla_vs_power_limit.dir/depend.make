@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_sla_vs_power_limit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_priority_distributions.dir/fig15_priority_distributions.cc.o"
+  "CMakeFiles/fig15_priority_distributions.dir/fig15_priority_distributions.cc.o.d"
+  "fig15_priority_distributions"
+  "fig15_priority_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_priority_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

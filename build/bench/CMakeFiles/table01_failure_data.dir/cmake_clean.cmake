@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_failure_data.dir/table01_failure_data.cc.o"
+  "CMakeFiles/table01_failure_data.dir/table01_failure_data.cc.o.d"
+  "table01_failure_data"
+  "table01_failure_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_failure_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_sla.dir/table02_sla.cc.o"
+  "CMakeFiles/table02_sla.dir/table02_sla.cc.o.d"
+  "table02_sla"
+  "table02_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

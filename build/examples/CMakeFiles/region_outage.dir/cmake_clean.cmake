@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_outage.dir/region_outage.cpp.o"
+  "CMakeFiles/region_outage.dir/region_outage.cpp.o.d"
+  "region_outage"
+  "region_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

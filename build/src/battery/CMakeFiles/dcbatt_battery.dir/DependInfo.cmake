@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/bbu.cc" "src/battery/CMakeFiles/dcbatt_battery.dir/bbu.cc.o" "gcc" "src/battery/CMakeFiles/dcbatt_battery.dir/bbu.cc.o.d"
+  "/root/repo/src/battery/charge_time_model.cc" "src/battery/CMakeFiles/dcbatt_battery.dir/charge_time_model.cc.o" "gcc" "src/battery/CMakeFiles/dcbatt_battery.dir/charge_time_model.cc.o.d"
+  "/root/repo/src/battery/charger_policy.cc" "src/battery/CMakeFiles/dcbatt_battery.dir/charger_policy.cc.o" "gcc" "src/battery/CMakeFiles/dcbatt_battery.dir/charger_policy.cc.o.d"
+  "/root/repo/src/battery/power_shelf.cc" "src/battery/CMakeFiles/dcbatt_battery.dir/power_shelf.cc.o" "gcc" "src/battery/CMakeFiles/dcbatt_battery.dir/power_shelf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcbatt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_battery.dir/bbu.cc.o"
+  "CMakeFiles/dcbatt_battery.dir/bbu.cc.o.d"
+  "CMakeFiles/dcbatt_battery.dir/charge_time_model.cc.o"
+  "CMakeFiles/dcbatt_battery.dir/charge_time_model.cc.o.d"
+  "CMakeFiles/dcbatt_battery.dir/charger_policy.cc.o"
+  "CMakeFiles/dcbatt_battery.dir/charger_policy.cc.o.d"
+  "CMakeFiles/dcbatt_battery.dir/power_shelf.cc.o"
+  "CMakeFiles/dcbatt_battery.dir/power_shelf.cc.o.d"
+  "libdcbatt_battery.a"
+  "libdcbatt_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

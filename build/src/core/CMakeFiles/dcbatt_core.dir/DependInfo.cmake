@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/charging_event_sim.cc" "src/core/CMakeFiles/dcbatt_core.dir/charging_event_sim.cc.o" "gcc" "src/core/CMakeFiles/dcbatt_core.dir/charging_event_sim.cc.o.d"
+  "/root/repo/src/core/global_coordinator.cc" "src/core/CMakeFiles/dcbatt_core.dir/global_coordinator.cc.o" "gcc" "src/core/CMakeFiles/dcbatt_core.dir/global_coordinator.cc.o.d"
+  "/root/repo/src/core/priority_aware_coordinator.cc" "src/core/CMakeFiles/dcbatt_core.dir/priority_aware_coordinator.cc.o" "gcc" "src/core/CMakeFiles/dcbatt_core.dir/priority_aware_coordinator.cc.o.d"
+  "/root/repo/src/core/sla.cc" "src/core/CMakeFiles/dcbatt_core.dir/sla.cc.o" "gcc" "src/core/CMakeFiles/dcbatt_core.dir/sla.cc.o.d"
+  "/root/repo/src/core/sla_current.cc" "src/core/CMakeFiles/dcbatt_core.dir/sla_current.cc.o" "gcc" "src/core/CMakeFiles/dcbatt_core.dir/sla_current.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dynamo/CMakeFiles/dcbatt_dynamo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcbatt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcbatt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/dcbatt_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcbatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcbatt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

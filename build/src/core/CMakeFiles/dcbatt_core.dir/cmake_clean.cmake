@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_core.dir/charging_event_sim.cc.o"
+  "CMakeFiles/dcbatt_core.dir/charging_event_sim.cc.o.d"
+  "CMakeFiles/dcbatt_core.dir/global_coordinator.cc.o"
+  "CMakeFiles/dcbatt_core.dir/global_coordinator.cc.o.d"
+  "CMakeFiles/dcbatt_core.dir/priority_aware_coordinator.cc.o"
+  "CMakeFiles/dcbatt_core.dir/priority_aware_coordinator.cc.o.d"
+  "CMakeFiles/dcbatt_core.dir/sla.cc.o"
+  "CMakeFiles/dcbatt_core.dir/sla.cc.o.d"
+  "CMakeFiles/dcbatt_core.dir/sla_current.cc.o"
+  "CMakeFiles/dcbatt_core.dir/sla_current.cc.o.d"
+  "libdcbatt_core.a"
+  "libdcbatt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_dynamo.dir/agent.cc.o"
+  "CMakeFiles/dcbatt_dynamo.dir/agent.cc.o.d"
+  "CMakeFiles/dcbatt_dynamo.dir/capping.cc.o"
+  "CMakeFiles/dcbatt_dynamo.dir/capping.cc.o.d"
+  "CMakeFiles/dcbatt_dynamo.dir/controller.cc.o"
+  "CMakeFiles/dcbatt_dynamo.dir/controller.cc.o.d"
+  "libdcbatt_dynamo.a"
+  "libdcbatt_dynamo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_dynamo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breaker.cc" "src/power/CMakeFiles/dcbatt_power.dir/breaker.cc.o" "gcc" "src/power/CMakeFiles/dcbatt_power.dir/breaker.cc.o.d"
+  "/root/repo/src/power/rack.cc" "src/power/CMakeFiles/dcbatt_power.dir/rack.cc.o" "gcc" "src/power/CMakeFiles/dcbatt_power.dir/rack.cc.o.d"
+  "/root/repo/src/power/topology.cc" "src/power/CMakeFiles/dcbatt_power.dir/topology.cc.o" "gcc" "src/power/CMakeFiles/dcbatt_power.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/battery/CMakeFiles/dcbatt_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcbatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcbatt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

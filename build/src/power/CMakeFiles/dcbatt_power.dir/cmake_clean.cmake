@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_power.dir/breaker.cc.o"
+  "CMakeFiles/dcbatt_power.dir/breaker.cc.o.d"
+  "CMakeFiles/dcbatt_power.dir/rack.cc.o"
+  "CMakeFiles/dcbatt_power.dir/rack.cc.o.d"
+  "CMakeFiles/dcbatt_power.dir/topology.cc.o"
+  "CMakeFiles/dcbatt_power.dir/topology.cc.o.d"
+  "libdcbatt_power.a"
+  "libdcbatt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/aor_simulator.cc" "src/reliability/CMakeFiles/dcbatt_reliability.dir/aor_simulator.cc.o" "gcc" "src/reliability/CMakeFiles/dcbatt_reliability.dir/aor_simulator.cc.o.d"
+  "/root/repo/src/reliability/failure_data.cc" "src/reliability/CMakeFiles/dcbatt_reliability.dir/failure_data.cc.o" "gcc" "src/reliability/CMakeFiles/dcbatt_reliability.dir/failure_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcbatt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

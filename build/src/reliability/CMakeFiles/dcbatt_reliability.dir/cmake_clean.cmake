@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_reliability.dir/aor_simulator.cc.o"
+  "CMakeFiles/dcbatt_reliability.dir/aor_simulator.cc.o.d"
+  "CMakeFiles/dcbatt_reliability.dir/failure_data.cc.o"
+  "CMakeFiles/dcbatt_reliability.dir/failure_data.cc.o.d"
+  "libdcbatt_reliability.a"
+  "libdcbatt_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

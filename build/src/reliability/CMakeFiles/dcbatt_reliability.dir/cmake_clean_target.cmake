@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcbatt_reliability.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dcbatt_sim.dir/event_queue.cc.o.d"
+  "libdcbatt_sim.a"
+  "libdcbatt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

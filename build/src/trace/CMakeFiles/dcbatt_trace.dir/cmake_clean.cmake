@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/dcbatt_trace.dir/trace_generator.cc.o.d"
+  "CMakeFiles/dcbatt_trace.dir/trace_set.cc.o"
+  "CMakeFiles/dcbatt_trace.dir/trace_set.cc.o.d"
+  "libdcbatt_trace.a"
+  "libdcbatt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cc" "src/util/CMakeFiles/dcbatt_util.dir/ascii_chart.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/dcbatt_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/interpolate.cc" "src/util/CMakeFiles/dcbatt_util.dir/interpolate.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/interpolate.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/dcbatt_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/dcbatt_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/dcbatt_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/text_table.cc" "src/util/CMakeFiles/dcbatt_util.dir/text_table.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/text_table.cc.o.d"
+  "/root/repo/src/util/time_series.cc" "src/util/CMakeFiles/dcbatt_util.dir/time_series.cc.o" "gcc" "src/util/CMakeFiles/dcbatt_util.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/dcbatt_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/csv.cc.o"
+  "CMakeFiles/dcbatt_util.dir/csv.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/interpolate.cc.o"
+  "CMakeFiles/dcbatt_util.dir/interpolate.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/logging.cc.o"
+  "CMakeFiles/dcbatt_util.dir/logging.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/random.cc.o"
+  "CMakeFiles/dcbatt_util.dir/random.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/stats.cc.o"
+  "CMakeFiles/dcbatt_util.dir/stats.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/text_table.cc.o"
+  "CMakeFiles/dcbatt_util.dir/text_table.cc.o.d"
+  "CMakeFiles/dcbatt_util.dir/time_series.cc.o"
+  "CMakeFiles/dcbatt_util.dir/time_series.cc.o.d"
+  "libdcbatt_util.a"
+  "libdcbatt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_bbu_test.dir/battery_bbu_test.cc.o"
+  "CMakeFiles/battery_bbu_test.dir/battery_bbu_test.cc.o.d"
+  "battery_bbu_test"
+  "battery_bbu_test.pdb"
+  "battery_bbu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_bbu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_charge_time_model_test.dir/battery_charge_time_model_test.cc.o"
+  "CMakeFiles/battery_charge_time_model_test.dir/battery_charge_time_model_test.cc.o.d"
+  "battery_charge_time_model_test"
+  "battery_charge_time_model_test.pdb"
+  "battery_charge_time_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_charge_time_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

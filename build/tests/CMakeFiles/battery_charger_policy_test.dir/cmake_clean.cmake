@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_charger_policy_test.dir/battery_charger_policy_test.cc.o"
+  "CMakeFiles/battery_charger_policy_test.dir/battery_charger_policy_test.cc.o.d"
+  "battery_charger_policy_test"
+  "battery_charger_policy_test.pdb"
+  "battery_charger_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_charger_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_power_shelf_test.dir/battery_power_shelf_test.cc.o"
+  "CMakeFiles/battery_power_shelf_test.dir/battery_power_shelf_test.cc.o.d"
+  "battery_power_shelf_test"
+  "battery_power_shelf_test.pdb"
+  "battery_power_shelf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_power_shelf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

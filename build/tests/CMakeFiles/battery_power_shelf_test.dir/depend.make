@@ -1,0 +1,2 @@
+# Empty dependencies file for battery_power_shelf_test.
+# This may be replaced when dependencies are built.

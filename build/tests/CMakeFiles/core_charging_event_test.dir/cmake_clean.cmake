@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_charging_event_test.dir/core_charging_event_test.cc.o"
+  "CMakeFiles/core_charging_event_test.dir/core_charging_event_test.cc.o.d"
+  "core_charging_event_test"
+  "core_charging_event_test.pdb"
+  "core_charging_event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_charging_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

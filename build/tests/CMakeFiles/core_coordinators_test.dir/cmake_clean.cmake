@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coordinators_test.dir/core_coordinators_test.cc.o"
+  "CMakeFiles/core_coordinators_test.dir/core_coordinators_test.cc.o.d"
+  "core_coordinators_test"
+  "core_coordinators_test.pdb"
+  "core_coordinators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coordinators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

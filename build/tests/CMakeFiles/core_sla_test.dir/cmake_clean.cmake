@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sla_test.dir/core_sla_test.cc.o"
+  "CMakeFiles/core_sla_test.dir/core_sla_test.cc.o.d"
+  "core_sla_test"
+  "core_sla_test.pdb"
+  "core_sla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

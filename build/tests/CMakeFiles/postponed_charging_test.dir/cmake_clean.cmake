@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postponed_charging_test.dir/postponed_charging_test.cc.o"
+  "CMakeFiles/postponed_charging_test.dir/postponed_charging_test.cc.o.d"
+  "postponed_charging_test"
+  "postponed_charging_test.pdb"
+  "postponed_charging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postponed_charging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

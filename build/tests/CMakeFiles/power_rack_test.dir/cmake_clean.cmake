@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_rack_test.dir/power_rack_test.cc.o"
+  "CMakeFiles/power_rack_test.dir/power_rack_test.cc.o.d"
+  "power_rack_test"
+  "power_rack_test.pdb"
+  "power_rack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_rack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_topology_test.dir/power_topology_test.cc.o"
+  "CMakeFiles/power_topology_test.dir/power_topology_test.cc.o.d"
+  "power_topology_test"
+  "power_topology_test.pdb"
+  "power_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

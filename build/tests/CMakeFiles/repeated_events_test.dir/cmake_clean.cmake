@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeated_events_test.dir/repeated_events_test.cc.o"
+  "CMakeFiles/repeated_events_test.dir/repeated_events_test.cc.o.d"
+  "repeated_events_test"
+  "repeated_events_test.pdb"
+  "repeated_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeated_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

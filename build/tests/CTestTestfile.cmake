@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_units_test[1]_include.cmake")
+include("/root/repo/build/tests/util_interpolate_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_random_test[1]_include.cmake")
+include("/root/repo/build/tests/util_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/util_time_series_test[1]_include.cmake")
+include("/root/repo/build/tests/util_text_render_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/battery_charge_time_model_test[1]_include.cmake")
+include("/root/repo/build/tests/battery_bbu_test[1]_include.cmake")
+include("/root/repo/build/tests/battery_charger_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/battery_power_shelf_test[1]_include.cmake")
+include("/root/repo/build/tests/power_breaker_test[1]_include.cmake")
+include("/root/repo/build/tests/power_rack_test[1]_include.cmake")
+include("/root/repo/build/tests/power_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamo_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sla_test[1]_include.cmake")
+include("/root/repo/build/tests/core_coordinators_test[1]_include.cmake")
+include("/root/repo/build/tests/core_charging_event_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_paper_test[1]_include.cmake")
+include("/root/repo/build/tests/postponed_charging_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_control_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_options_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_header_test[1]_include.cmake")
+include("/root/repo/build/tests/repeated_events_test[1]_include.cmake")

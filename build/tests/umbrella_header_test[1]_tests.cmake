@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeader.ExposesEveryLayer]=]  /root/repo/build/tests/umbrella_header_test [==[--gtest_filter=UmbrellaHeader.ExposesEveryLayer]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeader.ExposesEveryLayer]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_header_test_TESTS UmbrellaHeader.ExposesEveryLayer)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcbatt_sim_cli.dir/dcbatt_sim.cc.o"
+  "CMakeFiles/dcbatt_sim_cli.dir/dcbatt_sim.cc.o.d"
+  "dcbatt_sim"
+  "dcbatt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcbatt_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
