@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::battery {
 
@@ -27,7 +27,7 @@ toString(BbuState state)
       case BbuState::Charging:
         return "charging";
     }
-    return "unknown";
+    DCBATT_UNREACHABLE("invalid BbuState %d", static_cast<int>(state));
 }
 
 BbuModel::BbuModel(BbuParams params) : params_(params) {}
@@ -86,8 +86,8 @@ BbuModel::inputPower() const
 Joules
 BbuModel::discharge(Watts power, Seconds dt)
 {
-    if (power.value() < 0.0)
-        util::panic("BbuModel::discharge: negative power");
+    DCBATT_REQUIRE(power.value() >= 0.0,
+                   "negative discharge power %g W", power.value());
     if (state_ == BbuState::FullyDischarged || power.value() == 0.0
         || dt.value() <= 0.0) {
         return Joules(0.0);
@@ -104,6 +104,8 @@ BbuModel::discharge(Watts power, Seconds dt)
         dod_ = 1.0;
         state_ = BbuState::FullyDischarged;
     }
+    DCBATT_ASSERT(dod_ >= 0.0 && dod_ <= 1.0,
+                  "DOD %.12g outside [0, 1] after discharge", dod_);
     return delivered;
 }
 
@@ -122,6 +124,9 @@ BbuModel::startCharging(Amperes initial_current)
 void
 BbuModel::maybeEnterCv()
 {
+    // The CC-CV state machine only moves forward: once the remaining
+    // deficit fits in the CV tail the pack enters CV and stays there
+    // until charging completes (or a discharge resets the cycle).
     if (!inCv_ && deficit() <= cvCharge(setpoint_)) {
         inCv_ = true;
         cvElapsed_ = Seconds(0.0);
@@ -133,6 +138,12 @@ BbuModel::step(Seconds dt)
 {
     if (state_ != BbuState::Charging || paused_ || dt.value() <= 0.0)
         return;
+    DCBATT_ASSERT(setpoint_ >= params_.minCurrent
+                      && setpoint_ <= params_.maxCurrent,
+                  "charging setpoint %g A outside hardware range "
+                  "[%g, %g]",
+                  setpoint_.value(), params_.minCurrent.value(),
+                  params_.maxCurrent.value());
     double remaining = dt.value();
     while (remaining > 1e-12) {
         maybeEnterCv();
@@ -141,6 +152,11 @@ BbuModel::step(Seconds dt)
             // CV-phase charge. Advance either the full step or exactly
             // to the handover, whichever is sooner.
             Coulombs to_handover = deficit() - cvCharge(setpoint_);
+            DCBATT_ASSERT(to_handover.value() >= 0.0,
+                          "CC phase with deficit %g C below CV charge "
+                          "%g C",
+                          deficit().value(),
+                          cvCharge(setpoint_).value());
             double handover_s = to_handover.value() / setpoint_.value();
             double advance = std::min(remaining, handover_s);
             Coulombs delivered = setpoint_ * Seconds(advance);
@@ -188,8 +204,7 @@ BbuModel::reset()
 void
 BbuModel::forceDod(double dod)
 {
-    if (dod < 0.0 || dod > 1.0)
-        util::panic(util::strf("BbuModel::forceDod: bad DOD %g", dod));
+    DCBATT_REQUIRE(dod >= 0.0 && dod <= 1.0, "bad DOD %g", dod);
     dod_ = dod;
     inCv_ = false;
     cvElapsed_ = Seconds(0.0);

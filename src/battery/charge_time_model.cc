@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::battery {
 
@@ -12,17 +12,20 @@ using util::Seconds;
 
 ChargeTimeModel::ChargeTimeModel(BbuParams params) : params_(params)
 {
-    if (params_.cutoffCurrent >= params_.minCurrent)
-        util::panic("ChargeTimeModel: cutoff must be below min current");
+    DCBATT_REQUIRE(params_.cutoffCurrent < params_.minCurrent,
+                   "cutoff %g A must be below min current %g A",
+                   params_.cutoffCurrent.value(),
+                   params_.minCurrent.value());
 }
 
 Seconds
 ChargeTimeModel::ccDuration(double dod, Amperes current) const
 {
-    if (dod < 0.0 || dod > 1.0)
-        util::panic(util::strf("ccDuration: DOD out of range: %g", dod));
-    if (current <= params_.cutoffCurrent)
-        util::panic("ccDuration: current at or below cutoff");
+    DCBATT_REQUIRE(dod >= 0.0 && dod <= 1.0, "DOD out of range: %g",
+                   dod);
+    DCBATT_REQUIRE(current > params_.cutoffCurrent,
+                   "current %g A at or below cutoff %g A",
+                   current.value(), params_.cutoffCurrent.value());
     Coulombs deficit = params_.refillCharge * dod;
     Coulombs cv_charge = (current - params_.cutoffCurrent)
         * params_.cvTimeConstant;

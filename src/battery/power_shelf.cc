@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::battery {
 
@@ -14,12 +14,12 @@ PowerShelf::PowerShelf(std::shared_ptr<const ChargerPolicy> policy,
                        BbuParams params)
     : params_(params), policy_(std::move(policy))
 {
-    if (!policy_)
-        util::panic("PowerShelf: null charger policy");
-    if (params_.bbusPerRack <= 0 || params_.zonesPerRack <= 0
-        || params_.bbusPerRack % params_.zonesPerRack != 0) {
-        util::panic("PowerShelf: bad shelf geometry");
-    }
+    DCBATT_REQUIRE(policy_ != nullptr, "null charger policy");
+    DCBATT_REQUIRE(params_.bbusPerRack > 0 && params_.zonesPerRack > 0
+                       && params_.bbusPerRack % params_.zonesPerRack
+                           == 0,
+                   "bad shelf geometry: %d BBUs in %d zones",
+                   params_.bbusPerRack, params_.zonesPerRack);
     bbus_.assign(static_cast<size_t>(params_.bbusPerRack),
                  BbuModel(params_));
     healthy_.assign(bbus_.size(), true);
@@ -112,6 +112,11 @@ PowerShelf::step(Seconds dt, Watts it_load)
             carried += delivered / dt;
         }
     }
+    // Energy conservation: the shelf never delivers more power than
+    // the servers asked for (it can deliver less — a brown-out).
+    DCBATT_ASSERT(carried <= it_load + Watts(1e-6),
+                  "shelf delivered %.6f W against %.6f W of load",
+                  carried.value(), it_load.value());
     return carried;
 }
 
@@ -258,12 +263,16 @@ PowerShelf::canCarryLoad() const
 void
 PowerShelf::failBbu(int index)
 {
+    DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
+                   "BBU index %d outside [0, %d)", index, bbuCount());
     healthy_[static_cast<size_t>(index)] = false;
 }
 
 void
 PowerShelf::repairBbu(int index)
 {
+    DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
+                   "BBU index %d outside [0, %d)", index, bbuCount());
     auto idx = static_cast<size_t>(index);
     healthy_[idx] = true;
     bbus_[idx].reset();

@@ -24,6 +24,7 @@
 
 #include "battery/bbu.h"
 #include "battery/charger_policy.h"
+#include "util/check.h"
 #include "util/units.h"
 
 namespace dcbatt::battery {
@@ -122,10 +123,31 @@ class PowerShelf
     void failBbu(int index);
     /** Repair a previously failed BBU (returns fully charged). */
     void repairBbu(int index);
-    bool bbuHealthy(int index) const { return healthy_[index]; }
+    bool
+    bbuHealthy(int index) const
+    {
+        DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
+                       "BBU index %d outside [0, %d)", index,
+                       bbuCount());
+        return healthy_[static_cast<size_t>(index)];
+    }
 
-    const BbuModel &bbu(int index) const { return bbus_[index]; }
-    BbuModel &bbu(int index) { return bbus_[index]; }
+    const BbuModel &
+    bbu(int index) const
+    {
+        DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
+                       "BBU index %d outside [0, %d)", index,
+                       bbuCount());
+        return bbus_[static_cast<size_t>(index)];
+    }
+    BbuModel &
+    bbu(int index)
+    {
+        DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
+                       "BBU index %d outside [0, %d)", index,
+                       bbuCount());
+        return bbus_[static_cast<size_t>(index)];
+    }
     int bbuCount() const { return static_cast<int>(bbus_.size()); }
 
     /** Force every healthy BBU to the same DOD (test/bench helper). */

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/charging_invariants.h"
 #include "core/global_coordinator.h"
 #include "core/local_coordinator.h"
 #include "power/topology.h"
 #include "sim/event_queue.h"
+#include "sim/invariant_auditor.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace dcbatt::core {
@@ -52,7 +55,8 @@ makeCoordinator(const ChargingEventConfig &config)
             std::move(calc), config.priorityAwareOptions);
       }
     }
-    util::panic("makeCoordinator: unknown policy");
+    DCBATT_UNREACHABLE("unknown policy %d",
+                       static_cast<int>(config.policy));
 }
 
 std::shared_ptr<const battery::ChargerPolicy>
@@ -74,6 +78,13 @@ runChargingEvent(const ChargingEventConfig &config,
     const int n_racks = traces.rackCount();
     if (n_racks <= 0)
         util::fatal("runChargingEvent: empty trace set");
+    DCBATT_REQUIRE(config.physicsStep.value() > 0.0,
+                   "nonpositive physics step %g s",
+                   config.physicsStep.value());
+    DCBATT_REQUIRE(config.targetMeanDod > 0.0
+                       && config.targetMeanDod <= 1.0,
+                   "target mean DOD %g outside (0, 1]",
+                   config.targetMeanDod);
 
     // --- topology ---------------------------------------------------
     power::TopologySpec spec;
@@ -137,6 +148,20 @@ runChargingEvent(const ChargingEventConfig &config,
     topo.scheduleOpenTransition(queue, topo.root(),
                                 to_tick(peak_time),
                                 sim::toTicks(ot_length));
+
+    // Optional in-flight physical-invariant auditing. The auditor
+    // rides the same event queue as the physics and control plane; a
+    // violation aborts through the DCBATT contract machinery.
+    std::unique_ptr<sim::InvariantAuditor> auditor;
+    if (config.auditInterval) {
+        auditor = std::make_unique<sim::InvariantAuditor>(
+            queue, sim::toTicks(*config.auditInterval));
+        registerChargingInvariants(
+            *auditor, topo,
+            dynamic_cast<const PriorityAwareCoordinator *>(
+                coordinator.get()));
+        auditor->start();
+    }
 
     // --- result plumbing ---------------------------------------------
     ChargingEventResult result;
@@ -226,6 +251,13 @@ runChargingEvent(const ChargingEventConfig &config,
     queue.runUntil(to_tick(t_end));
     plane.stop();
     physics.stop();
+    if (auditor) {
+        // One final pass over the end state, then record the stats.
+        auditor->stop();
+        auditor->auditNow();
+        result.auditCount = auditor->auditCount();
+        result.auditViolations = auditor->violationCount();
+    }
 
     // --- outcomes -----------------------------------------------------
     result.peakPower = Watts(result.msbPower.maxValue());

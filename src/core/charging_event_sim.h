@@ -20,6 +20,7 @@
 #define DCBATT_CORE_CHARGING_EVENT_SIM_H_
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -77,6 +78,15 @@ struct ChargingEventConfig
     /** Physics integration step. */
     util::Seconds physicsStep{1.0};
 
+    /**
+     * When set, run a sim::InvariantAuditor at this interval for the
+     * whole event, validating the physical invariants of
+     * core/charging_invariants.h (SoC bounds, CC-CV direction, breaker
+     * thermal limits, power conservation, priority charging order).
+     * A violation aborts through the DCBATT contract machinery.
+     */
+    std::optional<util::Seconds> auditInterval;
+
     SlaTable slaTable = SlaTable::paperDefault();
     battery::BbuParams bbuParams;
     dynamo::ControllerConfig controllerConfig;
@@ -127,6 +137,11 @@ struct ChargingEventResult
     bool breakerTripped = false;
     /** Physics steps during which the MSB was above its limit. */
     int overloadSteps = 0;
+
+    /** Invariant-audit passes run (0 unless auditing was enabled). */
+    uint64_t auditCount = 0;
+    /** Violations detected (always 0 with the aborting handler). */
+    uint64_t auditViolations = 0;
 
     std::vector<RackOutcome> racks;
     std::array<int, 3> racksByPriority{0, 0, 0};

@@ -1,0 +1,269 @@
+#include "core/charging_invariants.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "battery/power_shelf.h"
+#include "power/breaker.h"
+#include "power/rack.h"
+#include "util/logging.h"
+
+namespace dcbatt::core {
+
+using power::PowerNode;
+using power::Rack;
+using power::Topology;
+using util::Watts;
+
+namespace {
+
+/** CC-CV phase snapshot of one BBU. */
+enum class ChargePhase : int
+{
+    Idle = 0,  ///< not charging (full, discharging, or discharged)
+    Cc = 1,
+    Cv = 2,
+};
+
+ChargePhase
+phaseOf(const battery::BbuModel &bbu)
+{
+    if (!bbu.charging())
+        return ChargePhase::Idle;
+    return bbu.inCvPhase() ? ChargePhase::Cv : ChargePhase::Cc;
+}
+
+/** Last-audit CC-CV phase and DOD, per (rack, bbu). */
+struct PhaseHistory
+{
+    struct Sample
+    {
+        ChargePhase phase = ChargePhase::Idle;
+        double dod = 0.0;
+    };
+    // Indexed by rack id, then BBU index (ids are dense per topology).
+    std::vector<std::vector<Sample>> samples;
+};
+
+void
+checkSocBounds(sim::AuditContext &context, const Topology &topology,
+               double slack)
+{
+    for (const Rack *rack : topology.racks()) {
+        const battery::PowerShelf &shelf = rack->shelf();
+        for (int b = 0; b < shelf.bbuCount(); ++b) {
+            double dod = shelf.bbu(b).dod();
+            context.expect(
+                dod >= -slack && dod <= 1.0 + slack,
+                util::strf("rack %s bbu %d: DOD %.12g outside [0, 1]",
+                           rack->name().c_str(), b, dod));
+        }
+    }
+}
+
+void
+checkCcCvForward(sim::AuditContext &context, const Topology &topology,
+                 PhaseHistory &history, double slack)
+{
+    const size_t n_racks = topology.racks().size();
+    if (history.samples.size() != n_racks)
+        history.samples.resize(n_racks);
+    for (size_t r = 0; r < n_racks; ++r) {
+        const Rack *rack = topology.racks()[r];
+        const battery::PowerShelf &shelf = rack->shelf();
+        auto &rack_history = history.samples[r];
+        if (rack_history.size()
+            != static_cast<size_t>(shelf.bbuCount())) {
+            rack_history.assign(
+                static_cast<size_t>(shelf.bbuCount()), {});
+        }
+        for (int b = 0; b < shelf.bbuCount(); ++b) {
+            const battery::BbuModel &bbu = shelf.bbu(b);
+            auto &prev = rack_history[static_cast<size_t>(b)];
+            ChargePhase phase = phaseOf(bbu);
+            double dod = bbu.dod();
+            // CV -> CC within one continuous charge is the violation;
+            // a DOD increase between samples means the pack discharged
+            // and restarted charging, which legally begins in CC.
+            if (prev.phase == ChargePhase::Cv && phase == ChargePhase::Cc
+                && dod <= prev.dod + slack) {
+                context.fail(util::strf(
+                    "rack %s bbu %d: CC-CV phase moved backwards "
+                    "(CV -> CC at DOD %.6g, was %.6g)",
+                    rack->name().c_str(), b, dod, prev.dod));
+            }
+            prev.phase = phase;
+            prev.dod = dod;
+        }
+    }
+}
+
+void
+checkBreakerThermal(sim::AuditContext &context, const PowerNode &node,
+                    double slack)
+{
+    if (const power::CircuitBreaker *breaker = node.breaker()) {
+        double accumulator = breaker->thermalAccumulator();
+        context.expect(
+            accumulator >= -slack,
+            util::strf("breaker %s: negative thermal accumulator %.12g",
+                       breaker->name().c_str(), accumulator));
+        if (!breaker->tripped()) {
+            context.expect(
+                accumulator < breaker->tripThreshold() + slack,
+                util::strf("breaker %s: accumulator %.6g at/over trip "
+                           "threshold %.6g but breaker not tripped",
+                           breaker->name().c_str(), accumulator,
+                           breaker->tripThreshold()));
+        }
+    }
+    for (const PowerNode *child : node.children())
+        checkBreakerThermal(context, *child, slack);
+}
+
+/** Returns the subtree's input power while checking conservation. */
+Watts
+checkConservation(sim::AuditContext &context, const PowerNode &node,
+                  Watts tolerance)
+{
+    if (const Rack *rack = node.rack()) {
+        // Leaf: the node must report exactly the rack's tap-box power,
+        // which in turn must decompose into IT load + recharge power
+        // while input power is on (and zero while it is off).
+        Watts reported = node.inputPower();
+        Watts expected = rack->inputPowerOn()
+            ? rack->itLoad() + rack->shelf().rechargePower()
+            : Watts(0.0);
+        context.expect(
+            std::abs((reported - expected).value())
+                <= tolerance.value(),
+            util::strf("rack %s: input power %.6f W != IT + recharge "
+                       "%.6f W",
+                       rack->name().c_str(), reported.value(),
+                       expected.value()));
+        return reported;
+    }
+    Watts children_sum(0.0);
+    for (const PowerNode *child : node.children())
+        children_sum += checkConservation(context, *child, tolerance);
+    Watts reported = node.inputPower();
+    context.expect(
+        std::abs((reported - children_sum).value()) <= tolerance.value(),
+        util::strf("node %s: input power %.6f W != children sum %.6f W",
+                   node.name().c_str(), reported.value(),
+                   children_sum.value()));
+    return reported;
+}
+
+void
+checkPriorityOrder(sim::AuditContext &context, const Topology &topology,
+                   const PriorityAwareCoordinator *coordinator)
+{
+    // Physical level: among racks in the Charging state, no rack may
+    // be actively charging while a strictly higher-priority rack is
+    // held (postponed). Holds are taken bottom-up and released
+    // top-down, so the held set is always a suffix of the priority
+    // order.
+    int most_important_held = 3;  // past-the-end priority index
+    for (const Rack *rack : topology.racks()) {
+        const battery::PowerShelf &shelf = rack->shelf();
+        if (shelf.anyCharging() && shelf.chargingHeld()) {
+            most_important_held =
+                std::min(most_important_held,
+                         power::priorityIndex(rack->priority()));
+        }
+    }
+    if (most_important_held < 3) {
+        for (const Rack *rack : topology.racks()) {
+            const battery::PowerShelf &shelf = rack->shelf();
+            if (!shelf.anyCharging() || shelf.chargingHeld())
+                continue;
+            context.expect(
+                power::priorityIndex(rack->priority())
+                    <= most_important_held,
+                util::strf("rack %s (%s) charging while a P%d rack is "
+                           "held",
+                           rack->name().c_str(),
+                           power::toString(rack->priority()),
+                           most_important_held + 1));
+        }
+    }
+
+    // Plan level: the coordinator's own hold set must honour the same
+    // ordering against the racks it still plans to charge.
+    if (!coordinator)
+        return;
+    int planned_held = 3;
+    for (const auto &[rack_id, held] : coordinator->held()) {
+        if (held) {
+            planned_held = std::min(
+                planned_held,
+                power::priorityIndex(
+                    topology.racks()[static_cast<size_t>(rack_id)]
+                        ->priority()));
+        }
+    }
+    if (planned_held >= 3)
+        return;
+    for (const auto &[rack_id, current] : coordinator->commanded()) {
+        const Rack *rack =
+            topology.racks()[static_cast<size_t>(rack_id)];
+        auto held_it = coordinator->held().find(rack_id);
+        bool held = held_it != coordinator->held().end()
+            && held_it->second;
+        if (held || !rack->shelf().anyCharging())
+            continue;
+        context.expect(
+            power::priorityIndex(rack->priority()) <= planned_held,
+            util::strf("coordinator plans rack %d (%s) charging at "
+                       "%.2f A while a P%d rack is planned held",
+                       rack_id, power::toString(rack->priority()),
+                       current.value(), planned_held + 1));
+    }
+}
+
+} // namespace
+
+void
+registerChargingInvariants(sim::InvariantAuditor &auditor,
+                           const Topology &topology,
+                           const PriorityAwareCoordinator *coordinator,
+                           ChargingInvariantOptions options)
+{
+    const Topology *topo = &topology;
+
+    auditor.addInvariant(
+        "soc-bounds", [topo, options](sim::AuditContext &context) {
+            checkSocBounds(context, *topo, options.dodSlack);
+        });
+
+    auto history = std::make_shared<PhaseHistory>();
+    auditor.addInvariant(
+        "cc-cv-forward",
+        [topo, history, options](sim::AuditContext &context) {
+            checkCcCvForward(context, *topo, *history, options.dodSlack);
+        });
+
+    auditor.addInvariant(
+        "breaker-thermal",
+        [topo, options](sim::AuditContext &context) {
+            checkBreakerThermal(context, topo->root(),
+                                options.thermalSlack);
+        });
+
+    auditor.addInvariant(
+        "power-conservation",
+        [topo, options](sim::AuditContext &context) {
+            checkConservation(context, topo->root(),
+                              options.conservationTolerance);
+        });
+
+    auditor.addInvariant(
+        "priority-charging-order",
+        [topo, coordinator](sim::AuditContext &context) {
+            checkPriorityOrder(context, *topo, coordinator);
+        });
+}
+
+} // namespace dcbatt::core

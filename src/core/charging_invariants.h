@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical invariants of a charging-event simulation, packaged for the
+ * sim::InvariantAuditor.
+ *
+ * The failure mode this guards against is the classic one in
+ * power-modelling code: a refactor (or a future performance
+ * optimisation such as cached subtree aggregation) silently violating
+ * a conservation law or a physical bound, distorting fleet-level
+ * conclusions without any test noticing. Registering these checks
+ * turns each law into a machine-checked contract audited while the
+ * simulation runs:
+ *
+ *  - soc-bounds: every BBU's state of charge stays in [0, capacity]
+ *    (DOD in [0, 1]).
+ *  - cc-cv-forward: a charging BBU's CC-CV state machine only moves
+ *    forward (never CV back to CC without an intervening discharge).
+ *  - breaker-thermal: no breaker's thermal accumulator exceeds its
+ *    trip threshold while the breaker reports untripped.
+ *  - power-conservation: every interior node's input power equals the
+ *    sum of its children's, within tolerance, all the way down to the
+ *    rack (IT load + recharge power while input is on).
+ *  - priority-charging-order: no lower-priority rack charges while a
+ *    higher-priority rack is starved (held/postponed) — the paper's
+ *    priority-aware ordering contract, checked both at the physical
+ *    shelf level and, when a PriorityAwareCoordinator is supplied,
+ *    against its planned hold set.
+ */
+
+#ifndef DCBATT_CORE_CHARGING_INVARIANTS_H_
+#define DCBATT_CORE_CHARGING_INVARIANTS_H_
+
+#include "core/priority_aware_coordinator.h"
+#include "power/topology.h"
+#include "sim/invariant_auditor.h"
+#include "util/units.h"
+
+namespace dcbatt::core {
+
+/** Tolerances for the physical-invariant checks. */
+struct ChargingInvariantOptions
+{
+    /** Allowed parent-vs-children power mismatch per node. */
+    util::Watts conservationTolerance{1e-6};
+    /** Slack on the [0, 1] DOD bounds (floating-point headroom). */
+    double dodSlack = 1e-9;
+    /** Slack on the breaker thermal-accumulator bound. */
+    double thermalSlack = 1e-9;
+};
+
+/**
+ * Register the full physical-invariant set for @p topology on
+ * @p auditor. The topology must outlive the auditor. @p coordinator
+ * may be null; when given, the priority-ordering invariant also
+ * cross-checks the coordinator's planned holds against the racks that
+ * are physically charging.
+ */
+void registerChargingInvariants(
+    sim::InvariantAuditor &auditor, const power::Topology &topology,
+    const PriorityAwareCoordinator *coordinator = nullptr,
+    ChargingInvariantOptions options = {});
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_CHARGING_INVARIANTS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace dcbatt::core {
 
 using dynamo::OverrideCommand;
@@ -96,6 +98,10 @@ PriorityAwareCoordinator::planInitial(
         if (is_held(info->rackId))
             continue;
         Amperes sla = slaCurrent_[info->rackId];
+        DCBATT_ASSERT(sla >= floor && sla <= bbuParams().maxCurrent,
+                      "SLA current %g A for rack %d outside [%g, %g] A",
+                      sla.value(), info->rackId, floor.value(),
+                      bbuParams().maxCurrent.value());
         Watts extra = per_amp * (sla - floor).value();
         if (extra <= budget) {
             commanded_[info->rackId] = sla;

@@ -89,6 +89,9 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
         return commanded_;
     }
 
+    /** Postponement (hold) state per rack (after the last plan/tick). */
+    const std::unordered_map<int, bool> &held() const { return held_; }
+
   private:
     /** Sort (priority asc, DOD asc, id) honoring the ablation knobs. */
     std::vector<const dynamo::RackChargeInfo *>

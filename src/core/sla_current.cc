@@ -1,5 +1,7 @@
 #include "core/sla_current.h"
 
+#include "util/check.h"
+
 namespace dcbatt::core {
 
 using util::Amperes;
@@ -20,6 +22,8 @@ SlaCurrentCalculator::setFloor(power::Priority p, Amperes floor)
 Amperes
 SlaCurrentCalculator::requiredCurrent(double dod, power::Priority p) const
 {
+    DCBATT_REQUIRE(dod >= 0.0 && dod <= 1.0, "DOD out of range: %g",
+                   dod);
     Seconds deadline = table_.chargeTimeSla(p) - latencyMargin_;
     auto needed = model_.currentForDeadline(dod, deadline);
     Amperes current = needed.value_or(model_.params().maxCurrent);

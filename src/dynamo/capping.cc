@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "power/priority.h"
+#include "util/check.h"
 
 namespace dcbatt::dynamo {
 
@@ -40,12 +41,18 @@ CappingEngine::applyReduction(std::vector<RackAgent *> &agents,
             Watts floor = demand * (1.0 - maxCapFraction_);
             Watts room = agent->rack().itLoad() - floor;
             Watts share = want * (room / cappable);
+            DCBATT_ASSERT(share.value() >= 0.0,
+                          "negative cap share %g W for rack %d",
+                          share.value(), agent->rackId());
             Watts new_cap = agent->rack().capAmount() + share;
             agent->commandCap(new_cap);
             ledger_[agent->rackId()] += share.value();
             applied += share;
         }
     }
+    DCBATT_ASSERT(applied <= reduction + Watts(1e-6),
+                  "capped %.6f W, more than the %.6f W asked for",
+                  applied.value(), reduction.value());
     return applied;
 }
 

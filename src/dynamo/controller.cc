@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace dcbatt::dynamo {
@@ -19,10 +20,8 @@ BreakerController::BreakerController(PowerNode &node,
     : node_(&node), agents_(std::move(agents)), queue_(&queue),
       coordinator_(coordinator), config_(config)
 {
-    if (!node_->breaker())
-        util::panic(util::strf("BreakerController: node %s has no "
-                               "breaker",
-                               node_->name().c_str()));
+    DCBATT_REQUIRE(node_->breaker() != nullptr,
+                   "node %s has no breaker", node_->name().c_str());
     for (RackAgent *agent : agents_)
         agentById_[agent->rackId()] = agent;
 }

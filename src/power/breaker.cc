@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace dcbatt::power {
@@ -13,17 +14,21 @@ CircuitBreaker::CircuitBreaker(std::string name, Watts limit,
                                BreakerTripCurve curve)
     : name_(std::move(name)), limit_(limit), curve_(curve)
 {
-    if (limit_.value() <= 0.0)
-        util::panic(util::strf("CircuitBreaker %s: nonpositive limit",
-                               name_.c_str()));
+    DCBATT_REQUIRE(limit_.value() > 0.0,
+                   "breaker %s: nonpositive limit %g W", name_.c_str(),
+                   limit_.value());
+    DCBATT_REQUIRE(curve_.referenceOverload > 0.0
+                       && curve_.referenceTime.value() > 0.0
+                       && curve_.coolingTime.value() > 0.0,
+                   "breaker %s: invalid trip curve", name_.c_str());
 }
 
 void
 CircuitBreaker::setLimit(Watts limit)
 {
-    if (limit.value() <= 0.0)
-        util::panic(util::strf("CircuitBreaker %s: nonpositive limit",
-                               name_.c_str()));
+    DCBATT_REQUIRE(limit.value() > 0.0,
+                   "breaker %s: nonpositive limit %g W", name_.c_str(),
+                   limit.value());
     limit_ = limit;
 }
 
@@ -53,6 +58,9 @@ CircuitBreaker::observe(Watts load, Seconds dt)
                                 / curve_.coolingTime.value());
         accumulator_ *= decay;
     }
+    DCBATT_ASSERT(accumulator_ >= 0.0,
+                  "breaker %s: negative thermal accumulator %g",
+                  name_.c_str(), accumulator_);
     if (accumulator_ >= tripThreshold()) {
         tripped_ = true;
         util::warn(util::strf("circuit breaker %s TRIPPED "

@@ -1,6 +1,6 @@
 #include "power/rack.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::power {
 
@@ -18,6 +18,12 @@ Rack::Rack(int id, std::string name, Priority priority,
 void
 Rack::setCapAmount(Watts amount)
 {
+    // A meaningfully negative cap is a control-plane bug, not a value
+    // to clamp silently; tolerate only floating-point dust from the
+    // capping engine's ledger arithmetic.
+    DCBATT_REQUIRE(amount.value() >= -1e-6,
+                   "negative cap %g W on rack %s", amount.value(),
+                   name_.c_str());
     capAmount_ = util::max(amount, Watts(0.0));
 }
 

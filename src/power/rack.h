@@ -51,7 +51,11 @@ class Rack
 
     /** Power cap currently imposed by the control plane (0 = none). */
     util::Watts capAmount() const { return capAmount_; }
-    /** Cap the IT load by @p amount below demand (clamped >= 0). */
+    /**
+     * Cap the IT load by @p amount below demand. A meaningfully
+     * negative amount is a precondition violation; sub-microwatt
+     * negative dust is clamped to zero.
+     */
     void setCapAmount(util::Watts amount);
     void uncap() { capAmount_ = util::Watts(0.0); }
 

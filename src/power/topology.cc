@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace dcbatt::power {
@@ -39,8 +40,11 @@ PowerNode::PowerNode(std::string name, NodeKind kind)
 void
 PowerNode::addChild(PowerNode *child)
 {
-    if (!child || child->parent_)
-        util::panic("PowerNode::addChild: bad child");
+    DCBATT_REQUIRE(child != nullptr, "null child under node %s",
+                   name_.c_str());
+    DCBATT_REQUIRE(child->parent_ == nullptr,
+                   "node %s already has parent %s", child->name_.c_str(),
+                   child->parent_->name_.c_str());
     child->parent_ = this;
     children_.push_back(child);
 }
@@ -54,8 +58,9 @@ PowerNode::attachBreaker(std::unique_ptr<CircuitBreaker> breaker)
 void
 PowerNode::attachRack(Rack *rack)
 {
-    if (kind_ != NodeKind::RackNode)
-        util::panic("PowerNode::attachRack: not a rack node");
+    DCBATT_REQUIRE(kind_ == NodeKind::RackNode,
+                   "cannot attach a rack to %s node %s",
+                   toString(kind_), name_.c_str());
     rack_ = rack;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -21,8 +22,8 @@ AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
                            AorConfig config)
     : config_(config)
 {
-    if (config_.years <= 0.0)
-        util::fatal("AorSimulator: nonpositive horizon");
+    DCBATT_REQUIRE(config_.years > 0.0, "nonpositive horizon %g",
+                   config_.years);
     generateTimeline(processes);
 }
 
@@ -70,6 +71,12 @@ AorSimulator::generateTimeline(
               [](const LossInterval &a, const LossInterval &b) {
                   return a.startSeconds < b.startSeconds;
               });
+    for (const LossInterval &loss : timeline_) {
+        DCBATT_ASSERT(loss.startSeconds >= 0.0
+                          && loss.durationSeconds >= 0.0,
+                      "malformed loss interval at %g s (duration %g s)",
+                      loss.startSeconds, loss.durationSeconds);
+    }
 }
 
 AorResult
@@ -114,6 +121,11 @@ AorSimulator::aorForChargeModel(
         not_full += std::min(span_end, horizon) - span_start;
 
     AorResult result;
+    // The union of loss spans is clipped to the horizon, so the
+    // not-fully-redundant time can never exceed it.
+    DCBATT_ASSERT(not_full >= 0.0 && not_full <= horizon,
+                  "loss-span union %g s outside [0, %g] s", not_full,
+                  horizon);
     result.aor = 1.0 - not_full / horizon;
     result.lossOfRedundancyHoursPerYear =
         not_full / kSecondsPerHour / config_.years;

@@ -3,18 +3,17 @@
 #include <algorithm>
 #include <limits>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::sim {
 
 EventId
 EventQueue::schedule(Tick when, Callback callback)
 {
-    if (when < now_) {
-        util::panic(util::strf(
-            "EventQueue::schedule: tick %lld is in the past (now %lld)",
-            static_cast<long long>(when), static_cast<long long>(now_)));
-    }
+    DCBATT_REQUIRE(when >= now_,
+                   "tick %lld is in the past (now %lld)",
+                   static_cast<long long>(when),
+                   static_cast<long long>(now_));
     EventId id = nextId_++;
     queue_.push(Entry{when, nextSeq_++, id, std::move(callback)});
     pending_.insert(id);
@@ -42,6 +41,13 @@ EventQueue::execute(Tick until)
         queue_.pop();
         if (pending_.erase(entry.id) == 0)
             continue;  // cancelled while queued
+        // The heap order and the schedule-in-the-past precondition
+        // together guarantee monotonic event time; a violation here
+        // means the queue state is corrupted.
+        DCBATT_ASSERT(entry.when >= now_,
+                      "event time moved backwards: %lld after %lld",
+                      static_cast<long long>(entry.when),
+                      static_cast<long long>(now_));
         now_ = entry.when;
         entry.callback();
         ++executed;
@@ -68,8 +74,8 @@ PeriodicTask::PeriodicTask(EventQueue &queue, Tick period,
                            Callback callback)
     : queue_(queue), period_(period), callback_(std::move(callback))
 {
-    if (period_ <= 0)
-        util::panic("PeriodicTask: period must be positive");
+    DCBATT_REQUIRE(period_ > 0, "period must be positive, got %lld",
+                   static_cast<long long>(period_));
 }
 
 PeriodicTask::~PeriodicTask()

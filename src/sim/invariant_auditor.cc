@@ -1,0 +1,109 @@
+#include "sim/invariant_auditor.h"
+
+#include "util/check.h"
+
+namespace dcbatt::sim {
+
+void
+AuditContext::fail(std::string detail)
+{
+    violations_.push_back({invariant_, std::move(detail), now_});
+}
+
+bool
+AuditContext::expect(bool ok, std::string detail)
+{
+    if (!ok)
+        fail(std::move(detail));
+    return ok;
+}
+
+namespace {
+
+void
+defaultViolationHandler(const AuditViolation &violation)
+{
+    ::dcbatt::util::detail::checkFailed(
+        util::CheckKind::Assert, violation.invariant.c_str(),
+        "invariant_auditor", 0, "audit",
+        util::strf("tick %lld: %s",
+                   static_cast<long long>(violation.when),
+                   violation.detail.c_str()));
+}
+
+} // namespace
+
+InvariantAuditor::InvariantAuditor(EventQueue &queue, Tick interval)
+    : queue_(queue),
+      task_(queue, interval, [this](Tick now) { runAudit(now); }),
+      handler_(defaultViolationHandler)
+{
+    DCBATT_REQUIRE(interval > 0,
+                   "audit interval must be positive, got %lld",
+                   static_cast<long long>(interval));
+}
+
+InvariantAuditor::~InvariantAuditor() = default;
+
+void
+InvariantAuditor::addInvariant(std::string name, Check check)
+{
+    DCBATT_REQUIRE(static_cast<bool>(check),
+                   "invariant '%s' has no check body", name.c_str());
+    invariants_.push_back({std::move(name), std::move(check)});
+}
+
+void
+InvariantAuditor::setViolationHandler(ViolationHandler handler)
+{
+    handler_ = handler ? std::move(handler) : defaultViolationHandler;
+}
+
+void
+InvariantAuditor::start()
+{
+    task_.start();
+}
+
+void
+InvariantAuditor::stop()
+{
+    task_.stop();
+}
+
+void
+InvariantAuditor::auditNow()
+{
+    runAudit(queue_.now());
+}
+
+void
+InvariantAuditor::runAudit(Tick now)
+{
+    // The kernel invariant: simulated time never moves backwards
+    // between audits. This would catch a corrupted event queue (or a
+    // future parallel scheduler violating the ordering contract).
+    ++auditCount_;
+    if (lastAuditTick_ >= 0 && now < lastAuditTick_) {
+        AuditViolation violation{
+            "monotonic-event-time",
+            util::strf("audit time went backwards: %lld after %lld",
+                       static_cast<long long>(now),
+                       static_cast<long long>(lastAuditTick_)),
+            now};
+        ++violationCount_;
+        handler_(violation);
+    }
+    lastAuditTick_ = now;
+
+    for (const NamedCheck &invariant : invariants_) {
+        AuditContext context(invariant.name, now);
+        invariant.check(context);
+        for (const AuditViolation &violation : context.violations()) {
+            ++violationCount_;
+            handler_(violation);
+        }
+    }
+}
+
+} // namespace dcbatt::sim

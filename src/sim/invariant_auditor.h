@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Periodic physical-invariant auditing for simulations.
+ *
+ * An InvariantAuditor rides an EventQueue as a periodic task and runs
+ * a set of registered invariant checks at a configurable interval.
+ * The auditor itself owns the simulation-kernel invariant — audit
+ * time (and therefore event time) is monotonically nondecreasing —
+ * and higher layers register the physics: state-of-charge bounds,
+ * CC-CV phase direction, breaker thermal limits, per-node power
+ * conservation, and priority-aware charging order (see
+ * core/charging_invariants.h).
+ *
+ * Checks report violations through an AuditContext instead of failing
+ * directly, so one audit pass can collect every broken invariant and
+ * so tests can inject deliberate violations and observe them. The
+ * auditor's violation handler decides what a violation means: the
+ * default forwards to the DCBATT contract machinery (print + abort);
+ * tests install a recording handler.
+ */
+
+#ifndef DCBATT_SIM_INVARIANT_AUDITOR_H_
+#define DCBATT_SIM_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dcbatt::sim {
+
+/** One detected invariant violation. */
+struct AuditViolation
+{
+    /** Name of the invariant that failed. */
+    std::string invariant;
+    /** Human-readable description of the violation. */
+    std::string detail;
+    /** Simulation tick at which the audit observed it. */
+    Tick when = 0;
+};
+
+/** Reporting surface handed to each invariant check. */
+class AuditContext
+{
+  public:
+    AuditContext(std::string_view invariant, Tick now)
+        : invariant_(invariant), now_(now)
+    {
+    }
+
+    /** Record a violation of the current invariant. */
+    void fail(std::string detail);
+
+    /** Record a violation if @p ok is false. Returns @p ok. */
+    bool expect(bool ok, std::string detail);
+
+    Tick now() const { return now_; }
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+    bool clean() const { return violations_.empty(); }
+
+  private:
+    std::string invariant_;
+    Tick now_;
+    std::vector<AuditViolation> violations_;
+};
+
+/** Runs registered invariants at a fixed interval on an EventQueue. */
+class InvariantAuditor
+{
+  public:
+    /** Invariant body: inspect state, report through the context. */
+    using Check = std::function<void(AuditContext &)>;
+    /** Called once per violation, in detection order. */
+    using ViolationHandler = std::function<void(const AuditViolation &)>;
+
+    /**
+     * @param queue    simulation whose state is audited.
+     * @param interval audit period in ticks (> 0).
+     */
+    InvariantAuditor(EventQueue &queue, Tick interval);
+    ~InvariantAuditor();
+
+    InvariantAuditor(const InvariantAuditor &) = delete;
+    InvariantAuditor &operator=(const InvariantAuditor &) = delete;
+
+    /** Register a named invariant; audited in registration order. */
+    void addInvariant(std::string name, Check check);
+
+    /**
+     * Replace the violation handler. The default forwards to the
+     * DCBATT contract fail handler (print + abort).
+     */
+    void setViolationHandler(ViolationHandler handler);
+
+    /** Arm the periodic audit (first audit after one interval). */
+    void start();
+    /** Disarm; safe when not running. */
+    void stop();
+
+    /** Run one audit pass immediately (also advances the stats). */
+    void auditNow();
+
+    /** Number of audit passes executed. */
+    uint64_t auditCount() const { return auditCount_; }
+    /** Total violations detected across all passes. */
+    uint64_t violationCount() const { return violationCount_; }
+    /** Number of registered invariants. */
+    size_t invariantCount() const { return invariants_.size(); }
+
+  private:
+    struct NamedCheck
+    {
+        std::string name;
+        Check check;
+    };
+
+    void runAudit(Tick now);
+
+    EventQueue &queue_;
+    PeriodicTask task_;
+    std::vector<NamedCheck> invariants_;
+    ViolationHandler handler_;
+    Tick lastAuditTick_ = -1;
+    uint64_t auditCount_ = 0;
+    uint64_t violationCount_ = 0;
+};
+
+} // namespace dcbatt::sim
+
+#endif // DCBATT_SIM_INVARIANT_AUDITOR_H_

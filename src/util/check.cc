@@ -1,0 +1,90 @@
+#include "util/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace dcbatt::util {
+
+const char *
+toString(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::Require:
+        return "REQUIRE";
+      case CheckKind::Assert:
+        return "ASSERT";
+      case CheckKind::Unreachable:
+        return "UNREACHABLE";
+    }
+    return "?";
+}
+
+std::string
+CheckFailure::describe() const
+{
+    std::string text = strf("%s:%d: %s failed", file, line,
+                            toString(kind));
+    if (condition && condition[0] != '\0')
+        text += strf(": (%s)", condition);
+    if (!message.empty()) {
+        text += ": ";
+        text += message;
+    }
+    if (function && function[0] != '\0')
+        text += strf(" [in %s]", function);
+    return text;
+}
+
+namespace {
+
+void
+defaultFailHandler(const CheckFailure &failure)
+{
+    std::cerr << "check: " << failure.describe() << "\n";
+}
+
+CheckFailHandler g_handler = defaultFailHandler;
+
+} // namespace
+
+CheckFailHandler
+setCheckFailHandler(CheckFailHandler handler)
+{
+    CheckFailHandler previous = g_handler;
+    g_handler = handler ? handler : defaultFailHandler;
+    return previous;
+}
+
+CheckFailHandler
+checkFailHandler()
+{
+    return g_handler;
+}
+
+void
+resetCheckFailHandler()
+{
+    g_handler = defaultFailHandler;
+}
+
+namespace detail {
+
+void
+checkFailed(CheckKind kind, const char *condition, const char *file,
+            int line, const char *function, std::string message)
+{
+    CheckFailure failure;
+    failure.kind = kind;
+    failure.condition = condition;
+    failure.file = file;
+    failure.line = line;
+    failure.function = function;
+    failure.message = std::move(message);
+    g_handler(failure);
+    // A handler that wants to survive must throw; returning means the
+    // invariant is broken and the process state untrustworthy.
+    std::abort();
+}
+
+} // namespace detail
+} // namespace dcbatt::util

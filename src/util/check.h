@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Contract-checking macros for dcbatt.
+ *
+ * Three levels of machine-checked contracts, replacing the silent
+ * clamps and comment-only preconditions that used to guard the physics
+ * code:
+ *
+ *  - DCBATT_REQUIRE(cond, fmt, ...): precondition on a public API.
+ *    Always compiled in; violations indicate a caller bug.
+ *  - DCBATT_ASSERT(cond, fmt, ...): internal invariant. Compiled in
+ *    only when DCBATT_ENABLE_CHECKS is defined to a nonzero value
+ *    (the default for Debug/RelWithDebInfo; release builds pass
+ *    -DDCBATT_ENABLE_CHECKS=0 and the condition is not evaluated).
+ *  - DCBATT_UNREACHABLE(fmt, ...): marks control flow that must never
+ *    execute (e.g. an exhaustive switch's fall-through). Always
+ *    compiled in.
+ *
+ * The message is printf-style and only formatted on failure, so a
+ * check on a hot path costs one branch.
+ *
+ * Failures route through a process-wide fail handler. The default
+ * handler prints the failure and aborts; tests install a capturing
+ * handler (which may throw to unwind out of the failing scope — the
+ * macros abort only if the handler returns).
+ */
+
+#ifndef DCBATT_UTIL_CHECK_H_
+#define DCBATT_UTIL_CHECK_H_
+
+#include <string>
+
+#include "util/logging.h"
+
+#ifndef DCBATT_ENABLE_CHECKS
+#define DCBATT_ENABLE_CHECKS 1
+#endif
+
+/** Whether DCBATT_ASSERT is active in this build (for tests/#if). */
+#if DCBATT_ENABLE_CHECKS
+#define DCBATT_CHECKS_ENABLED 1
+#else
+#define DCBATT_CHECKS_ENABLED 0
+#endif
+
+namespace dcbatt::util {
+
+/** Which macro a failure came from. */
+enum class CheckKind
+{
+    Require,
+    Assert,
+    Unreachable,
+};
+
+const char *toString(CheckKind kind);
+
+/** Everything known about one contract violation. */
+struct CheckFailure
+{
+    CheckKind kind = CheckKind::Assert;
+    /** Stringified condition ("" for DCBATT_UNREACHABLE). */
+    const char *condition = "";
+    const char *file = "";
+    int line = 0;
+    const char *function = "";
+    /** Formatted user message. */
+    std::string message;
+
+    /** One-line rendering ("file:line: ASSERT failed: ..."). */
+    std::string describe() const;
+};
+
+/**
+ * Handler invoked on contract violation. If it returns, the process
+ * aborts; a test handler may throw instead to unwind.
+ */
+using CheckFailHandler = void (*)(const CheckFailure &);
+
+/** Install a fail handler; returns the previous one. */
+CheckFailHandler setCheckFailHandler(CheckFailHandler handler);
+
+/** The handler currently installed (never null). */
+CheckFailHandler checkFailHandler();
+
+/** Restore the default print-and-abort handler. */
+void resetCheckFailHandler();
+
+namespace detail {
+
+/**
+ * Dispatch a failure to the installed handler; aborts if the handler
+ * returns. Out of line so the macro expansion stays small.
+ */
+[[noreturn]] void checkFailed(CheckKind kind, const char *condition,
+                              const char *file, int line,
+                              const char *function,
+                              std::string message);
+
+} // namespace detail
+} // namespace dcbatt::util
+
+/** Precondition: always checked. */
+#define DCBATT_REQUIRE(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond)) [[unlikely]] {                                     \
+            ::dcbatt::util::detail::checkFailed(                        \
+                ::dcbatt::util::CheckKind::Require, #cond, __FILE__,    \
+                __LINE__, __func__, ::dcbatt::util::strf(__VA_ARGS__)); \
+        }                                                               \
+    } while (0)
+
+/** Internal invariant: compiled out when checks are disabled. */
+#if DCBATT_CHECKS_ENABLED
+#define DCBATT_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) [[unlikely]] {                                     \
+            ::dcbatt::util::detail::checkFailed(                        \
+                ::dcbatt::util::CheckKind::Assert, #cond, __FILE__,     \
+                __LINE__, __func__, ::dcbatt::util::strf(__VA_ARGS__)); \
+        }                                                               \
+    } while (0)
+#else
+#define DCBATT_ASSERT(cond, ...)                                        \
+    do {                                                                \
+    } while (0)
+#endif
+
+/** Unreachable control flow: always checked. */
+#define DCBATT_UNREACHABLE(...)                                         \
+    ::dcbatt::util::detail::checkFailed(                                \
+        ::dcbatt::util::CheckKind::Unreachable, "", __FILE__, __LINE__, \
+        __func__, ::dcbatt::util::strf(__VA_ARGS__))
+
+#endif // DCBATT_UTIL_CHECK_H_

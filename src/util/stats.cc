@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace dcbatt::util {
 
@@ -59,10 +59,8 @@ RunningStats::stddev() const
 double
 percentile(std::vector<double> values, double p)
 {
-    if (values.empty())
-        panic("percentile: empty sample");
-    if (p < 0.0 || p > 100.0)
-        panic(strf("percentile: p out of range: %g", p));
+    DCBATT_REQUIRE(!values.empty(), "empty sample");
+    DCBATT_REQUIRE(p >= 0.0 && p <= 100.0, "p out of range: %g", p);
     std::sort(values.begin(), values.end());
     if (values.size() == 1)
         return values[0];
@@ -77,8 +75,8 @@ percentile(std::vector<double> values, double p)
 Histogram::Histogram(double lo, double hi, size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0)
 {
-    if (bins == 0 || hi <= lo)
-        panic("Histogram: invalid range or bin count");
+    DCBATT_REQUIRE(bins > 0, "invalid bin count 0");
+    DCBATT_REQUIRE(hi > lo, "invalid range [%g, %g)", lo, hi);
 }
 
 void

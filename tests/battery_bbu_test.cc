@@ -263,9 +263,9 @@ INSTANTIATE_TEST_SUITE_P(
                       AgreementCase{0.3, 2.0}, AgreementCase{0.1, 5.0},
                       AgreementCase{0.05, 1.0},
                       AgreementCase{0.9, 4.5}),
-    [](const ::testing::TestParamInfo<AgreementCase> &info) {
-        return "dod" + std::to_string(int(info.param.dod * 100))
-            + "_amps" + std::to_string(int(info.param.amps * 10));
+    [](const ::testing::TestParamInfo<AgreementCase> &point) {
+        return "dod" + std::to_string(int(point.param.dod * 100))
+            + "_amps" + std::to_string(int(point.param.amps * 10));
     });
 
 } // namespace

@@ -222,9 +222,9 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return points;
     }()),
-    [](const ::testing::TestParamInfo<GridPoint> &info) {
-        return "dod" + std::to_string(int(info.param.dod * 100))
-            + "_amps" + std::to_string(int(info.param.amps * 10));
+    [](const ::testing::TestParamInfo<GridPoint> &point) {
+        return "dod" + std::to_string(int(point.param.dod * 100))
+            + "_amps" + std::to_string(int(point.param.amps * 10));
     });
 
 } // namespace

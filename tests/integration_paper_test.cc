@@ -44,6 +44,9 @@ class PaperScaleTest : public ::testing::Test
         config.targetMeanDod = mean_dod;
         config.priorities = trace::paperMsbPriorities();
         config.postEventDuration = util::minutes(100.0);
+        // Audit the physical invariants in flight; a violation aborts
+        // the test through the DCBATT contract machinery.
+        config.auditInterval = util::minutes(1.0);
         return runChargingEvent(config, traces());
     }
 };
@@ -55,6 +58,10 @@ TEST_F(PaperScaleTest, TableIIICaseD_OriginalCharger)
     EXPECT_NEAR(util::toKilowatts(result.maxCap), 378.0, 60.0);
     EXPECT_NEAR(result.maxCapFractionOfIt, 0.18, 0.04);
     EXPECT_FALSE(result.breakerTripped);
+    // The in-flight invariant auditor actually ran, and found the
+    // physics clean end to end.
+    EXPECT_GT(result.auditCount, 0u);
+    EXPECT_EQ(result.auditViolations, 0u);
 }
 
 TEST_F(PaperScaleTest, TableIIICaseD_VariableCharger)

@@ -58,11 +58,20 @@ TEST(Rack, CapBeyondDemandClampsToZeroLoad)
     EXPECT_DOUBLE_EQ(rack.itLoad().value(), 0.0);
 }
 
-TEST(Rack, NegativeCapClampsToZero)
+TEST(Rack, NegativeCapDustClampsToZero)
+{
+    // Floating-point dust from the capping ledger is tolerated and
+    // clamped; a meaningfully negative cap is a contract violation
+    // (see the death test below).
+    Rack rack = makeRack();
+    rack.setCapAmount(Watts(-1e-9));
+    EXPECT_DOUBLE_EQ(rack.capAmount().value(), 0.0);
+}
+
+TEST(RackDeathTest, MeaningfullyNegativeCapIsAContractViolation)
 {
     Rack rack = makeRack();
-    rack.setCapAmount(kilowatts(-3.0));
-    EXPECT_DOUBLE_EQ(rack.capAmount().value(), 0.0);
+    EXPECT_DEATH(rack.setCapAmount(kilowatts(-3.0)), "negative cap");
 }
 
 TEST(Rack, NoInputPowerWhileOnBattery)

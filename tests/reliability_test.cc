@@ -195,8 +195,7 @@ TEST(AorSimulatorDeathTest, RejectsBadHorizon)
 {
     AorConfig cfg;
     cfg.years = 0.0;
-    EXPECT_EXIT(AorSimulator(paperFailureData(), cfg),
-                testing::ExitedWithCode(1), "horizon");
+    EXPECT_DEATH(AorSimulator(paperFailureData(), cfg), "horizon");
 }
 
 } // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the InvariantAuditor framework and for the charging
+ * physical invariants registered from core/charging_invariants.h —
+ * both that a clean simulation audits clean and that deliberately
+ * injected violations are detected and reported.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/charging_invariants.h"
+#include "power/topology.h"
+#include "sim/event_queue.h"
+#include "sim/invariant_auditor.h"
+#include "util/units.h"
+
+namespace dcbatt {
+namespace {
+
+using power::Priority;
+using sim::AuditViolation;
+using sim::EventQueue;
+using sim::InvariantAuditor;
+using util::Seconds;
+using util::Watts;
+
+TEST(InvariantAuditorTest, AuditsAtTheConfiguredInterval)
+{
+    EventQueue queue;
+    InvariantAuditor auditor(queue, 100);
+    int calls = 0;
+    auditor.addInvariant("counter", [&](sim::AuditContext &) {
+        ++calls;
+    });
+    auditor.start();
+    queue.runUntil(1000);
+    EXPECT_EQ(calls, 10);
+    EXPECT_EQ(auditor.auditCount(), 10u);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+}
+
+TEST(InvariantAuditorTest, StopDisarmsTheTask)
+{
+    EventQueue queue;
+    InvariantAuditor auditor(queue, 10);
+    int calls = 0;
+    auditor.addInvariant("counter", [&](sim::AuditContext &) {
+        ++calls;
+    });
+    auditor.start();
+    queue.runUntil(50);
+    auditor.stop();
+    queue.runUntil(200);
+    EXPECT_EQ(calls, 5);
+}
+
+TEST(InvariantAuditorTest, ViolationsReachTheHandlerInOrder)
+{
+    EventQueue queue;
+    InvariantAuditor auditor(queue, 10);
+    auditor.addInvariant("first", [](sim::AuditContext &context) {
+        context.fail("a");
+        context.fail("b");
+    });
+    auditor.addInvariant("second", [](sim::AuditContext &context) {
+        EXPECT_TRUE(context.expect(true, "never recorded"));
+        EXPECT_FALSE(context.expect(false, "c"));
+    });
+
+    std::vector<AuditViolation> seen;
+    auditor.setViolationHandler([&](const AuditViolation &violation) {
+        seen.push_back(violation);
+    });
+    queue.runUntil(25);
+    auditor.auditNow();
+
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].invariant, "first");
+    EXPECT_EQ(seen[0].detail, "a");
+    EXPECT_EQ(seen[1].detail, "b");
+    EXPECT_EQ(seen[2].invariant, "second");
+    EXPECT_EQ(seen[2].detail, "c");
+    EXPECT_EQ(seen[2].when, 25);
+    EXPECT_EQ(auditor.violationCount(), 3u);
+    EXPECT_EQ(auditor.auditCount(), 1u);
+}
+
+/** Four racks (P1, P2, P3, P2) under one MSB. */
+class ChargingInvariantsTest : public ::testing::Test
+{
+  protected:
+    ChargingInvariantsTest()
+        : topology_(power::Topology::build(
+              spec(), battery::makeVariableCharger()))
+    {
+    }
+
+    static power::TopologySpec
+    spec()
+    {
+        power::TopologySpec result;
+        result.sbsPerMsb = 1;
+        result.rppsPerSb = 1;
+        result.racksPerRpp = 4;
+        result.totalRacks = 4;
+        result.priorities = {Priority::P1, Priority::P2, Priority::P3,
+                             Priority::P2};
+        return result;
+    }
+
+    /** Discharge every rack on battery, then restore input power. */
+    void
+    dischargeAndRestore()
+    {
+        for (power::Rack *rack : topology_.racks()) {
+            rack->setItDemand(util::kilowatts(6.0));
+            rack->loseInputPower();
+        }
+        for (int i = 0; i < 60; ++i)
+            topology_.stepRacks(Seconds(1.0));
+        for (power::Rack *rack : topology_.racks())
+            rack->restoreInputPower();
+        topology_.stepRacks(Seconds(1.0));
+    }
+
+    std::vector<AuditViolation>
+    audit(const core::PriorityAwareCoordinator *coordinator = nullptr)
+    {
+        EventQueue queue;
+        InvariantAuditor auditor(queue, 1);
+        core::registerChargingInvariants(auditor, topology_,
+                                         coordinator);
+        std::vector<AuditViolation> seen;
+        auditor.setViolationHandler(
+            [&](const AuditViolation &violation) {
+                seen.push_back(violation);
+            });
+        auditor.auditNow();
+        EXPECT_EQ(auditor.violationCount(), seen.size());
+        return seen;
+    }
+
+    power::Topology topology_;
+};
+
+TEST_F(ChargingInvariantsTest, CleanFleetAuditsClean)
+{
+    for (power::Rack *rack : topology_.racks())
+        rack->setItDemand(util::kilowatts(6.0));
+    topology_.stepRacks(Seconds(1.0));
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(ChargingInvariantsTest, ChargingFleetAuditsClean)
+{
+    dischargeAndRestore();
+    ASSERT_TRUE(topology_.rack(0).shelf().anyCharging());
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(ChargingInvariantsTest, DetectsPriorityInversion)
+{
+    dischargeAndRestore();
+    // Deliberate inversion: postpone the P1 rack's charging while the
+    // lower-priority racks keep drawing recharge power.
+    topology_.rack(0).shelf().holdCharging();
+    std::vector<AuditViolation> seen = audit();
+    ASSERT_FALSE(seen.empty());
+    for (const AuditViolation &violation : seen)
+        EXPECT_EQ(violation.invariant, "priority-charging-order");
+    // Three lower-priority racks still charging behind the held P1.
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(ChargingInvariantsTest, HoldingTheLowestPriorityIsLegal)
+{
+    dischargeAndRestore();
+    // Postponing P3 (and nothing above it) honours the ordering.
+    topology_.rack(2).shelf().holdCharging();
+    EXPECT_TRUE(audit().empty());
+}
+
+TEST_F(ChargingInvariantsTest, DetectsConservationViolation)
+{
+    // The tree aggregates power on demand, so node-vs-children sums
+    // cannot drift apart through the public API; to exercise the
+    // detection path, drive the checker with an impossible tolerance
+    // (-1 W) that no consistent tree can meet. Every comparison then
+    // reads as a deliberate conservation violation.
+    for (power::Rack *rack : topology_.racks())
+        rack->setItDemand(util::kilowatts(6.0));
+    topology_.stepRacks(Seconds(1.0));
+
+    EventQueue queue;
+    InvariantAuditor auditor(queue, 1);
+    core::ChargingInvariantOptions options;
+    options.conservationTolerance = Watts(-1.0);
+    core::registerChargingInvariants(auditor, topology_, nullptr,
+                                     options);
+    std::vector<AuditViolation> seen;
+    auditor.setViolationHandler([&](const AuditViolation &violation) {
+        seen.push_back(violation);
+    });
+    auditor.auditNow();
+    ASSERT_FALSE(seen.empty());
+    bool found = false;
+    for (const AuditViolation &violation : seen)
+        found |= violation.invariant == "power-conservation";
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace dcbatt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the DCBATT contract macros (util/check.h): firing on
+ * violation, lazy message formatting, handler swapping, and the
+ * release-build no-op behaviour of DCBATT_ASSERT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace dcbatt::util {
+namespace {
+
+/** Exception thrown by the capturing handler to unwind the macro. */
+struct CheckUnwind : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+CheckFailure g_captured;
+int g_capture_count = 0;
+
+[[noreturn]] void
+capturingHandler(const CheckFailure &failure)
+{
+    g_captured = failure;
+    ++g_capture_count;
+    throw CheckUnwind(failure.describe());
+}
+
+/** Installs the capturing handler for one test's scope. */
+class CheckTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_captured = CheckFailure{};
+        g_capture_count = 0;
+        previous_ = setCheckFailHandler(&capturingHandler);
+    }
+
+    void
+    TearDown() override
+    {
+        setCheckFailHandler(previous_);
+    }
+
+  private:
+    CheckFailHandler previous_ = nullptr;
+};
+
+TEST_F(CheckTest, RequirePassesSilently)
+{
+    DCBATT_REQUIRE(1 + 1 == 2, "arithmetic broke");
+    EXPECT_EQ(g_capture_count, 0);
+}
+
+TEST_F(CheckTest, RequireFiresWithFormattedMessage)
+{
+    int value = -3;
+    EXPECT_THROW(
+        DCBATT_REQUIRE(value >= 0, "value %d must be nonnegative",
+                       value),
+        CheckUnwind);
+    EXPECT_EQ(g_capture_count, 1);
+    EXPECT_EQ(g_captured.kind, CheckKind::Require);
+    EXPECT_STREQ(g_captured.condition, "value >= 0");
+    EXPECT_EQ(g_captured.message, "value -3 must be nonnegative");
+    EXPECT_NE(std::string(g_captured.file).find("util_check_test"),
+              std::string::npos);
+    EXPECT_GT(g_captured.line, 0);
+}
+
+TEST_F(CheckTest, DescribeMentionsKindFileAndMessage)
+{
+    EXPECT_THROW(DCBATT_REQUIRE(false, "broken %s", "badly"),
+                 CheckUnwind);
+    std::string text = g_captured.describe();
+    EXPECT_NE(text.find("REQUIRE"), std::string::npos) << text;
+    EXPECT_NE(text.find("util_check_test"), std::string::npos) << text;
+    EXPECT_NE(text.find("broken badly"), std::string::npos) << text;
+}
+
+TEST_F(CheckTest, UnreachableFires)
+{
+    EXPECT_THROW(DCBATT_UNREACHABLE("fell off a switch over %d", 7),
+                 CheckUnwind);
+    EXPECT_EQ(g_captured.kind, CheckKind::Unreachable);
+    EXPECT_STREQ(g_captured.condition, "");
+    EXPECT_EQ(g_captured.message, "fell off a switch over 7");
+}
+
+#if DCBATT_CHECKS_ENABLED
+
+TEST_F(CheckTest, AssertFiresWhenChecksEnabled)
+{
+    EXPECT_THROW(DCBATT_ASSERT(2 < 1, "ordering inverted"),
+                 CheckUnwind);
+    EXPECT_EQ(g_captured.kind, CheckKind::Assert);
+    EXPECT_STREQ(g_captured.condition, "2 < 1");
+}
+
+TEST_F(CheckTest, AssertEvaluatesConditionOnce)
+{
+    int evaluations = 0;
+    DCBATT_ASSERT(++evaluations > 0, "side effect");
+    EXPECT_EQ(evaluations, 1);
+}
+
+#else
+
+TEST_F(CheckTest, AssertIsCompiledOut)
+{
+    int evaluations = 0;
+    // The condition must not even be evaluated in a release build.
+    DCBATT_ASSERT(++evaluations > 0, "side effect");
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(g_capture_count, 0);
+}
+
+#endif // DCBATT_CHECKS_ENABLED
+
+TEST_F(CheckTest, MessageFormattedOnlyOnFailure)
+{
+    // strf on the failure path happens inside the macro; on the happy
+    // path the arguments are not touched. Use a counting function to
+    // prove it.
+    int formats = 0;
+    auto count = [&formats]() {
+        ++formats;
+        return 1;
+    };
+    DCBATT_REQUIRE(true, "never formatted %d", count());
+    EXPECT_EQ(formats, 0);
+}
+
+TEST(CheckHandlerTest, SetReturnsPreviousAndResetRestoresDefault)
+{
+    CheckFailHandler original = checkFailHandler();
+    ASSERT_NE(original, nullptr);
+
+    CheckFailHandler previous = setCheckFailHandler(&capturingHandler);
+    EXPECT_EQ(previous, original);
+    EXPECT_EQ(checkFailHandler(), &capturingHandler);
+
+    resetCheckFailHandler();
+    EXPECT_EQ(checkFailHandler(), original);
+}
+
+TEST(CheckKindTest, ToStringNamesEveryKind)
+{
+    EXPECT_STREQ(toString(CheckKind::Require), "REQUIRE");
+    EXPECT_STREQ(toString(CheckKind::Assert), "ASSERT");
+    EXPECT_STREQ(toString(CheckKind::Unreachable), "UNREACHABLE");
+}
+
+} // namespace
+} // namespace dcbatt::util

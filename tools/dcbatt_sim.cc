@@ -23,6 +23,8 @@
  *   --postpone         enable the postponement extension
  *   --restore          enable restore-on-headroom
  *   --seed N           trace seed                      (default 42)
+ *   --audit-seconds X  audit the physical invariants every X sim
+ *                      seconds (a violation aborts the run)
  *   --csv PATH         write time,msb,it,recharge,cap series
  */
 
@@ -53,6 +55,7 @@ struct CliOptions
     bool postpone = false;
     bool restore = false;
     uint64_t seed = 42;
+    double auditSeconds = -1.0;
     std::string csvPath;
 };
 
@@ -107,6 +110,8 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--seed") {
             options.seed = static_cast<uint64_t>(
                 std::atoll(need_value(i++)));
+        } else if (flag == "--audit-seconds") {
+            options.auditSeconds = std::atof(need_value(i++));
         } else if (flag == "--csv") {
             options.csvPath = need_value(i++);
         } else if (flag == "--help" || flag == "-h") {
@@ -163,6 +168,8 @@ main(int argc, char **argv)
     config.priorities = priorities;
     config.priorityAwareOptions.allowPostponement = options.postpone;
     config.priorityAwareOptions.restoreOnHeadroom = options.restore;
+    if (options.auditSeconds > 0.0)
+        config.auditInterval = util::Seconds(options.auditSeconds);
     auto result = core::runChargingEvent(config, traces);
 
     std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d P3), "
@@ -200,6 +207,14 @@ main(int argc, char **argv)
     table.addRow({"racks postponed", util::strf("%d", held)});
     table.addRow({"racks with battery-exhaustion outage",
                   util::strf("%d", outages)});
+    if (options.auditSeconds > 0.0) {
+        table.addRow({"invariant audits (violations)",
+                      util::strf("%llu (%llu)",
+                                 static_cast<unsigned long long>(
+                                     result.auditCount),
+                                 static_cast<unsigned long long>(
+                                     result.auditViolations))});
+    }
     std::printf("%s", table.render().c_str());
 
     if (!options.csvPath.empty()) {

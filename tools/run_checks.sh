@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Correctness gauntlet: build and test the default, asan-ubsan and tsan
+# presets, plus a clang-tidy lint pass when clang-tidy is available.
+#
+# Usage: tools/run_checks.sh [--quick] [--jobs N]
+#   --quick   skip the tsan preset (the slowest leg)
+#   --jobs N  parallelism for builds and ctest (default: nproc)
+#
+# Exits nonzero if any build, test run or lint pass fails.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+      --quick) QUICK=1 ;;
+      --jobs) ;;  # value consumed below
+      [0-9]*) JOBS=$arg ;;
+      *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+FAILURES=()
+
+run_leg() {
+    local preset=$1
+    echo
+    echo "=== [$preset] configure ==="
+    if ! cmake --preset "$preset"; then
+        FAILURES+=("$preset: configure")
+        return 1
+    fi
+    echo "=== [$preset] build ==="
+    if ! cmake --build --preset "$preset" -j "$JOBS"; then
+        FAILURES+=("$preset: build")
+        return 1
+    fi
+    echo "=== [$preset] test ==="
+    if ! ctest --preset "$preset" -j "$JOBS"; then
+        FAILURES+=("$preset: test")
+        return 1
+    fi
+}
+
+run_leg default
+run_leg asan-ubsan
+if [ "$QUICK" -eq 0 ]; then
+    run_leg tsan
+else
+    echo "=== [tsan] skipped (--quick) ==="
+fi
+
+echo
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== [lint] configure + build with clang-tidy ==="
+    if ! cmake --preset lint || ! cmake --build --preset lint -j "$JOBS"
+    then
+        FAILURES+=("lint")
+    fi
+else
+    echo "=== [lint] skipped (clang-tidy not found on PATH) ==="
+fi
+
+echo
+if [ "${#FAILURES[@]}" -gt 0 ]; then
+    echo "FAILED legs:"
+    printf '  %s\n' "${FAILURES[@]}"
+    exit 1
+fi
+echo "All checks passed."
