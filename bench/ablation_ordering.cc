@@ -9,7 +9,9 @@
  *    frees up).
  *
  * Run at a constrained 2.3 MW limit and medium discharge, where the
- * grant budget cannot cover every rack's SLA current.
+ * grant budget cannot cover every rack's SLA current. The five
+ * variants are independent events and fan out across the SweepRunner
+ * pool (--threads N).
  */
 
 #include <cstdio>
@@ -22,7 +24,7 @@ using core::PolicyKind;
 using core::PriorityAwareOptions;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation",
                   "Algorithm 1 ordering and greedy variants "
@@ -56,16 +58,29 @@ main()
         variants.push_back({"restore on headroom (extension)", o});
     }
 
+    auto options = bench::parseBenchRunOptions(argc, argv);
+    util::ThreadPool pool(
+        bench::resolveThreadCount(options.threads));
+    sim::SweepRunner runner(pool);
+
+    std::vector<sim::SweepTask> tasks;
+    for (const Variant &variant : variants) {
+        sim::SweepTask task;
+        task.label = variant.name;
+        task.config = bench::paperEventConfig(
+            PolicyKind::PriorityAware, util::megawatts(2.3), 0.5);
+        task.config.priorityAwareOptions = variant.options;
+        task.config.postEventDuration = util::minutes(100.0);
+        task.traces = &bench::paperMsbTraces();
+        tasks.push_back(std::move(task));
+    }
+    auto results = runner.run(tasks);
+
     util::TextTable table({"variant", "P1 met (89)", "P2 met (142)",
                            "P3 met (85)", "total", "max cap (kW)"});
-    for (const Variant &variant : variants) {
-        auto config = bench::paperEventConfig(
-            PolicyKind::PriorityAware, util::megawatts(2.3), 0.5);
-        config.priorityAwareOptions = variant.options;
-        config.postEventDuration = util::minutes(100.0);
-        auto result =
-            core::runChargingEvent(config, bench::paperMsbTraces());
-        table.addRow({variant.name,
+    for (size_t v = 0; v < variants.size(); ++v) {
+        const auto &result = results[v];
+        table.addRow({variants[v].name,
                       util::strf("%d", result.slaMetByPriority[0]),
                       util::strf("%d", result.slaMetByPriority[1]),
                       util::strf("%d", result.slaMetByPriority[2]),

@@ -1,10 +1,28 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
 
 #include "util/logging.h"
 
 namespace dcbatt::bench {
+
+// The singleton-sharing contract of paperMsbTraces(): the reference
+// is const, so SweepRunner tasks can only reach TraceSet's const read
+// paths. (Thread-safe construction is the language's: function-local
+// statics initialize under a lock since C++11.)
+static_assert(
+    std::is_const_v<
+        std::remove_reference_t<decltype(paperMsbTraces())>>,
+    "paperMsbTraces must return a const reference; SweepRunner tasks "
+    "share the instance");
+static_assert(
+    std::is_const_v<
+        std::remove_reference_t<decltype(paperPriorities())>>,
+    "paperPriorities must return a const reference; SweepRunner tasks "
+    "share the instance");
 
 const std::vector<power::Priority> &
 paperPriorities()
@@ -57,6 +75,55 @@ std::string
 fmtMin(util::Seconds seconds)
 {
     return util::strf("%.1f min", util::toMinutes(seconds));
+}
+
+BenchRunOptions
+parseBenchRunOptions(int argc, char **argv)
+{
+    BenchRunOptions options;
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal(util::strf("flag %s needs a value", argv[i]));
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--threads") {
+            options.threads = std::atoi(need_value(i++));
+        } else if (flag == "--years") {
+            options.aorYears = std::atof(need_value(i++));
+        } else if (flag == "--shards") {
+            options.aorShards = std::atoi(need_value(i++));
+        } else if (!flag.empty()
+                   && flag.find_first_not_of("0123456789.e+")
+                       == std::string::npos) {
+            // Bare year count (fig09a's historical positional arg).
+            options.aorYears = std::atof(flag.c_str());
+        } else {
+            util::fatal(util::strf(
+                "unknown bench flag: %s (expected --threads N, "
+                "--years X, --shards N)",
+                flag.c_str()));
+        }
+    }
+    if (options.threads < 0)
+        util::fatal("--threads must be >= 0");
+    if (options.aorShards < 1)
+        util::fatal("--shards must be >= 1");
+    if (options.aorYears <= 0.0)
+        util::fatal("--years must be positive");
+    return options;
+}
+
+unsigned
+resolveThreadCount(int threads)
+{
+    unsigned resolved = threads > 0
+        ? static_cast<unsigned>(threads)
+        : util::ThreadPool::hardwareThreads();
+    // stderr on purpose: stdout must not depend on the thread count.
+    std::fprintf(stderr, "[bench] worker threads: %u\n", resolved);
+    return resolved;
 }
 
 void

@@ -11,9 +11,11 @@
 #include <string>
 
 #include "core/charging_event_sim.h"
+#include "sim/sweep_runner.h"
 #include "trace/trace_generator.h"
 #include "trace/trace_set.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace dcbatt::bench {
@@ -21,7 +23,15 @@ namespace dcbatt::bench {
 /**
  * The simulation-experiment fleet of Section V-B: 316 racks (89 P1,
  * 142 P2, 85 P3) under one MSB, 3 s samples, 8-hour window around the
- * first afternoon peak. Generated once per process.
+ * first afternoon peak.
+ *
+ * Thread-safety contract: this is a process-wide singleton built by
+ * C++11 thread-safe static initialization (first caller constructs,
+ * concurrent callers block until it is ready) and returned as a
+ * *const* reference — it is never mutated afterwards, TraceSet's read
+ * paths are all const, and so the one instance is safe to share
+ * across SweepRunner tasks. bench_common.cc static_asserts the const
+ * part of the contract.
  */
 const trace::TraceSet &paperMsbTraces();
 
@@ -42,6 +52,35 @@ std::string fmtMin(util::Seconds seconds);
 
 /** Print a bench banner naming the paper artifact being reproduced. */
 void banner(const std::string &artifact, const std::string &summary);
+
+/**
+ * Command-line options shared by the parallel benches. Thread count
+ * only changes wall time; the AOR year/shard knobs are semantic (they
+ * select the sampled failure history).
+ */
+struct BenchRunOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    int threads = 0;
+    /** Monte Carlo horizon in years (fig09a). */
+    double aorYears = 3e4;
+    /** AOR shard count (fig09a); 1 = the legacy serial timeline. */
+    int aorShards = 64;
+};
+
+/**
+ * Parse `--threads N`, `--years X`, `--shards N`. A bare positional
+ * number is accepted as the year count (fig09a back-compat). Unknown
+ * flags are fatal.
+ */
+BenchRunOptions parseBenchRunOptions(int argc, char **argv);
+
+/**
+ * Resolve the worker count (0 -> hardware concurrency) and announce
+ * it on *stderr* — never stdout, which must stay byte-identical
+ * across thread counts.
+ */
+unsigned resolveThreadCount(int threads);
 
 } // namespace dcbatt::bench
 

@@ -5,6 +5,11 @@
  * and coordinated priority-aware charging, at power limits 2.5 MW and
  * 2.3 MW and low/medium/high battery discharge (mean DOD 30/50/70%),
  * plus the maximum server power capping each combination needs.
+ *
+ * The 18 charging events are independent, so they fan out across the
+ * SweepRunner pool (--threads N, default hardware concurrency) and
+ * print in fixed order afterwards: output is byte-identical at any
+ * thread count.
  */
 
 #include <cstdio>
@@ -19,7 +24,7 @@ using core::PolicyKind;
 using util::Watts;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 13 + Table III",
                   "MSB power with original / variable / "
@@ -42,10 +47,31 @@ main()
                                    PolicyKind::PriorityAware};
     const char glyphs[] = {'o', 'v', 'p'};
 
+    auto options = bench::parseBenchRunOptions(argc, argv);
+    util::ThreadPool pool(
+        bench::resolveThreadCount(options.threads));
+    sim::SweepRunner runner(pool);
+
+    // All 18 (case, policy) events, in print order.
+    std::vector<sim::SweepTask> tasks;
+    for (const Case &c : cases) {
+        for (PolicyKind policy : policies) {
+            sim::SweepTask task;
+            task.label = util::strf("%s/%s", c.label,
+                                    core::toString(policy));
+            task.config = bench::paperEventConfig(
+                policy, util::megawatts(c.limit_mw), c.mean_dod);
+            task.traces = &bench::paperMsbTraces();
+            tasks.push_back(std::move(task));
+        }
+    }
+    std::vector<ChargingEventResult> results = runner.run(tasks);
+
     util::TextTable table_iii(
         {"Case", "Original charger", "Variable charger",
          "Priority-aware"});
 
+    size_t idx = 0;
     for (const Case &c : cases) {
         std::printf("\n--- Fig. 13 %s: limit %.1f MW, %s discharge "
                     "(mean DOD %.0f%%) ---\n",
@@ -54,10 +80,7 @@ main()
         std::vector<util::ChartSeries> series;
         std::vector<std::string> row{c.label};
         for (size_t p = 0; p < 3; ++p) {
-            auto config = bench::paperEventConfig(
-                policies[p], util::megawatts(c.limit_mw), c.mean_dod);
-            ChargingEventResult result =
-                core::runChargingEvent(config, bench::paperMsbTraces());
+            const ChargingEventResult &result = results[idx++];
             series.push_back(util::seriesFromTimeSeries(
                 result.msbPower.downsample(120),
                 core::toString(policies[p]), glyphs[p], 1.0 / 60.0,
@@ -76,17 +99,17 @@ main()
         }
         table_iii.addRow(std::move(row));
 
-        util::ChartOptions options;
-        options.title = util::strf(
+        util::ChartOptions options_chart;
+        options_chart.title = util::strf(
             "Fig. 13 %s — MSB power (limit %.1f MW marked by the "
             "y-range top)",
             c.label, c.limit_mw);
-        options.xLabel = "time (minutes)";
-        options.yLabel = "MSB power (MW)";
-        options.yMin = 0.0;
-        options.yMax = 2.8;
+        options_chart.xLabel = "time (minutes)";
+        options_chart.yLabel = "MSB power (MW)";
+        options_chart.yMin = 0.0;
+        options_chart.yMax = 2.8;
         std::printf("%s\n",
-                    util::renderChart(series, options).c_str());
+                    util::renderChart(series, options_chart).c_str());
     }
 
     std::printf("\n=== Table III: maximum server power capping "

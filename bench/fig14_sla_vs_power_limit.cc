@@ -5,6 +5,10 @@
  * global equal-rate baseline, as the MSB power limit falls from
  * 2.6 MW to 2.2 MW, at medium (50%) and high (70%) battery
  * discharge.
+ *
+ * The 36 (discharge, policy, limit) events are independent full
+ * charging events; they fan out across the SweepRunner pool
+ * (--threads N) and print in fixed order afterwards.
  */
 
 #include <cstdio>
@@ -16,7 +20,7 @@ using namespace dcbatt;
 using core::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 14",
                   "racks meeting the charging-time SLA vs MSB power "
@@ -28,6 +32,33 @@ main()
                                    PolicyKind::GlobalRate};
     const char *panel[] = {"(a)", "(b)", "(c)", "(d)"};
 
+    std::vector<double> limits;
+    for (double limit = 2.6; limit >= 2.2 - 1e-9; limit -= 0.05)
+        limits.push_back(limit);
+
+    auto options = bench::parseBenchRunOptions(argc, argv);
+    util::ThreadPool pool(
+        bench::resolveThreadCount(options.threads));
+    sim::SweepRunner runner(pool);
+
+    std::vector<sim::SweepTask> tasks;
+    for (size_t d = 0; d < 2; ++d) {
+        for (PolicyKind policy : policies) {
+            for (double limit : limits) {
+                sim::SweepTask task;
+                task.label = util::strf("%s/%.2fMW",
+                                        core::toString(policy), limit);
+                task.config = bench::paperEventConfig(
+                    policy, util::megawatts(limit), dods[d]);
+                task.config.postEventDuration = util::minutes(100.0);
+                task.traces = &bench::paperMsbTraces();
+                tasks.push_back(std::move(task));
+            }
+        }
+    }
+    auto results = runner.run(tasks);
+
+    size_t idx = 0;
     int panel_idx = 0;
     for (size_t d = 0; d < 2; ++d) {
         for (PolicyKind policy : policies) {
@@ -38,13 +69,8 @@ main()
                                    "P2 met (of 142)",
                                    "P3 met (of 85)", "total",
                                    "max cap (kW)"});
-            for (double limit = 2.6; limit >= 2.2 - 1e-9;
-                 limit -= 0.05) {
-                auto config = bench::paperEventConfig(
-                    policy, util::megawatts(limit), dods[d]);
-                config.postEventDuration = util::minutes(100.0);
-                auto result = core::runChargingEvent(
-                    config, bench::paperMsbTraces());
+            for (double limit : limits) {
+                const auto &result = results[idx++];
                 table.addRow(
                     {util::strf("%.2f", limit),
                      util::strf("%d", result.slaMetByPriority[0]),

@@ -6,6 +6,10 @@
  * uniform fleet the priority-aware algorithm still beats the global
  * baseline because lowest-discharge-first maximizes the number of
  * racks whose SLA fits the available power.
+ *
+ * Each panel's nine events carry a per-panel trace handle (the trace
+ * set must match the priority mix); all 36 events fan out across the
+ * SweepRunner pool (--threads N) and print in fixed order.
  */
 
 #include <cstdio>
@@ -27,21 +31,50 @@ struct Distribution
     std::vector<Priority> priorities;
 };
 
+const std::vector<double> &
+limitSweep()
+{
+    static const std::vector<double> limits = [] {
+        std::vector<double> ls;
+        for (double limit = 2.6; limit >= 2.2 - 1e-9; limit -= 0.05)
+            ls.push_back(limit);
+        return ls;
+    }();
+    return limits;
+}
+
+std::vector<sim::SweepTask>
+panelTasks(const Distribution &dist, PolicyKind policy,
+           const trace::TraceSet &traces)
+{
+    std::vector<sim::SweepTask> tasks;
+    for (double limit : limitSweep()) {
+        sim::SweepTask task;
+        task.label = util::strf("%s/%s/%.2fMW", dist.name,
+                                core::toString(policy), limit);
+        task.config = bench::paperEventConfig(
+            policy, util::megawatts(limit), 0.5);
+        task.config.priorities = dist.priorities;
+        task.config.postEventDuration = util::minutes(100.0);
+        task.traces = &traces;
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+/** Print one panel from its (already computed) slice of results. */
 void
-runPanel(const char *panel, const Distribution &dist,
-         PolicyKind policy, const trace::TraceSet &traces,
-         util::RunningStats *total_stats)
+printPanel(const char *panel, const Distribution &dist,
+           PolicyKind policy,
+           const std::vector<core::ChargingEventResult> &results,
+           size_t &idx, util::RunningStats *total_stats)
 {
     std::printf("\n--- Fig. 15 %s: %s, %s priorities ---\n", panel,
                 core::toString(policy), dist.name);
     util::TextTable table({"limit (MW)", "P1 met", "P2 met", "P3 met",
                            "total (of 316)"});
-    for (double limit = 2.6; limit >= 2.2 - 1e-9; limit -= 0.05) {
-        auto config = bench::paperEventConfig(
-            policy, util::megawatts(limit), 0.5);
-        config.priorities = dist.priorities;
-        config.postEventDuration = util::minutes(100.0);
-        auto result = core::runChargingEvent(config, traces);
+    for (double limit : limitSweep()) {
+        const auto &result = results[idx++];
         table.addRow({util::strf("%.2f", limit),
                       util::strf("%d", result.slaMetByPriority[0]),
                       util::strf("%d", result.slaMetByPriority[1]),
@@ -55,7 +88,7 @@ runPanel(const char *panel, const Distribution &dist,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 15",
                   "SLA satisfaction vs power limit for different rack "
@@ -78,15 +111,32 @@ main()
     trace::TraceSet even_traces = make_traces(even.priorities);
     trace::TraceSet p1_traces = make_traces(all_p1.priorities);
 
+    auto options = bench::parseBenchRunOptions(argc, argv);
+    util::ThreadPool pool(
+        bench::resolveThreadCount(options.threads));
+    sim::SweepRunner runner(pool);
+
+    std::vector<sim::SweepTask> tasks;
+    auto append = [&tasks](std::vector<sim::SweepTask> panel) {
+        for (sim::SweepTask &task : panel)
+            tasks.push_back(std::move(task));
+    };
+    append(panelTasks(even, PolicyKind::PriorityAware, even_traces));
+    append(panelTasks(even, PolicyKind::GlobalRate, even_traces));
+    append(panelTasks(all_p1, PolicyKind::PriorityAware, p1_traces));
+    append(panelTasks(all_p1, PolicyKind::GlobalRate, p1_traces));
+    auto results = runner.run(tasks);
+
     util::RunningStats even_pa, even_global, p1_pa, p1_global;
-    runPanel("(a)", even, PolicyKind::PriorityAware, even_traces,
-             &even_pa);
-    runPanel("(b)", even, PolicyKind::GlobalRate, even_traces,
-             &even_global);
-    runPanel("(c)", all_p1, PolicyKind::PriorityAware, p1_traces,
-             &p1_pa);
-    runPanel("(d)", all_p1, PolicyKind::GlobalRate, p1_traces,
-             &p1_global);
+    size_t idx = 0;
+    printPanel("(a)", even, PolicyKind::PriorityAware, results, idx,
+               &even_pa);
+    printPanel("(b)", even, PolicyKind::GlobalRate, results, idx,
+               &even_global);
+    printPanel("(c)", all_p1, PolicyKind::PriorityAware, results, idx,
+               &p1_pa);
+    printPanel("(d)", all_p1, PolicyKind::GlobalRate, results, idx,
+               &p1_global);
 
     std::printf("\naverage racks meeting SLA across the limit "
                 "sweep:\n");

@@ -11,12 +11,15 @@
 #include <benchmark/benchmark.h>
 
 #include "battery/bbu.h"
+#include "core/charging_event_sim.h"
 #include "core/global_coordinator.h"
 #include "core/priority_aware_coordinator.h"
 #include "power/topology.h"
+#include "reliability/aor_simulator.h"
 #include "sim/event_queue.h"
 #include "trace/trace_generator.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -139,6 +142,88 @@ BM_EventQueueSchedule(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+/**
+ * Serial Monte Carlo AOR: one timeline, generated and walked per
+ * iteration. This is the pre-sharding baseline the parallel variant
+ * is measured against.
+ */
+void
+BM_AorSerial(benchmark::State &state)
+{
+    const double years = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        reliability::AorConfig config;
+        config.years = years;
+        reliability::AorSimulator sim(reliability::paperFailureData(),
+                                      config);
+        benchmark::DoNotOptimize(
+            sim.aorForChargeTime(util::minutes(30.0)));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(years));
+}
+BENCHMARK(BM_AorSerial)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+/**
+ * Sharded Monte Carlo AOR on a worker pool. Note the sampled history
+ * differs from BM_AorSerial (shard count is semantic), so compare
+ * wall time only. Arg is the thread count; 64 shards per iteration.
+ */
+void
+BM_AorSharded(benchmark::State &state)
+{
+    const double years = 1000.0;
+    util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        reliability::AorConfig config;
+        config.years = years;
+        config.shards = 64;
+        reliability::AorSimulator sim(reliability::paperFailureData(),
+                                      config, &pool);
+        benchmark::DoNotOptimize(
+            sim.aorForChargeTime(util::minutes(30.0)));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(years));
+}
+BENCHMARK(BM_AorSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
+ * One small end-to-end charging event (64 racks, 1 h trace, short
+ * post-event window) — the unit of work SweepRunner fans out. Keeps
+ * the per-event cost visible so sweep wall-time regressions can be
+ * attributed.
+ */
+void
+BM_RunChargingEvent(benchmark::State &state)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = 64;
+    spec.startTime = util::hours(10.0);
+    spec.duration = util::hours(1.0);
+    spec.priorities = power::makePriorityMix(22, 21, 21);
+    trace::TraceSet traces = trace::generateTraces(spec);
+
+    core::ChargingEventConfig config;
+    config.policy = core::PolicyKind::PriorityAware;
+    config.msbLimit = util::megawatts(0.9);
+    config.targetMeanDod = 0.5;
+    config.priorities = spec.priorities;
+    config.postEventDuration = util::minutes(20.0);
+    for (auto _ : state) {
+        auto result = core::runChargingEvent(config, traces);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RunChargingEvent)->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceGeneration(benchmark::State &state)

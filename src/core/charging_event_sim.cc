@@ -176,6 +176,15 @@ runChargingEvent(const ChargingEventConfig &config,
                                             config.physicsStep);
     result.capPower = util::TimeSeries(Seconds(0.0),
                                        config.physicsStep);
+    // The sample count is known up front (one per physics step over
+    // [t0, t_end]); reserving keeps the four series from reallocating
+    // inside the hot loop.
+    auto samples = static_cast<size_t>(
+        (t_end - t0).value() / config.physicsStep.value()) + 2;
+    result.msbPower.reserve(samples);
+    result.itPower.reserve(samples);
+    result.rechargePower.reserve(samples);
+    result.capPower.reserve(samples);
     result.racks.assign(static_cast<size_t>(n_racks), RackOutcome{});
     for (int i = 0; i < n_racks; ++i) {
         RackOutcome &outcome = result.racks[static_cast<size_t>(i)];

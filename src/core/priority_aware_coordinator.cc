@@ -1,6 +1,7 @@
 #include "core/priority_aware_coordinator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -42,6 +43,26 @@ PriorityAwareCoordinator::grantOrder(
     return order;
 }
 
+Amperes
+PriorityAwareCoordinator::slaCurrentFor(double dod,
+                                        power::Priority p) const
+{
+    // Quantize the DOD to a 1e-6 bucket and compute from the bucket
+    // value, so equal buckets always yield bit-equal currents.
+    double clamped = std::clamp(dod, 0.0, 1.0);
+    auto bucket = static_cast<uint64_t>(std::llround(clamped * 1e6));
+    uint64_t key =
+        (static_cast<uint64_t>(power::priorityIndex(p)) << 32)
+        | bucket;
+    auto it = slaMemo_.find(key);
+    if (it != slaMemo_.end())
+        return it->second;
+    Amperes current = calc_.requiredCurrent(
+        static_cast<double>(bucket) * 1e-6, p);
+    slaMemo_.emplace(key, current);
+    return current;
+}
+
 std::vector<OverrideCommand>
 PriorityAwareCoordinator::planInitial(
     const std::vector<RackChargeInfo> &racks, Watts available_power)
@@ -59,7 +80,7 @@ PriorityAwareCoordinator::planInitial(
     for (const RackChargeInfo *info : order) {
         commanded_[info->rackId] = floor;
         slaCurrent_[info->rackId] =
-            calc_.requiredCurrent(info->initialDod, info->priority);
+            slaCurrentFor(info->initialDod, info->priority);
     }
 
     // Postponement extension: if even the 1 A floors exceed the

@@ -28,6 +28,7 @@
 #ifndef DCBATT_CORE_PRIORITY_AWARE_COORDINATOR_H_
 #define DCBATT_CORE_PRIORITY_AWARE_COORDINATOR_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 
@@ -97,6 +98,17 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
     std::vector<const dynamo::RackChargeInfo *>
     grantOrder(const std::vector<dynamo::RackChargeInfo> &racks) const;
 
+    /**
+     * SLA current for (DOD, priority), memoized per (priority, DOD
+     * bucket of 1e-6) so the charge-time bisection runs at most once
+     * per bucket instead of once per rack per plan — fleets cluster
+     * around few distinct DODs, and repeated charging events re-plan
+     * with the same inputs every event. The bucketing error (DOD
+     * rounded to the nearest 1e-6) moves the resulting current by
+     * microamperes, far below the hardware's command resolution.
+     */
+    util::Amperes slaCurrentFor(double dod, power::Priority p) const;
+
     battery::BbuParams bbuParams() const
     {
         return calc_.model().params();
@@ -104,6 +116,8 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
 
     SlaCurrentCalculator calc_;
     PriorityAwareOptions options_;
+    /** Memo for slaCurrentFor: (priority, DOD bucket) -> current. */
+    mutable std::unordered_map<uint64_t, util::Amperes> slaMemo_;
     std::unordered_map<int, util::Amperes> commanded_;
     std::unordered_map<int, util::Amperes> slaCurrent_;
     std::unordered_map<int, bool> held_;

@@ -27,11 +27,13 @@
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 #include "util/time_series.h"
 #include "util/units.h"
 
 #include "sim/event_queue.h"
 #include "sim/sim_time.h"
+#include "sim/sweep_runner.h"
 
 #include "battery/bbu.h"
 #include "battery/bbu_params.h"

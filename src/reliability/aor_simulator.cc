@@ -5,6 +5,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace dcbatt::reliability {
 
@@ -16,23 +17,128 @@ constexpr double kSecondsPerHour = 3600.0;
 constexpr double kSecondsPerYear = 8760.0 * 3600.0;
 constexpr double kSecondsPerDay = 24.0 * 3600.0;
 
+/** Expected loss-interval count of @p processes over @p horizon_s. */
+size_t
+expectedIntervals(const std::vector<FailureProcess> &processes,
+                  double horizon_s)
+{
+    double expected = 0.0;
+    for (const FailureProcess &proc : processes) {
+        if (!(proc.mtbfHours > 0.0))
+            continue;  // generation panics on these; keep the
+                       // estimate finite regardless
+        double per_event =
+            proc.effect == FailureEffect::Outage ? 1.0 : 2.0;
+        expected += per_event * horizon_s
+            / (proc.mtbfHours * kSecondsPerHour);
+    }
+    return static_cast<size_t>(expected * 1.1) + 16;
+}
+
+/** Raw (unscaled) sums of one timeline walk. */
+struct WalkSums
+{
+    double notFull = 0.0;
+    double dark = 0.0;
+    size_t events = 0;
+};
+
+/**
+ * Walk one timeline over [0, horizon_s]: union of
+ * [loss start, loss end + recharge] spans, where a loss that begins
+ * during a recharge extends the span (the recharge restarts after the
+ * new episode).
+ */
+WalkSums
+walkTimeline(const std::vector<LossInterval> &timeline, double horizon_s,
+             const std::function<Seconds(const LossInterval &)>
+                 &charge_time_fn)
+{
+    WalkSums sums;
+    sums.events = timeline.size();
+    double span_start = -1.0;
+    double span_end = -1.0;
+    for (const LossInterval &loss : timeline) {
+        sums.dark +=
+            std::min(loss.durationSeconds,
+                     std::max(0.0, horizon_s - loss.startSeconds));
+        double recharge = charge_time_fn(loss).value();
+        double end = loss.endSeconds() + recharge;
+        if (span_start < 0.0) {
+            span_start = loss.startSeconds;
+            span_end = end;
+            continue;
+        }
+        if (loss.startSeconds <= span_end) {
+            span_end = std::max(span_end, end);
+        } else {
+            sums.notFull += std::min(span_end, horizon_s) - span_start;
+            span_start = loss.startSeconds;
+            span_end = end;
+        }
+    }
+    if (span_start >= 0.0)
+        sums.notFull += std::min(span_end, horizon_s) - span_start;
+    return sums;
+}
+
 } // namespace
 
 AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
-                           AorConfig config)
-    : config_(config)
+                           AorConfig config, util::ThreadPool *pool)
+    : config_(config), pool_(pool)
 {
     DCBATT_REQUIRE(config_.years > 0.0, "nonpositive horizon %g",
                    config_.years);
-    generateTimeline(processes);
+    DCBATT_REQUIRE(config_.shards >= 1, "shard count %d < 1",
+                   config_.shards);
+    shards_.resize(static_cast<size_t>(config_.shards));
+    auto generate = [&](size_t shard) {
+        generateShard(shard, processes);
+    };
+    if (pool_ && config_.shards > 1) {
+        pool_->parallelFor(shards_.size(), generate);
+    } else {
+        for (size_t s = 0; s < shards_.size(); ++s)
+            generate(s);
+    }
+}
+
+const std::vector<LossInterval> &
+AorSimulator::timeline() const
+{
+    DCBATT_REQUIRE(config_.shards == 1,
+                   "timeline() is single-timeline only (shards = %d); "
+                   "use shardTimeline()",
+                   config_.shards);
+    return shards_.front();
+}
+
+const std::vector<LossInterval> &
+AorSimulator::shardTimeline(int shard) const
+{
+    DCBATT_REQUIRE(shard >= 0 && shard < config_.shards,
+                   "shard %d outside [0, %d)", shard, config_.shards);
+    return shards_[static_cast<size_t>(shard)];
 }
 
 void
-AorSimulator::generateTimeline(
-    const std::vector<FailureProcess> &processes)
+AorSimulator::generateShard(size_t shard,
+                            const std::vector<FailureProcess> &processes)
 {
-    util::Rng rng(config_.seed);
-    const double horizon = config_.years * kSecondsPerYear;
+    // Shard 0 of a single-timeline run uses Rng(seed) directly so the
+    // legacy serial history is preserved bit for bit; sharded runs
+    // draw counter-based substreams, which are independent of one
+    // another and of generation order (and hence of thread count).
+    util::Rng rng = config_.shards == 1
+        ? util::Rng(config_.seed)
+        : util::Rng(config_.seed).substream(shard);
+    const double horizon = config_.years * kSecondsPerYear
+        / static_cast<double>(config_.shards);
+
+    std::vector<LossInterval> &timeline =
+        shards_[shard];
+    timeline.reserve(expectedIntervals(processes, horizon));
 
     for (const FailureProcess &proc : processes) {
         util::Rng stream = rng.fork();
@@ -54,24 +160,24 @@ AorSimulator::generateTimeline(
                 break;
             double repair = stream.exponential(mttr_s);
             if (proc.effect == FailureEffect::Outage) {
-                timeline_.push_back({t, repair});
+                timeline.push_back({t, repair});
             } else {
                 // Two open transitions: source drops, source returns.
                 double ot1 = stream.exponential(
                     config_.meanOpenTransition.value());
                 double ot2 = stream.exponential(
                     config_.meanOpenTransition.value());
-                timeline_.push_back({t, ot1});
+                timeline.push_back({t, ot1});
                 if (t + repair < horizon)
-                    timeline_.push_back({t + repair, ot2});
+                    timeline.push_back({t + repair, ot2});
             }
         }
     }
-    std::sort(timeline_.begin(), timeline_.end(),
+    std::sort(timeline.begin(), timeline.end(),
               [](const LossInterval &a, const LossInterval &b) {
                   return a.startSeconds < b.startSeconds;
               });
-    for (const LossInterval &loss : timeline_) {
+    for (const LossInterval &loss : timeline) {
         DCBATT_ASSERT(loss.startSeconds >= 0.0
                           && loss.durationSeconds >= 0.0,
                       "malformed loss interval at %g s (duration %g s)",
@@ -92,46 +198,45 @@ AorSimulator::aorForChargeModel(
     const
 {
     const double horizon = config_.years * kSecondsPerYear;
-    double not_full = 0.0;
-    double dark = 0.0;
-    // Union of [loss start, loss end + recharge] spans; a loss that
-    // begins during a recharge extends the span (the recharge
-    // restarts after the new episode).
-    double span_start = -1.0;
-    double span_end = -1.0;
-    for (const LossInterval &loss : timeline_) {
-        dark += std::min(loss.durationSeconds,
-                         std::max(0.0, horizon - loss.startSeconds));
-        double recharge = charge_time_fn(loss).value();
-        double end = loss.endSeconds() + recharge;
-        if (span_start < 0.0) {
-            span_start = loss.startSeconds;
-            span_end = end;
-            continue;
-        }
-        if (loss.startSeconds <= span_end) {
-            span_end = std::max(span_end, end);
-        } else {
-            not_full += std::min(span_end, horizon) - span_start;
-            span_start = loss.startSeconds;
-            span_end = end;
-        }
+    const double shard_horizon =
+        horizon / static_cast<double>(config_.shards);
+
+    // Walk every shard (in parallel when a pool is attached — each
+    // walk writes only its own slot), then reduce in shard order so
+    // the floating-point sums never depend on scheduling.
+    std::vector<WalkSums> partial(shards_.size());
+    auto walk = [&](size_t s) {
+        partial[s] =
+            walkTimeline(shards_[s], shard_horizon, charge_time_fn);
+    };
+    if (pool_ && shards_.size() > 1) {
+        pool_->parallelFor(shards_.size(), walk);
+    } else {
+        for (size_t s = 0; s < shards_.size(); ++s)
+            walk(s);
     }
-    if (span_start >= 0.0)
-        not_full += std::min(span_end, horizon) - span_start;
+
+    WalkSums total;
+    for (const WalkSums &sums : partial) {
+        total.notFull += sums.notFull;
+        total.dark += sums.dark;
+        total.events += sums.events;
+    }
 
     AorResult result;
-    // The union of loss spans is clipped to the horizon, so the
-    // not-fully-redundant time can never exceed it.
-    DCBATT_ASSERT(not_full >= 0.0 && not_full <= horizon,
-                  "loss-span union %g s outside [0, %g] s", not_full,
-                  horizon);
-    result.aor = 1.0 - not_full / horizon;
+    // Each shard's loss-span union is clipped to its sub-horizon, so
+    // the total not-fully-redundant time can never exceed the full
+    // horizon.
+    DCBATT_ASSERT(total.notFull >= 0.0 && total.notFull <= horizon,
+                  "loss-span union %g s outside [0, %g] s",
+                  total.notFull, horizon);
+    result.aor = 1.0 - total.notFull / horizon;
     result.lossOfRedundancyHoursPerYear =
-        not_full / kSecondsPerHour / config_.years;
+        total.notFull / kSecondsPerHour / config_.years;
     result.lossEventsPerYear =
-        static_cast<double>(timeline_.size()) / config_.years;
-    result.darkHoursPerYear = dark / kSecondsPerHour / config_.years;
+        static_cast<double>(total.events) / config_.years;
+    result.darkHoursPerYear =
+        total.dark / kSecondsPerHour / config_.years;
     return result;
 }
 

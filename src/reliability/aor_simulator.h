@@ -15,6 +15,15 @@
  * sweep over battery charge times (the Fig. 9a x-axis) reuses the
  * identical failure history — the curve is smooth by construction,
  * not by sample-count brute force.
+ *
+ * Sharded mode (AorConfig::shards > 1) splits the horizon into
+ * equal-length shards, each an independent renewal history drawn from
+ * Rng(seed).substream(shard); generation and walks then fan across an
+ * optional util::ThreadPool and the per-shard results are merged by a
+ * time-weighted reduction in shard order. The shard count is
+ * *semantic* — it selects which failure history is sampled — while
+ * the thread count never is: results are bit-identical for a given
+ * (seed, shards) at any worker count, including none.
  */
 
 #ifndef DCBATT_RELIABILITY_AOR_SIMULATOR_H_
@@ -26,6 +35,10 @@
 
 #include "reliability/failure_data.h"
 #include "util/units.h"
+
+namespace dcbatt::util {
+class ThreadPool;
+}
 
 namespace dcbatt::reliability {
 
@@ -48,6 +61,15 @@ struct AorConfig
     /** Stddev of the annual-maintenance interval, in days. */
     double annualSigmaDays = 41.0;
     uint64_t seed = 7;
+    /**
+     * Number of equal-length horizon shards (>= 1). 1 is the legacy
+     * single-timeline mode, bit-compatible with the original serial
+     * simulator. Shard count changes which failure history is drawn
+     * (each shard is an independent substream over years/shards), so
+     * AOR values are comparable only at equal shard counts; thread
+     * count never changes them.
+     */
+    int shards = 1;
 };
 
 /** Result of one AOR evaluation. */
@@ -65,14 +87,25 @@ struct AorResult
 class AorSimulator
 {
   public:
+    /**
+     * Generates the loss history up front. @p pool, when non-null,
+     * parallelizes generation (shards > 1) and every subsequent walk;
+     * it is borrowed, not owned, and must outlive the simulator.
+     */
     AorSimulator(std::vector<FailureProcess> processes,
-                 AorConfig config = {});
+                 AorConfig config = {},
+                 util::ThreadPool *pool = nullptr);
 
-    /** The generated loss timeline (sorted by start). */
-    const std::vector<LossInterval> &timeline() const
-    {
-        return timeline_;
-    }
+    /**
+     * The generated loss timeline (sorted by start). Only meaningful
+     * in single-timeline mode (shards == 1).
+     */
+    const std::vector<LossInterval> &timeline() const;
+
+    /** Shard @p shard 's loss timeline, on the shard-local clock. */
+    const std::vector<LossInterval> &shardTimeline(int shard) const;
+
+    int shardCount() const { return config_.shards; }
 
     /** AOR when every recharge takes a fixed @p charge_time. */
     AorResult aorForChargeTime(util::Seconds charge_time) const;
@@ -81,7 +114,10 @@ class AorSimulator
      * AOR with a recharge time that depends on the loss episode:
      * @p charge_time_fn maps the loss duration to the recharge time
      * (e.g. via the CC-CV charge-time model and a rack load). Used by
-     * the charger-aware AOR extension bench.
+     * the charger-aware AOR extension bench. With a pool attached the
+     * function is called concurrently from several threads and must
+     * be thread-safe (the charge-time models are: const and
+     * stateless).
      */
     AorResult aorForChargeModel(
         const std::function<util::Seconds(const LossInterval &)>
@@ -90,10 +126,13 @@ class AorSimulator
     double horizonYears() const { return config_.years; }
 
   private:
-    void generateTimeline(const std::vector<FailureProcess> &processes);
+    void generateShard(size_t shard,
+                       const std::vector<FailureProcess> &processes);
 
     AorConfig config_;
-    std::vector<LossInterval> timeline_;
+    util::ThreadPool *pool_ = nullptr;
+    /** One timeline per shard; shard clocks start at 0. */
+    std::vector<std::vector<LossInterval>> shards_;
 };
 
 } // namespace dcbatt::reliability

@@ -1,0 +1,46 @@
+#include "sim/sweep_runner.h"
+
+#include <exception>
+#include <future>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dcbatt::sim {
+
+std::vector<core::ChargingEventResult>
+SweepRunner::run(const std::vector<SweepTask> &tasks) const
+{
+    std::vector<std::future<core::ChargingEventResult>> futures;
+    futures.reserve(tasks.size());
+    for (const SweepTask &task : tasks) {
+        DCBATT_REQUIRE(task.traces != nullptr,
+                       "sweep task '%s' has no trace set",
+                       task.label.c_str());
+        // The config is copied into the closure; the trace set is
+        // shared read-only across tasks.
+        futures.push_back(pool_->submit(
+            [config = task.config, traces = task.traces] {
+                return core::runChargingEvent(config, *traces);
+            }));
+    }
+
+    // Collect in task order. Every future is drained before any
+    // rethrow so no task is left running against a caller frame that
+    // is already unwinding.
+    std::vector<core::ChargingEventResult> results(tasks.size());
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        try {
+            results[i] = futures[i].get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace dcbatt::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parallel charging-event sweep runner.
+ *
+ * The evaluation artifacts (Figs. 13-15, the ablation, the CLI's
+ * multi-limit sweeps) all run vectors of independent full charging
+ * events — same engine, different configs. SweepRunner fans such a
+ * vector across a util::ThreadPool and collects the results *in task
+ * order*, so a bench's printed output is byte-identical at any thread
+ * count: parallelism changes wall time, never content.
+ *
+ * Each task carries its own trace handle. Tasks may share one
+ * trace set (e.g. bench::paperMsbTraces(), a const process-wide
+ * singleton) because runChargingEvent only reads traces; anything a
+ * task mutates lives in its own topology/event-queue instance.
+ */
+
+#ifndef DCBATT_SIM_SWEEP_RUNNER_H_
+#define DCBATT_SIM_SWEEP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/charging_event_sim.h"
+#include "trace/trace_set.h"
+
+namespace dcbatt::util {
+class ThreadPool;
+}
+
+namespace dcbatt::sim {
+
+/** One charging event to run: a config plus its trace handle. */
+struct SweepTask
+{
+    /** Free-form tag the caller uses to identify the result. */
+    std::string label;
+    core::ChargingEventConfig config;
+    /** Borrowed; must outlive the run() call. */
+    const trace::TraceSet *traces = nullptr;
+};
+
+/** Fans charging events across a pool; results come back in order. */
+class SweepRunner
+{
+  public:
+    /** @p pool is borrowed and must outlive the runner. */
+    explicit SweepRunner(util::ThreadPool &pool) : pool_(&pool) {}
+
+    /**
+     * Run every task and return the results in task order. The first
+     * exception a task throws is rethrown after all tasks finish.
+     * Must not be called from inside a task of the same pool.
+     */
+    std::vector<core::ChargingEventResult>
+    run(const std::vector<SweepTask> &tasks) const;
+
+  private:
+    util::ThreadPool *pool_;
+};
+
+} // namespace dcbatt::sim
+
+#endif // DCBATT_SIM_SWEEP_RUNNER_H_

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -10,12 +11,21 @@ namespace dcbatt::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+// Atomic so worker threads (SweepRunner tasks log warnings) can read
+// the level while a test on another thread adjusts it.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 
 void
 emit(const char *prefix, std::string_view msg)
 {
-    std::cerr << prefix << msg << "\n";
+    // Compose first and write once: a single stream insertion keeps
+    // concurrent messages from interleaving mid-line.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line.append(prefix);
+    line.append(msg);
+    line.push_back('\n');
+    std::cerr << line;
 }
 
 } // namespace

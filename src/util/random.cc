@@ -66,4 +66,27 @@ Rng::fork()
     return Rng(engine_());
 }
 
+namespace {
+
+/** SplitMix64 finalizer (Steele, Lea & Flood; public domain). */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Rng
+Rng::substream(uint64_t index) const
+{
+    // Two SplitMix64 rounds keyed on (seed, index); never touches
+    // engine_, so the mapping is a pure function of the construction
+    // seed and the counter.
+    return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(index)));
+}
+
 } // namespace dcbatt::util

@@ -23,7 +23,10 @@ namespace dcbatt::util {
 class Rng
 {
   public:
-    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : engine_(seed), seed_(seed)
+    {
+    }
 
     /** Uniform double in [0, 1). */
     double uniform();
@@ -48,6 +51,19 @@ class Rng
     /** Fork an independent stream (stable given the parent's state). */
     Rng fork();
 
+    /**
+     * Counter-based child stream @p index: the child seed is a
+     * SplitMix64 mix of (seed, index) only, so — unlike fork() — the
+     * result is independent of how many draws the parent has made.
+     * This is the substream scheme the parallel shards use: shard i
+     * of a simulation seeded s always sees Rng(s).substream(i),
+     * regardless of generation order or thread count.
+     */
+    Rng substream(uint64_t index) const;
+
+    /** The seed this generator was constructed with. */
+    uint64_t seed() const { return seed_; }
+
     /** Shuffle a vector in place. */
     template <typename T>
     void
@@ -60,6 +76,7 @@ class Rng
 
   private:
     std::mt19937_64 engine_;
+    uint64_t seed_ = 0;
 };
 
 } // namespace dcbatt::util

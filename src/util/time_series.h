@@ -30,6 +30,9 @@ class TimeSeries
 
     void append(double v) { values_.push_back(v); }
 
+    /** Pre-size the backing store for n upcoming append() calls. */
+    void reserve(size_t n) { values_.reserve(n); }
+
     size_t size() const { return values_.size(); }
     bool empty() const { return values_.empty(); }
     Seconds start() const { return start_; }

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Determinism contract of the sharded Monte Carlo AOR simulator: for
+ * a fixed (seed, shard count, horizon), the result must be
+ * bit-identical at ANY worker-thread count — the thread count is an
+ * execution detail, the shard count is part of the experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/aor_simulator.h"
+#include "util/thread_pool.h"
+
+namespace dcbatt::reliability {
+namespace {
+
+AorConfig
+shardedConfig()
+{
+    AorConfig config;
+    config.years = 4000.0;
+    config.shards = 16;
+    config.seed = 2024;
+    return config;
+}
+
+void
+expectBitIdentical(const AorResult &a, const AorResult &b)
+{
+    // Exact equality on purpose: the reduction order is fixed (shard
+    // index), so the floating-point sums must match to the last bit.
+    EXPECT_EQ(a.aor, b.aor);
+    EXPECT_EQ(a.lossOfRedundancyHoursPerYear,
+              b.lossOfRedundancyHoursPerYear);
+    EXPECT_EQ(a.lossEventsPerYear, b.lossEventsPerYear);
+}
+
+TEST(AorSharded, BitIdenticalAcrossThreadCounts)
+{
+    auto processes = paperFailureData();
+    AorConfig config = shardedConfig();
+
+    util::ThreadPool pool1(1);
+    util::ThreadPool pool2(2);
+    util::ThreadPool pool8(8);
+    AorSimulator sim1(processes, config, &pool1);
+    AorSimulator sim2(processes, config, &pool2);
+    AorSimulator sim8(processes, config, &pool8);
+    AorSimulator sim_nopool(processes, config, nullptr);
+
+    for (double minutes : {10.0, 45.0, 90.0}) {
+        auto r1 = sim1.aorForChargeTime(util::minutes(minutes));
+        auto r2 = sim2.aorForChargeTime(util::minutes(minutes));
+        auto r8 = sim8.aorForChargeTime(util::minutes(minutes));
+        auto r0 = sim_nopool.aorForChargeTime(util::minutes(minutes));
+        expectBitIdentical(r1, r2);
+        expectBitIdentical(r1, r8);
+        expectBitIdentical(r1, r0);  // no pool == same numbers
+    }
+}
+
+TEST(AorSharded, RepeatedQueriesAreStable)
+{
+    util::ThreadPool pool(4);
+    AorSimulator sim(paperFailureData(), shardedConfig(), &pool);
+    auto first = sim.aorForChargeTime(util::minutes(30.0));
+    auto second = sim.aorForChargeTime(util::minutes(30.0));
+    expectBitIdentical(first, second);
+}
+
+TEST(AorSharded, ShardCountIsSemantic)
+{
+    // Different shard counts sample different histories: the results
+    // must agree statistically but are not expected to be identical.
+    auto processes = paperFailureData();
+    AorConfig base = shardedConfig();
+    base.years = 8000.0;
+
+    AorConfig split = base;
+    split.shards = 32;
+
+    util::ThreadPool pool(2);
+    AorSimulator sim16(processes, base, &pool);
+    AorSimulator sim32(processes, split, &pool);
+    auto r16 = sim16.aorForChargeTime(util::minutes(60.0));
+    auto r32 = sim32.aorForChargeTime(util::minutes(60.0));
+
+    EXPECT_EQ(sim16.shardCount(), 16);
+    EXPECT_EQ(sim32.shardCount(), 32);
+    // Both estimate the same AOR (paper: ~99.90% at 60 min).
+    EXPECT_NEAR(r16.aor, r32.aor, 5e-3);
+    EXPECT_GT(r16.aor, 0.9);
+    EXPECT_GT(r32.aor, 0.9);
+}
+
+TEST(AorSharded, SerialPathMatchesShardsEqualOne)
+{
+    // shards == 1 must reproduce the legacy single-timeline numbers
+    // whether or not a pool is attached.
+    auto processes = paperFailureData();
+    AorConfig config;
+    config.years = 3000.0;
+    config.seed = 7;
+    config.shards = 1;
+
+    util::ThreadPool pool(4);
+    AorSimulator serial(processes, config, nullptr);
+    AorSimulator pooled(processes, config, &pool);
+    expectBitIdentical(serial.aorForChargeTime(util::minutes(30.0)),
+                       pooled.aorForChargeTime(util::minutes(30.0)));
+    // The legacy accessor is still available in single-shard mode.
+    EXPECT_EQ(serial.timeline().size(), pooled.timeline().size());
+}
+
+TEST(AorSharded, ShardTimelinesCoverDisjointSubHorizons)
+{
+    AorConfig config = shardedConfig();
+    AorSimulator sim(paperFailureData(), config, nullptr);
+    const double shard_horizon_s =
+        config.years * 8760.0 * 3600.0 / config.shards;
+    for (int s = 0; s < sim.shardCount(); ++s) {
+        for (const auto &interval : sim.shardTimeline(s)) {
+            EXPECT_GE(interval.startSeconds, 0.0);
+            EXPECT_LT(interval.startSeconds, shard_horizon_s);
+        }
+    }
+}
+
+} // namespace
+} // namespace dcbatt::reliability

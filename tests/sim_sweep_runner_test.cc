@@ -1,0 +1,115 @@
+/**
+ * @file
+ * sim::SweepRunner contract: results come back in task order and are
+ * identical to running each config serially — the pool only changes
+ * wall time, never the numbers.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/charging_event_sim.h"
+#include "sim/sweep_runner.h"
+#include "trace/trace_generator.h"
+#include "util/thread_pool.h"
+
+namespace dcbatt {
+namespace {
+
+trace::TraceSet
+smallTraces(const std::vector<power::Priority> &priorities)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = static_cast<int>(priorities.size());
+    spec.startTime = util::hours(10.0);
+    spec.duration = util::hours(1.0);
+    spec.priorities = priorities;
+    return trace::generateTraces(spec);
+}
+
+core::ChargingEventConfig
+smallConfig(const std::vector<power::Priority> &priorities,
+            double limit_mw, double dod)
+{
+    core::ChargingEventConfig config;
+    config.policy = core::PolicyKind::PriorityAware;
+    config.msbLimit = util::megawatts(limit_mw);
+    config.targetMeanDod = dod;
+    config.priorities = priorities;
+    config.postEventDuration = util::minutes(20.0);
+    return config;
+}
+
+TEST(SweepRunner, ResultsMatchTaskOrderAndSerialRuns)
+{
+    auto priorities = power::makePriorityMix(22, 21, 21);
+    trace::TraceSet traces = smallTraces(priorities);
+
+    // Distinguishable tasks: different limits and discharge depths.
+    const double limits[] = {1.2, 0.9, 0.8, 1.0, 0.85};
+    const double dods[] = {0.3, 0.5, 0.7, 0.4, 0.6};
+    std::vector<sim::SweepTask> tasks;
+    for (size_t i = 0; i < 5; ++i) {
+        sim::SweepTask task;
+        task.label = util::strf("case%zu", i);
+        task.config = smallConfig(priorities, limits[i], dods[i]);
+        task.traces = &traces;
+        tasks.push_back(std::move(task));
+    }
+
+    util::ThreadPool pool(4);
+    sim::SweepRunner runner(pool);
+    auto parallel_results = runner.run(tasks);
+    ASSERT_EQ(parallel_results.size(), tasks.size());
+
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        auto serial = core::runChargingEvent(tasks[i].config, traces);
+        const auto &par = parallel_results[i];
+        EXPECT_EQ(par.peakPower.value(), serial.peakPower.value())
+            << "task " << i;
+        EXPECT_EQ(par.overloadSteps, serial.overloadSteps)
+            << "task " << i;
+        EXPECT_EQ(par.meanInitialDod, serial.meanInitialDod)
+            << "task " << i;
+        for (int p = 0; p < 3; ++p) {
+            EXPECT_EQ(par.slaMetByPriority[p],
+                      serial.slaMetByPriority[p])
+                << "task " << i << " priority " << p;
+        }
+        EXPECT_EQ(par.msbPower.size(), serial.msbPower.size())
+            << "task " << i;
+    }
+}
+
+TEST(SweepRunner, SingleThreadPoolGivesSameResults)
+{
+    auto priorities = power::makePriorityMix(11, 11, 10);
+    trace::TraceSet traces = smallTraces(priorities);
+    std::vector<sim::SweepTask> tasks;
+    for (double limit : {0.5, 0.4}) {
+        sim::SweepTask task;
+        task.config = smallConfig(priorities, limit, 0.5);
+        task.traces = &traces;
+        tasks.push_back(std::move(task));
+    }
+    util::ThreadPool pool1(1);
+    util::ThreadPool pool8(8);
+    auto r1 = sim::SweepRunner(pool1).run(tasks);
+    auto r8 = sim::SweepRunner(pool8).run(tasks);
+    ASSERT_EQ(r1.size(), r8.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].peakPower.value(), r8[i].peakPower.value());
+        EXPECT_EQ(r1[i].slaMetTotal(), r8[i].slaMetTotal());
+    }
+}
+
+TEST(SweepRunner, EmptyTaskListIsFine)
+{
+    util::ThreadPool pool(2);
+    sim::SweepRunner runner(pool);
+    EXPECT_TRUE(runner.run({}).empty());
+}
+
+} // namespace
+} // namespace dcbatt

@@ -16,28 +16,35 @@
  *   --racks N          fleet size                      (default 316)
  *   --p1 N --p2 N --p3 N  priority counts (default paper's 89/142/85,
  *                       scaled when --racks differs)
- *   --limit-mw X       MSB power limit                 (default 2.5)
+ *   --limit-mw X[,Y,...]  MSB power limit(s); several, comma-
+ *                      separated, sweep in parallel    (default 2.5)
  *   --mean-mw X        fleet mean IT load              (default 2.0)
  *   --dod X            target mean DOD                 (default 0.5)
  *   --ot-seconds X     explicit open-transition length
  *   --postpone         enable the postponement extension
  *   --restore          enable restore-on-headroom
  *   --seed N           trace seed                      (default 42)
+ *   --threads N        worker threads for multi-limit sweeps
+ *                      (default: hardware concurrency)
  *   --audit-seconds X  audit the physical invariants every X sim
  *                      seconds (a violation aborts the run)
  *   --csv PATH         write time,msb,it,recharge,cap series
+ *                      (single-limit runs only)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/charging_event_sim.h"
+#include "sim/sweep_runner.h"
 #include "trace/trace_generator.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 
 using namespace dcbatt;
 
@@ -48,16 +55,42 @@ struct CliOptions
     core::PolicyKind policy = core::PolicyKind::PriorityAware;
     int racks = 316;
     int p1 = -1, p2 = -1, p3 = -1;
-    double limitMw = 2.5;
+    std::vector<double> limitsMw{2.5};
     double meanMw = 2.0;
     double dod = 0.5;
     double otSeconds = -1.0;
     bool postpone = false;
     bool restore = false;
     uint64_t seed = 42;
+    int threads = 0;  // 0 = hardware concurrency
     double auditSeconds = -1.0;
     std::string csvPath;
 };
+
+std::vector<double>
+parseLimitList(const std::string &value)
+{
+    std::vector<double> limits;
+    size_t pos = 0;
+    while (pos <= value.size()) {
+        size_t comma = value.find(',', pos);
+        std::string item = value.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (item.empty())
+            util::fatal("--limit-mw: empty list entry");
+        limits.push_back(std::atof(item.c_str()));
+        if (limits.back() <= 0.0)
+            util::fatal(util::strf("--limit-mw: bad entry '%s'",
+                                   item.c_str()));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (limits.empty())
+        util::fatal("--limit-mw needs at least one value");
+    return limits;
+}
 
 core::PolicyKind
 parsePolicy(const std::string &name)
@@ -96,7 +129,7 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--p3") {
             options.p3 = std::atoi(need_value(i++));
         } else if (flag == "--limit-mw") {
-            options.limitMw = std::atof(need_value(i++));
+            options.limitsMw = parseLimitList(need_value(i++));
         } else if (flag == "--mean-mw") {
             options.meanMw = std::atof(need_value(i++));
         } else if (flag == "--dod") {
@@ -110,6 +143,10 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--seed") {
             options.seed = static_cast<uint64_t>(
                 std::atoll(need_value(i++)));
+        } else if (flag == "--threads") {
+            options.threads = std::atoi(need_value(i++));
+            if (options.threads < 0)
+                util::fatal("--threads must be >= 0");
         } else if (flag == "--audit-seconds") {
             options.auditSeconds = std::atof(need_value(i++));
         } else if (flag == "--csv") {
@@ -161,7 +198,6 @@ main(int argc, char **argv)
 
     core::ChargingEventConfig config;
     config.policy = options.policy;
-    config.msbLimit = util::megawatts(options.limitMw);
     config.targetMeanDod = options.dod;
     if (options.otSeconds > 0.0)
         config.openTransitionLength = util::Seconds(options.otSeconds);
@@ -170,12 +206,67 @@ main(int argc, char **argv)
     config.priorityAwareOptions.restoreOnHeadroom = options.restore;
     if (options.auditSeconds > 0.0)
         config.auditInterval = util::Seconds(options.auditSeconds);
+
+    // Several --limit-mw values: fan the sweep out across a worker
+    // pool and print one summary row per limit. The single-limit path
+    // below is untouched (and is byte-identical at any --threads).
+    if (options.limitsMw.size() > 1) {
+        if (!options.csvPath.empty())
+            util::fatal("--csv needs a single --limit-mw value");
+        util::ThreadPool pool(
+            options.threads > 0
+                ? static_cast<unsigned>(options.threads)
+                : util::ThreadPool::hardwareThreads());
+        sim::SweepRunner runner(pool);
+        std::vector<sim::SweepTask> tasks;
+        for (double limit : options.limitsMw) {
+            sim::SweepTask task;
+            task.label = util::strf("%.2fMW", limit);
+            task.config = config;
+            task.config.msbLimit = util::megawatts(limit);
+            task.traces = &traces;
+            tasks.push_back(std::move(task));
+        }
+        auto results = runner.run(tasks);
+
+        std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d "
+                    "P3), %zu limits\n\n",
+                    core::toString(options.policy), options.racks, p1,
+                    p2, p3, options.limitsMw.size());
+        util::TextTable table({"limit (MW)", "peak MSB (MW)",
+                               "overload (s)", "tripped", "P1 met",
+                               "P2 met", "P3 met",
+                               "max cap (kW)"});
+        bool tripped = false;
+        for (size_t i = 0; i < results.size(); ++i) {
+            const auto &result = results[i];
+            tripped = tripped || result.breakerTripped;
+            table.addRow(
+                {util::strf("%.2f", options.limitsMw[i]),
+                 util::strf("%.3f",
+                            util::toMegawatts(result.peakPower)),
+                 util::strf("%d", result.overloadSteps),
+                 result.breakerTripped ? "YES" : "no",
+                 util::strf("%d / %d", result.slaMetByPriority[0],
+                            result.racksByPriority[0]),
+                 util::strf("%d / %d", result.slaMetByPriority[1],
+                            result.racksByPriority[1]),
+                 util::strf("%d / %d", result.slaMetByPriority[2],
+                            result.racksByPriority[2]),
+                 util::strf("%.1f",
+                            util::toKilowatts(result.maxCap))});
+        }
+        std::printf("%s", table.render().c_str());
+        return tripped ? 2 : 0;
+    }
+
+    config.msbLimit = util::megawatts(options.limitsMw[0]);
     auto result = core::runChargingEvent(config, traces);
 
     std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d P3), "
                 "limit %.2f MW\n",
                 core::toString(options.policy), options.racks, p1, p2,
-                p3, options.limitMw);
+                p3, options.limitsMw[0]);
     std::printf("open transition %.0f s at the trace peak, fleet mean "
                 "DOD %.2f\n\n",
                 result.otLength.value(), result.meanInitialDod);
