@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <type_traits>
 
+#include "trace/trace_cache.h"
 #include "util/logging.h"
 
 namespace dcbatt::bench {
@@ -35,16 +37,19 @@ paperPriorities()
 const trace::TraceSet &
 paperMsbTraces()
 {
-    static const trace::TraceSet traces = [] {
+    // Resolved through the process-wide trace cache so benches that
+    // also build the spec themselves (or run several figures in one
+    // process) replay the one generated instance.
+    static const std::shared_ptr<const trace::TraceSet> traces = [] {
         trace::TraceGenSpec spec;
         spec.rackCount = 316;
         spec.startTime = util::hours(10.0);
         spec.duration = util::hours(8.0);
         spec.step = util::Seconds(3.0);
         spec.priorities = paperPriorities();
-        return trace::generateTraces(spec);
+        return trace::sharedTraces(spec);
     }();
-    return traces;
+    return *traces;
 }
 
 core::ChargingEventConfig

@@ -57,6 +57,19 @@ makePa()
                                    core::SlaTable::paperDefault()));
 }
 
+/** Attach the coordinator's SLA-memo counters to a benchmark run. */
+void
+reportSlaMemo(benchmark::State &state,
+              const core::PriorityAwareCoordinator &pa)
+{
+    const core::SlaMemoStats &memo = pa.slaMemoStats();
+    state.counters["sla_memo_hits"] = static_cast<double>(memo.hits);
+    state.counters["sla_memo_misses"] =
+        static_cast<double>(memo.misses);
+    state.counters["sla_memo_evictions"] =
+        static_cast<double>(memo.evictions);
+}
+
 void
 BM_PriorityAwarePlan(benchmark::State &state)
 {
@@ -68,6 +81,7 @@ BM_PriorityAwarePlan(benchmark::State &state)
         benchmark::DoNotOptimize(commands);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    reportSlaMemo(state, pa);
 }
 BENCHMARK(BM_PriorityAwarePlan)->Arg(64)->Arg(316)->Arg(1024);
 
@@ -82,6 +96,7 @@ BM_PriorityAwareOverloadTick(benchmark::State &state)
         benchmark::DoNotOptimize(commands);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    reportSlaMemo(state, pa);
 }
 BENCHMARK(BM_PriorityAwareOverloadTick)->Arg(316);
 

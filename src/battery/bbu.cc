@@ -30,30 +30,51 @@ toString(BbuState state)
     DCBATT_UNREACHABLE("invalid BbuState %d", static_cast<int>(state));
 }
 
-BbuModel::BbuModel(BbuParams params) : params_(params) {}
+BbuModel::BbuModel(BbuParams params) : params_(params), kernel_(params)
+{
+    DCBATT_REQUIRE(params_.numericSubstep > 0.0,
+                   "numeric substep %g s must be positive",
+                   params_.numericSubstep);
+    substepDecay_ = std::exp(-params_.numericSubstep
+                             / params_.cvTimeConstant.value());
+    // Constants of the open-circuit-voltage line, computed once with
+    // exactly the expressions terminalVoltage() originally evaluated
+    // per read (so cached reads stay bit-identical).
+    double ref_threshold = cvCharge(params_.originalCurrent)
+        / params_.refillCharge;
+    ocvSocSpan_ = 1.0 - ref_threshold;
+    ocvVoltSpan_ = params_.ccEndVoltage.value()
+        - params_.emptyVoltage.value();
+}
 
 void
 BbuModel::setSetpoint(Amperes current)
 {
     setpoint_ = util::clamp(current, params_.minCurrent,
                             params_.maxCurrent);
+    if (params_.integrator == CcCvIntegrator::NumericReference
+        && state_ == BbuState::Charging && inCv_) {
+        // A mid-CV setpoint change re-anchors the decayed current to
+        // the new setpoint, matching the analytic path's semantics
+        // (current = setpoint * e^{-elapsed/tau}).
+        numericCurrentA_ = setpoint_.value()
+            * std::exp(-cvElapsed_.value()
+                       / params_.cvTimeConstant.value());
+    }
+    refreshDerived();
+}
+
+void
+BbuModel::setPaused(bool paused)
+{
+    paused_ = paused;
+    refreshDerived();
 }
 
 Coulombs
 BbuModel::cvCharge(Amperes setpoint) const
 {
     return (setpoint - params_.cutoffCurrent) * params_.cvTimeConstant;
-}
-
-Amperes
-BbuModel::chargingCurrent() const
-{
-    if (state_ != BbuState::Charging || paused_)
-        return Amperes(0.0);
-    if (!inCv_)
-        return setpoint_;
-    double decay = std::exp(-cvElapsed_ / params_.cvTimeConstant);
-    return setpoint_ * decay;
 }
 
 Volts
@@ -64,23 +85,9 @@ BbuModel::terminalVoltage() const
     // Linear open-circuit curve from empty (42.6 V at DOD 1) to the CC
     // end voltage. The CC->CV handover for the reference 5 A setpoint
     // happens at DOD ~0.22, which is where the line is pinned to 52 V.
-    double ref_threshold = cvCharge(params_.originalCurrent)
-        / params_.refillCharge;
-    double span = 1.0 - ref_threshold;
-    double t = std::clamp((1.0 - dod_) / span, 0.0, 1.0);
-    double v = params_.emptyVoltage.value()
-        + (params_.ccEndVoltage.value() - params_.emptyVoltage.value())
-        * t;
+    double t = std::clamp((1.0 - dod_) / ocvSocSpan_, 0.0, 1.0);
+    double v = params_.emptyVoltage.value() + ocvVoltSpan_ * t;
     return Volts(v);
-}
-
-Watts
-BbuModel::inputPower() const
-{
-    if (state_ != BbuState::Charging)
-        return Watts(0.0);
-    Watts cell_power = terminalVoltage() * chargingCurrent();
-    return cell_power / params_.chargeEfficiency;
 }
 
 Joules
@@ -96,6 +103,7 @@ BbuModel::discharge(Watts power, Seconds dt)
     inCv_ = false;
     paused_ = false;
     cvElapsed_ = Seconds(0.0);
+    numericCurrentA_ = 0.0;
     Joules requested = power * dt;
     Joules available = params_.fullDischargeEnergy * (1.0 - dod_);
     Joules delivered = util::min(requested, available);
@@ -106,6 +114,7 @@ BbuModel::discharge(Watts power, Seconds dt)
     }
     DCBATT_ASSERT(dod_ >= 0.0 && dod_ <= 1.0,
                   "DOD %.12g outside [0, 1] after discharge", dod_);
+    refreshDerived();
     return delivered;
 }
 
@@ -119,6 +128,9 @@ BbuModel::startCharging(Amperes initial_current)
     cvElapsed_ = Seconds(0.0);
     inCv_ = false;
     maybeEnterCv();
+    if (inCv_)
+        numericCurrentA_ = setpoint_.value();
+    refreshDerived();
 }
 
 void
@@ -127,7 +139,8 @@ BbuModel::maybeEnterCv()
     // The CC-CV state machine only moves forward: once the remaining
     // deficit fits in the CV tail the pack enters CV and stays there
     // until charging completes (or a discharge resets the cycle).
-    if (!inCv_ && deficit() <= cvCharge(setpoint_)) {
+    if (!inCv_
+        && kernel_.shouldEnterCv(dod_, setpoint_.value())) {
         inCv_ = true;
         cvElapsed_ = Seconds(0.0);
     }
@@ -144,6 +157,35 @@ BbuModel::step(Seconds dt)
                   "[%g, %g]",
                   setpoint_.value(), params_.minCurrent.value(),
                   params_.maxCurrent.value());
+    if (params_.integrator == CcCvIntegrator::NumericReference)
+        stepNumeric(dt);
+    else
+        stepAnalytic(dt);
+}
+
+double
+BbuModel::totalCvMemo()
+{
+    if (setpoint_.value() != totalCvKey_) {
+        totalCvKey_ = setpoint_.value();
+        totalCvCache_ = kernel_.totalCvSeconds(totalCvKey_);
+    }
+    return totalCvCache_;
+}
+
+double
+BbuModel::cvAdvanceFactorMemo(double advance)
+{
+    if (advance != cvAdvanceKey_) {
+        cvAdvanceKey_ = advance;
+        cvAdvanceFactor_ = kernel_.cvDecayFactor(advance);
+    }
+    return cvAdvanceFactor_;
+}
+
+void
+BbuModel::stepAnalytic(Seconds dt)
+{
     double remaining = dt.value();
     while (remaining > 1e-12) {
         maybeEnterCv();
@@ -151,43 +193,122 @@ BbuModel::step(Seconds dt)
             // CC phase: constant current until the deficit equals the
             // CV-phase charge. Advance either the full step or exactly
             // to the handover, whichever is sooner.
-            Coulombs to_handover = deficit() - cvCharge(setpoint_);
-            DCBATT_ASSERT(to_handover.value() >= 0.0,
+            double handover_s =
+                kernel_.ccHandoverSeconds(dod_, setpoint_.value());
+            DCBATT_ASSERT(handover_s >= 0.0,
                           "CC phase with deficit %g C below CV charge "
                           "%g C",
                           deficit().value(),
                           cvCharge(setpoint_).value());
-            double handover_s = to_handover.value() / setpoint_.value();
             double advance = std::min(remaining, handover_s);
-            Coulombs delivered = setpoint_ * Seconds(advance);
-            dod_ = std::max(0.0, dod_ - delivered / params_.refillCharge);
+            dod_ = kernel_.applyCharge(dod_,
+                                       setpoint_.value() * advance);
             remaining -= advance;
         } else {
             // CV phase: exponentially decaying current; charging is
             // complete when the current reaches the cutoff. Charge
             // delivered beyond the residual deficit is absorbed by
-            // top-of-charge balancing (deficit clamps at zero).
-            Seconds tau = params_.cvTimeConstant;
-            double total_cv = tau.value()
-                * std::log(setpoint_ / params_.cutoffCurrent);
+            // top-of-charge balancing (deficit clamps at zero). The
+            // segment's start current is the cached instantaneous
+            // current: at CV entry the decay factor is exactly 1, and
+            // at a step boundary the cache was refreshed with the
+            // same e^{-elapsed/tau} the original model recomputed.
+            double total_cv = totalCvMemo();
             double left = total_cv - cvElapsed_.value();
             double advance = std::min(remaining, left);
-            double i0 = setpoint_.value() * std::exp(-cvElapsed_ / tau);
-            double i1 = i0 * std::exp(-advance / tau.value());
-            Coulombs delivered(tau.value() * (i0 - i1));
-            dod_ = std::max(0.0, dod_ - delivered / params_.refillCharge);
+            double i0 = cachedCurrentA_;
+            double i1 = i0 * cvAdvanceFactorMemo(advance);
+            dod_ = kernel_.applyCharge(
+                dod_, kernel_.cvDeliveredCoulombs(i0, i1));
             cvElapsed_ += Seconds(advance);
             remaining -= advance;
             if (cvElapsed_.value() >= total_cv - 1e-9) {
-                dod_ = 0.0;
-                state_ = BbuState::FullyCharged;
-                setpoint_ = Amperes(0.0);
-                inCv_ = false;
-                cvElapsed_ = Seconds(0.0);
+                completeCharge();
                 return;
             }
         }
     }
+    refreshDerived();
+}
+
+void
+BbuModel::stepNumeric(Seconds dt)
+{
+    const double tau = params_.cvTimeConstant.value();
+    const double h_max = params_.numericSubstep;
+    double remaining = dt.value();
+    while (remaining > 1e-12) {
+        bool was_cv = inCv_;
+        maybeEnterCv();
+        if (inCv_ && !was_cv)
+            numericCurrentA_ = setpoint_.value();
+        if (!inCv_) {
+            // The CC phase is linear, so the rectangle rule is exact;
+            // cut at the handover so the CC->CV transition lands on
+            // the same step as the analytic path.
+            double handover_s =
+                kernel_.ccHandoverSeconds(dod_, setpoint_.value());
+            DCBATT_ASSERT(handover_s >= 0.0,
+                          "CC phase with negative handover %g s",
+                          handover_s);
+            double advance = std::min(remaining, handover_s);
+            dod_ = kernel_.applyCharge(dod_,
+                                       setpoint_.value() * advance);
+            remaining -= advance;
+        } else {
+            // Rectangle-rule CV integration with the decay applied as
+            // a running multiply of the precomputed per-substep
+            // factor; completion when the current hits the cutoff.
+            double h = std::min(remaining, h_max);
+            double decay =
+                h == h_max ? substepDecay_ : std::exp(-h / tau);
+            dod_ = kernel_.applyCharge(dod_, numericCurrentA_ * h);
+            numericCurrentA_ *= decay;
+            cvElapsed_ += Seconds(h);
+            remaining -= h;
+            if (numericCurrentA_ <= params_.cutoffCurrent.value()) {
+                completeCharge();
+                return;
+            }
+        }
+    }
+    refreshDerived();
+}
+
+void
+BbuModel::completeCharge()
+{
+    dod_ = 0.0;
+    state_ = BbuState::FullyCharged;
+    setpoint_ = Amperes(0.0);
+    inCv_ = false;
+    cvElapsed_ = Seconds(0.0);
+    numericCurrentA_ = 0.0;
+    refreshDerived();
+}
+
+void
+BbuModel::refreshDerived()
+{
+    if (state_ != BbuState::Charging) {
+        cachedCurrentA_ = 0.0;
+        cachedInputW_ = 0.0;
+        return;
+    }
+    if (paused_) {
+        cachedCurrentA_ = 0.0;
+    } else if (!inCv_) {
+        cachedCurrentA_ = setpoint_.value();
+    } else if (params_.integrator == CcCvIntegrator::NumericReference) {
+        cachedCurrentA_ = numericCurrentA_;
+    } else {
+        double decay = std::exp(-cvElapsed_ / params_.cvTimeConstant);
+        cachedCurrentA_ = (setpoint_ * decay).value();
+    }
+    // Input power, with exactly the expression the original model
+    // evaluated on every read (a paused pack draws V * 0 / eff == 0).
+    Watts cell_power = terminalVoltage() * chargingCurrent();
+    cachedInputW_ = (cell_power / params_.chargeEfficiency).value();
 }
 
 void
@@ -199,6 +320,8 @@ BbuModel::reset()
     inCv_ = false;
     paused_ = false;
     cvElapsed_ = Seconds(0.0);
+    numericCurrentA_ = 0.0;
+    refreshDerived();
 }
 
 void
@@ -208,6 +331,7 @@ BbuModel::forceDod(double dod)
     dod_ = dod;
     inCv_ = false;
     cvElapsed_ = Seconds(0.0);
+    numericCurrentA_ = 0.0;
     if (dod == 0.0) {
         state_ = BbuState::FullyCharged;
         setpoint_ = Amperes(0.0);
@@ -216,6 +340,7 @@ BbuModel::forceDod(double dod)
     } else {
         state_ = BbuState::Discharging;
     }
+    refreshDerived();
 }
 
 } // namespace dcbatt::battery

@@ -20,12 +20,28 @@
  *    charger always produces the worst-case initial power spike, the
  *    root cause the paper identifies.
  *  - The setpoint can be changed while charging (manual override).
+ *
+ * Two integrators implement the dynamics (BbuParams::integrator):
+ *
+ *  - Analytic (default): composes the closed-form primitives of
+ *    CcCvKernel — the next state boundary (CC->CV handover, CV
+ *    cutoff) is computed exactly and the state jumps there, with the
+ *    instantaneous current and the CV duration cached on the model so
+ *    reads do no transcendental work. This path is bit-identical to
+ *    the original per-second integrator at every step size.
+ *  - NumericReference: the legacy fixed-substep integrator, kept as a
+ *    cross-check. The CV decay is applied as a running multiply of
+ *    the precomputed per-substep factor e^{-h/tau}; charge is
+ *    integrated with the rectangle rule, so SoC lags the analytic
+ *    path by O(h/2tau) per segment and completion lands within one
+ *    substep of the closed form (the parity property test pins both).
  */
 
 #ifndef DCBATT_BATTERY_BBU_H_
 #define DCBATT_BATTERY_BBU_H_
 
 #include "battery/bbu_params.h"
+#include "battery/cc_cv_kernel.h"
 #include "util/units.h"
 
 namespace dcbatt::battery {
@@ -78,17 +94,25 @@ class BbuModel
      * Charging state but draws no current and makes no progress; the
      * CV decay clock is frozen with it.
      */
-    void setPaused(bool paused) { paused_ = paused; }
+    void setPaused(bool paused);
     bool paused() const { return paused_; }
 
     /** Instantaneous charging current drawn by the cells (0 if idle). */
-    util::Amperes chargingCurrent() const;
+    util::Amperes chargingCurrent() const
+    {
+        return util::Amperes(cachedCurrentA_);
+    }
 
     /** Terminal voltage under the present state. */
     util::Volts terminalVoltage() const;
 
     /** Wall (input) power consumed by charging, incl. PSU loss. */
-    util::Watts inputPower() const;
+    util::Watts inputPower() const
+    {
+        if (state_ != BbuState::Charging)
+            return util::Watts(0.0);
+        return util::Watts(cachedInputW_);
+    }
 
     /**
      * Begin (or continue) discharging at the given cell power draw.
@@ -109,6 +133,64 @@ class BbuModel
     /** Advance charging dynamics by dt. No-op unless Charging. */
     void step(util::Seconds dt);
 
+    /**
+     * Snapshot of the fields that determine a pack's dynamic
+     * evolution. Two packs with bit-equal ChargeStates (and the same
+     * calibration) stepped by the same dt stay bit-equal — the
+     * integrator is deterministic — which PowerShelf exploits to
+     * integrate one representative pack and copy the result across
+     * its twins.
+     */
+    struct ChargeState
+    {
+        BbuState state;
+        double dod;
+        double setpointA;
+        double cvElapsedS;
+        double numericCurrentA;
+        bool inCv;
+        bool paused;
+    };
+
+    ChargeState chargeState() const
+    {
+        return {state_,          dod_,    setpoint_.value(),
+                cvElapsed_.value(), numericCurrentA_, inCv_,
+                paused_};
+    }
+
+    /** Whether this pack's dynamic state bit-equals @p s. */
+    bool matches(const ChargeState &s) const
+    {
+        return state_ == s.state && dod_ == s.dod
+            && setpoint_.value() == s.setpointA
+            && inCv_ == s.inCv && paused_ == s.paused
+            && cvElapsed_.value() == s.cvElapsedS
+            && numericCurrentA_ == s.numericCurrentA;
+    }
+
+    /**
+     * Copy @p other's dynamic state (including the derived caches and
+     * memo slots) into this pack. Only valid between packs sharing one
+     * calibration — PowerShelf's twin fast-forward.
+     */
+    void adoptStateFrom(const BbuModel &other)
+    {
+        state_ = other.state_;
+        dod_ = other.dod_;
+        setpoint_ = other.setpoint_;
+        inCv_ = other.inCv_;
+        paused_ = other.paused_;
+        cvElapsed_ = other.cvElapsed_;
+        cachedCurrentA_ = other.cachedCurrentA_;
+        cachedInputW_ = other.cachedInputW_;
+        totalCvKey_ = other.totalCvKey_;
+        totalCvCache_ = other.totalCvCache_;
+        cvAdvanceKey_ = other.cvAdvanceKey_;
+        cvAdvanceFactor_ = other.cvAdvanceFactor_;
+        numericCurrentA_ = other.numericCurrentA_;
+    }
+
     /** Reset to FullyCharged. */
     void reset();
 
@@ -124,13 +206,54 @@ class BbuModel
 
     void maybeEnterCv();
 
+    /** Closed-form fast-forward path (default integrator). */
+    void stepAnalytic(util::Seconds dt);
+
+    /** Legacy fixed-substep reference integrator. */
+    void stepNumeric(util::Seconds dt);
+
+    /** Discrete completion transition shared by both integrators. */
+    void completeCharge();
+
+    /**
+     * Recompute the cached instantaneous current after any state
+     * change. Uses exactly the expressions the original model
+     * evaluated on every read, so cached reads stay bit-identical.
+     */
+    void refreshDerived();
+
+    /** Cached tau*log(setpoint/cutoff), keyed by the setpoint. */
+    double totalCvMemo();
+
+    /** Cached e^{-advance/tau}, keyed by the advance length. */
+    double cvAdvanceFactorMemo(double advance);
+
     BbuParams params_;
+    CcCvKernel kernel_;
     BbuState state_ = BbuState::FullyCharged;
     double dod_ = 0.0;
     util::Amperes setpoint_{0.0};
     bool inCv_ = false;
     bool paused_ = false;
     util::Seconds cvElapsed_{0.0};
+
+    /** chargingCurrent() in amperes; valid at every quiescent point. */
+    double cachedCurrentA_ = 0.0;
+    /** inputPower() in watts while Charging; refreshed with it. */
+    double cachedInputW_ = 0.0;
+    /** Constants of the linear OCV curve (terminalVoltage). */
+    double ocvSocSpan_ = 1.0;
+    double ocvVoltSpan_ = 0.0;
+
+    /** Memo slots (sentinel keys: both quantities are positive). */
+    double totalCvKey_ = -1.0;
+    double totalCvCache_ = 0.0;
+    double cvAdvanceKey_ = -1.0;
+    double cvAdvanceFactor_ = 1.0;
+
+    /** Numeric reference path: e^{-h/tau} and the running current. */
+    double substepDecay_ = 1.0;
+    double numericCurrentA_ = 0.0;
 };
 
 } // namespace dcbatt::battery

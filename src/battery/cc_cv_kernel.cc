@@ -1,0 +1,55 @@
+#include "battery/cc_cv_kernel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcbatt::battery {
+
+bool
+CcCvKernel::advance(CcCvState &state, double setpoint_a,
+                    double dt_seconds) const
+{
+    DCBATT_REQUIRE(setpoint_a > params_.cutoffCurrent.value(),
+                   "setpoint %g A not above cutoff %g A", setpoint_a,
+                   params_.cutoffCurrent.value());
+    double remaining = dt_seconds;
+    while (remaining > 1e-12) {
+        if (!state.inCv && shouldEnterCv(state.dod, setpoint_a)) {
+            state.inCv = true;
+            state.cvElapsedSeconds = 0.0;
+        }
+        if (!state.inCv) {
+            // CC segment: linear SoC at the setpoint, cut at the
+            // closed-form handover time.
+            double handover_s =
+                ccHandoverSeconds(state.dod, setpoint_a);
+            DCBATT_ASSERT(handover_s >= 0.0,
+                          "CC phase with negative handover time %g s",
+                          handover_s);
+            double adv = std::min(remaining, handover_s);
+            state.dod = applyCharge(state.dod, setpoint_a * adv);
+            remaining -= adv;
+        } else {
+            // CV segment: exponential current decay, cut at the
+            // cutoff-current completion time.
+            double total_cv = totalCvSeconds(setpoint_a);
+            double left = total_cv - state.cvElapsedSeconds;
+            double adv = std::min(remaining, left);
+            double i0 =
+                setpoint_a * cvDecayFactor(state.cvElapsedSeconds);
+            double i1 = i0 * cvDecayFactor(adv);
+            state.dod =
+                applyCharge(state.dod, cvDeliveredCoulombs(i0, i1));
+            state.cvElapsedSeconds += adv;
+            remaining -= adv;
+            if (state.cvElapsedSeconds >= total_cv - 1e-9) {
+                state.dod = 0.0;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace dcbatt::battery

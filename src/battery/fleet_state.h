@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Struct-of-arrays snapshot of the battery fleet's per-rack hot state.
+ *
+ * The charging-event engine samples the same handful of per-rack
+ * quantities every physics step (IT load, recharge power, cap,
+ * input/hold/charge-completion flags). Walking 316 rack objects and
+ * their shelves for each read costs far more than the reads
+ * themselves, so power::Topology::stepRacks() refreshes this batch —
+ * one row per rack, rack id == row index — in the same pass that
+ * advances the physics, and the sampling loop then runs over dense
+ * arrays. Rows hold exactly the values the object walk would have
+ * produced at the post-step state; they are snapshots, not caches
+ * with invalidation.
+ */
+
+#ifndef DCBATT_BATTERY_FLEET_STATE_H_
+#define DCBATT_BATTERY_FLEET_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcbatt::battery {
+
+/** Per-rack hot-state rows; rack id indexes every array. */
+struct FleetState
+{
+    /** Rack::itLoad() in watts (demand minus cap, floored at 0). */
+    std::vector<double> itLoadW;
+    /** Rack::rechargePower() in watts (0 while input power is off). */
+    std::vector<double> rechargeW;
+    /** Rack::capAmount() in watts. */
+    std::vector<double> capW;
+    /** Rack::inputPowerOn(). */
+    std::vector<std::uint8_t> inputOn;
+    /** PowerShelf::chargingHeld(). */
+    std::vector<std::uint8_t> held;
+    /** PowerShelf::fullyCharged(). */
+    std::vector<std::uint8_t> fullyCharged;
+
+    void
+    resize(std::size_t racks)
+    {
+        itLoadW.assign(racks, 0.0);
+        rechargeW.assign(racks, 0.0);
+        capW.assign(racks, 0.0);
+        inputOn.assign(racks, 1);
+        held.assign(racks, 0);
+        fullyCharged.assign(racks, 1);
+    }
+
+    std::size_t size() const { return itLoadW.size(); }
+};
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_FLEET_STATE_H_

@@ -23,6 +23,7 @@ PowerShelf::PowerShelf(std::shared_ptr<const ChargerPolicy> policy,
     bbus_.assign(static_cast<size_t>(params_.bbusPerRack),
                  BbuModel(params_));
     healthy_.assign(bbus_.size(), true);
+    rebuildZoneMembers();
 }
 
 int
@@ -32,21 +33,49 @@ PowerShelf::zoneOf(int index) const
     return index / per_zone;
 }
 
-std::vector<int>
+void
+PowerShelf::rebuildZoneMembers()
+{
+    zoneMembers_.assign(static_cast<size_t>(params_.zonesPerRack), {});
+    healthyTotal_ = 0;
+    for (int i = 0; i < bbuCount(); ++i) {
+        if (healthy_[static_cast<size_t>(i)]) {
+            zoneMembers_[static_cast<size_t>(zoneOf(i))].push_back(i);
+            ++healthyTotal_;
+        }
+    }
+}
+
+void
+PowerShelf::materializeTwins() const
+{
+    if (!lockstep_)
+        return;
+    lockstep_ = false;
+    auto &self = const_cast<PowerShelf &>(*this);
+    const BbuModel &rep = bbus_[repIdx_];
+    for (int i = 0; i < bbuCount(); ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (idx == repIdx_ || !healthy_[idx])
+            continue;
+        self.bbus_[idx].adoptStateFrom(rep);
+    }
+}
+
+const std::vector<int> &
 PowerShelf::healthyInZone(int zone) const
 {
-    std::vector<int> result;
-    for (int i = 0; i < bbuCount(); ++i) {
-        if (healthy_[static_cast<size_t>(i)] && zoneOf(i) == zone)
-            result.push_back(i);
-    }
-    return result;
+    DCBATT_REQUIRE(zone >= 0 && zone < params_.zonesPerRack,
+                   "zone %d outside [0, %d)", zone,
+                   params_.zonesPerRack);
+    return zoneMembers_[static_cast<size_t>(zone)];
 }
 
 void
 PowerShelf::loseInputPower()
 {
     inputOn_ = false;
+    markDirty();
 }
 
 Amperes
@@ -63,6 +92,7 @@ PowerShelf::restoreInputPower()
     if (inputOn_)
         return;
     inputOn_ = true;
+    materializeTwins();
     for (int i = 0; i < bbuCount(); ++i) {
         auto idx = static_cast<size_t>(i);
         if (!healthy_[idx])
@@ -73,6 +103,7 @@ PowerShelf::restoreInputPower()
             bbu.setPaused(held_);
         }
     }
+    markDirty();
 }
 
 Watts
@@ -81,37 +112,90 @@ PowerShelf::step(Seconds dt, Watts it_load)
     if (dt.value() <= 0.0)
         return inputOn_ ? it_load : Watts(0.0);
     if (inputOn_) {
+        // Quiescent fast path: with nothing charging, stepping every
+        // BBU is a no-op walk — skip it and keep the aggregates valid.
+        ensureAggregates();
+        if (chargingN_ == 0)
+            return it_load;
+        if (lockstep_) {
+            // Every healthy pack is a bit-equal twin of the
+            // representative: integrating it advances them all (the
+            // replicas stay stale until materializeTwins()).
+            bbus_[repIdx_].step(dt);
+            aggValid_ = false;
+            return it_load;
+        }
+        // Twin fast-forward: a shelf's packs are built identically and
+        // in the common flow discharge and recharge in lockstep, so
+        // most steps integrate six bit-equal packs. Integrate one
+        // representative and copy its post-step state into every pack
+        // whose pre-step state matches bit-for-bit; the integrator is
+        // deterministic, so the copy equals re-integrating exactly.
+        // When the whole shelf moved as twins, enter lockstep mode and
+        // stop touching the replicas from the next step on.
+        bool have_rep = false;
+        bool all_twins = true;
+        size_t rep_idx = 0;
+        BbuModel::ChargeState pre{};
+        const BbuModel *post = nullptr;
         for (int i = 0; i < bbuCount(); ++i) {
             auto idx = static_cast<size_t>(i);
-            if (healthy_[idx])
-                bbus_[idx].step(dt);
+            if (!healthy_[idx])
+                continue;
+            BbuModel &pack = bbus_[idx];
+            if (have_rep && pack.matches(pre)) {
+                pack.adoptStateFrom(*post);
+                continue;
+            }
+            if (have_rep)
+                all_twins = false;
+            else
+                rep_idx = idx;
+            pre = pack.chargeState();
+            pack.step(dt);
+            post = &pack;
+            have_rep = true;
         }
+        if (have_rep && all_twins) {
+            lockstep_ = true;
+            repIdx_ = rep_idx;
+        }
+        aggValid_ = false;
         return it_load;
     }
+    materializeTwins();
     // Input power off: each zone's healthy BBUs share half the rack
     // load. A zone whose batteries are empty drops its share (a rack
-    // power outage for those servers).
+    // power outage for those servers). Two passes over the precomputed
+    // zone membership — count the live packs, then discharge them —
+    // with no per-step allocation; discharging pack i only mutates
+    // pack i, so the second pass sees the same live set the first
+    // counted.
     Watts carried(0.0);
     Watts zone_load = it_load / static_cast<double>(params_.zonesPerRack);
     for (int zone = 0; zone < params_.zonesPerRack; ++zone) {
-        std::vector<int> members = healthyInZone(zone);
-        std::vector<int> live;
+        const std::vector<int> &members =
+            zoneMembers_[static_cast<size_t>(zone)];
+        size_t live = 0;
         for (int i : members) {
             if (!bbus_[static_cast<size_t>(i)].fullyDischarged())
-                live.push_back(i);
+                ++live;
         }
-        if (live.empty())
+        if (live == 0)
             continue;
-        Watts share = zone_load / static_cast<double>(live.size());
+        Watts share = zone_load / static_cast<double>(live);
         // Respect the per-BBU discharge rating; overflow beyond the
         // rating is dropped (brown-out) rather than silently carried.
         share = util::min(share, params_.maxDischargePower);
-        for (int i : live) {
-            util::Joules delivered =
-                bbus_[static_cast<size_t>(i)].discharge(share, dt);
+        for (int i : members) {
+            BbuModel &pack = bbus_[static_cast<size_t>(i)];
+            if (pack.fullyDischarged())
+                continue;
+            util::Joules delivered = pack.discharge(share, dt);
             carried += delivered / dt;
         }
     }
+    aggValid_ = false;
     // Energy conservation: the shelf never delivers more power than
     // the servers asked for (it can deliver less — a brown-out).
     DCBATT_ASSERT(carried <= it_load + Watts(1e-6),
@@ -126,129 +210,125 @@ PowerShelf::setOverride(Amperes current)
     Amperes clamped = util::clamp(current, params_.minCurrent,
                                   params_.maxCurrent);
     override_ = clamped;
+    materializeTwins();
     for (int i = 0; i < bbuCount(); ++i) {
         auto idx = static_cast<size_t>(i);
         if (healthy_[idx] && bbus_[idx].charging())
             bbus_[idx].setSetpoint(clamped);
     }
+    markDirty();
 }
 
 void
 PowerShelf::clearOverride()
 {
     override_.reset();
+    markDirty();
 }
 
 void
 PowerShelf::holdCharging()
 {
     held_ = true;
+    materializeTwins();
     for (int i = 0; i < bbuCount(); ++i) {
         auto idx = static_cast<size_t>(i);
         if (healthy_[idx] && bbus_[idx].charging())
             bbus_[idx].setPaused(true);
     }
+    markDirty();
 }
 
 void
 PowerShelf::resumeCharging()
 {
     held_ = false;
+    materializeTwins();
     for (int i = 0; i < bbuCount(); ++i) {
         auto idx = static_cast<size_t>(i);
         if (healthy_[idx] && bbus_[idx].charging())
             bbus_[idx].setPaused(false);
     }
+    markDirty();
 }
 
-Watts
-PowerShelf::rechargePower() const
+void
+PowerShelf::refreshAggregates() const
 {
-    Watts total(0.0);
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        if (healthy_[idx])
-            total += bbus_[idx].inputPower();
-    }
-    return total;
-}
-
-util::Amperes
-PowerShelf::chargeSetpoint() const
-{
+    int charging = 0;
+    int discharged = 0;
+    int healthy = 0;
+    Watts recharge(0.0);
     Amperes setpoint(0.0);
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        // Paused (postponed) packs draw nothing; reporting their
-        // stored setpoint would make the control plane believe relief
-        // is still in flight forever.
-        if (healthy_[idx] && bbus_[idx].charging()
-            && !bbus_[idx].paused()) {
-            setpoint = util::max(setpoint, bbus_[idx].setpoint());
+    double dod_max = 0.0;
+    double dod_sum = 0.0;
+    if (lockstep_) {
+        // Every healthy pack bit-equals the representative, so walk
+        // the representative healthyTotal_ times: repeated
+        // accumulation of bit-equal values is the same sum the
+        // per-pack walk would produce, without touching the replicas.
+        const BbuModel &rep = bbus_[repIdx_];
+        for (int k = 0; k < healthyTotal_; ++k) {
+            ++healthy;
+            recharge += rep.inputPower();
+            dod_max = std::max(dod_max, rep.dod());
+            dod_sum += rep.dod();
+            if (rep.charging()) {
+                ++charging;
+                if (!rep.paused())
+                    setpoint = util::max(setpoint, rep.setpoint());
+            } else if (!rep.fullyCharged()) {
+                ++discharged;
+            }
+        }
+    } else {
+        for (int i = 0; i < bbuCount(); ++i) {
+            auto idx = static_cast<size_t>(i);
+            if (!healthy_[idx])
+                continue;
+            const BbuModel &bbu = bbus_[idx];
+            ++healthy;
+            recharge += bbu.inputPower();
+            dod_max = std::max(dod_max, bbu.dod());
+            dod_sum += bbu.dod();
+            if (bbu.charging()) {
+                ++charging;
+                // Paused (postponed) packs draw nothing; reporting
+                // their stored setpoint would make the control plane
+                // believe relief is still in flight forever.
+                if (!bbu.paused())
+                    setpoint = util::max(setpoint, bbu.setpoint());
+            } else if (!bbu.fullyCharged()) {
+                ++discharged;
+            }
         }
     }
-    return setpoint;
-}
-
-double
-PowerShelf::maxDod() const
-{
-    double dod = 0.0;
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        if (healthy_[idx])
-            dod = std::max(dod, bbus_[idx].dod());
-    }
-    return dod;
-}
-
-double
-PowerShelf::meanDod() const
-{
-    double sum = 0.0;
-    int count = 0;
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        if (healthy_[idx]) {
-            sum += bbus_[idx].dod();
-            ++count;
-        }
-    }
-    return count ? sum / count : 0.0;
-}
-
-int
-PowerShelf::chargingCount() const
-{
-    int count = 0;
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        if (healthy_[idx] && bbus_[idx].charging())
-            ++count;
-    }
-    return count;
-}
-
-int
-PowerShelf::dischargedCount() const
-{
-    int count = 0;
-    for (int i = 0; i < bbuCount(); ++i) {
-        auto idx = static_cast<size_t>(i);
-        if (healthy_[idx] && !bbus_[idx].fullyCharged()
-            && !bbus_[idx].charging()) {
-            ++count;
-        }
-    }
-    return count;
+    chargingN_ = charging;
+    dischargedN_ = discharged;
+    healthyN_ = healthy;
+    rechargeSumW_ = recharge.value();
+    chargeSetpointA_ = setpoint.value();
+    maxDodCache_ = dod_max;
+    dodSum_ = dod_sum;
+    aggValid_ = true;
 }
 
 bool
 PowerShelf::canCarryLoad() const
 {
     for (int zone = 0; zone < params_.zonesPerRack; ++zone) {
+        const std::vector<int> &members =
+            zoneMembers_[static_cast<size_t>(zone)];
+        if (members.empty())
+            return false;
+        if (lockstep_) {
+            // Twins: one pack answers for the whole zone.
+            if (bbus_[repIdx_].fullyDischarged())
+                return false;
+            continue;
+        }
         bool zone_ok = false;
-        for (int i : healthyInZone(zone)) {
+        for (int i : members) {
             if (!bbus_[static_cast<size_t>(i)].fullyDischarged()) {
                 zone_ok = true;
                 break;
@@ -265,7 +345,10 @@ PowerShelf::failBbu(int index)
 {
     DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
                    "BBU index %d outside [0, %d)", index, bbuCount());
+    materializeTwins();
     healthy_[static_cast<size_t>(index)] = false;
+    rebuildZoneMembers();
+    markDirty();
 }
 
 void
@@ -273,19 +356,24 @@ PowerShelf::repairBbu(int index)
 {
     DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
                    "BBU index %d outside [0, %d)", index, bbuCount());
+    materializeTwins();
     auto idx = static_cast<size_t>(index);
     healthy_[idx] = true;
     bbus_[idx].reset();
+    rebuildZoneMembers();
+    markDirty();
 }
 
 void
 PowerShelf::forceUniformDod(double dod)
 {
+    materializeTwins();
     for (int i = 0; i < bbuCount(); ++i) {
         auto idx = static_cast<size_t>(i);
         if (healthy_[idx])
             bbus_[idx].forceDod(dod);
     }
+    markDirty();
 }
 
 } // namespace dcbatt::battery

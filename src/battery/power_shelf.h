@@ -18,6 +18,7 @@
 #ifndef DCBATT_BATTERY_POWER_SHELF_H_
 #define DCBATT_BATTERY_POWER_SHELF_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -87,19 +88,35 @@ class PowerShelf
     bool chargingHeld() const { return held_; }
 
     /** Aggregate wall power drawn by charging BBUs. */
-    util::Watts rechargePower() const;
+    util::Watts rechargePower() const
+    {
+        ensureAggregates();
+        return util::Watts(rechargeSumW_);
+    }
 
     /**
      * Present CC setpoint of the charging BBUs (max across them; they
      * are uniform in practice). Zero when nothing is charging.
      */
-    util::Amperes chargeSetpoint() const;
+    util::Amperes chargeSetpoint() const
+    {
+        ensureAggregates();
+        return util::Amperes(chargeSetpointA_);
+    }
 
     /** Maximum DOD across BBUs (the controller's per-rack estimate). */
-    double maxDod() const;
+    double maxDod() const
+    {
+        ensureAggregates();
+        return maxDodCache_;
+    }
 
     /** Mean DOD across healthy BBUs. */
-    double meanDod() const;
+    double meanDod() const
+    {
+        ensureAggregates();
+        return healthyN_ ? dodSum_ / healthyN_ : 0.0;
+    }
 
     bool
     fullyCharged() const
@@ -110,8 +127,16 @@ class PowerShelf
     /** Whether any BBU is currently charging. */
     bool anyCharging() const { return chargingCount() > 0; }
 
-    int chargingCount() const;
-    int dischargedCount() const;
+    int chargingCount() const
+    {
+        ensureAggregates();
+        return chargingN_;
+    }
+    int dischargedCount() const
+    {
+        ensureAggregates();
+        return dischargedN_;
+    }
 
     /**
      * Whether the shelf can still power the rack with input off: every
@@ -138,6 +163,7 @@ class PowerShelf
         DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
                        "BBU index %d outside [0, %d)", index,
                        bbuCount());
+        materializeTwins();
         return bbus_[static_cast<size_t>(index)];
     }
     BbuModel &
@@ -146,6 +172,10 @@ class PowerShelf
         DCBATT_REQUIRE(index >= 0 && index < bbuCount(),
                        "BBU index %d outside [0, %d)", index,
                        bbuCount());
+        materializeTwins();
+        // The caller may mutate the BBU through this reference, so
+        // conservatively report the shelf's aggregates as stale.
+        markDirty();
         return bbus_[static_cast<size_t>(index)];
     }
     int bbuCount() const { return static_cast<int>(bbus_.size()); }
@@ -153,18 +183,92 @@ class PowerShelf
     /** Force every healthy BBU to the same DOD (test/bench helper). */
     void forceUniformDod(double dod);
 
+    /**
+     * Register a callback fired whenever the shelf's aggregate power
+     * may have changed (override/hold/fail/repair/input transitions,
+     * mutable BBU access). The power topology uses this to invalidate
+     * its cached subtree sums; per-step charging progress is handled
+     * by Rack::step itself. At most one callback is supported.
+     */
+    void setDirtyCallback(std::function<void()> cb)
+    {
+        dirtyCallback_ = std::move(cb);
+    }
+
   private:
     int zoneOf(int index) const;
-    std::vector<int> healthyInZone(int zone) const;
+    const std::vector<int> &healthyInZone(int zone) const;
     util::Amperes effectiveCurrentFor(const BbuModel &bbu) const;
+    void rebuildZoneMembers();
+
+    void
+    markDirty()
+    {
+        aggValid_ = false;
+        if (dirtyCallback_)
+            dirtyCallback_();
+    }
+
+    /**
+     * One walk over the healthy BBUs recomputing every cached
+     * aggregate, with each field accumulated by exactly the expression
+     * its per-read walk originally used (same BBU order, same
+     * operations), so cached reads are bit-identical to cold walks.
+     * In lockstep mode the walk reads the representative pack's value
+     * the same number of times — repeated accumulation of bit-equal
+     * values is the same sum.
+     */
+    void refreshAggregates() const;
+
+    void
+    ensureAggregates() const
+    {
+        if (!aggValid_)
+            refreshAggregates();
+    }
+
+    /**
+     * Leave lockstep mode by copying the representative pack's state
+     * into its stale replicas (see lockstep_). Logically const: the
+     * replicas already equal the representative by the lockstep
+     * invariant, this only makes the bytes agree.
+     */
+    void materializeTwins() const;
 
     BbuParams params_;
     std::shared_ptr<const ChargerPolicy> policy_;
     std::vector<BbuModel> bbus_;
     std::vector<bool> healthy_;
+    /** Healthy BBU indices per zone (rebuilt on fail/repair). */
+    std::vector<std::vector<int>> zoneMembers_;
     std::optional<util::Amperes> override_;
     bool held_ = false;
     bool inputOn_ = true;
+    std::function<void()> dirtyCallback_;
+
+    /**
+     * Lockstep (twin) mode: every healthy pack's dynamic state is
+     * bit-equal, so step() integrates only the representative pack
+     * (first healthy index, repIdx_) and leaves the replicas stale.
+     * Any path that reads or mutates an individual pack materializes
+     * the replicas first; aggregate reads stay lockstep-aware instead.
+     * Entered when a full twin-compare pass over a charging step finds
+     * every pack bit-equal; left via materializeTwins().
+     */
+    mutable bool lockstep_ = false;
+    size_t repIdx_ = 0;
+    /** Healthy pack count (maintained by rebuildZoneMembers). */
+    int healthyTotal_ = 0;
+
+    /** Cached aggregates over the healthy BBUs (refreshAggregates). */
+    mutable bool aggValid_ = false;
+    mutable int chargingN_ = 0;
+    mutable int dischargedN_ = 0;
+    mutable int healthyN_ = 0;
+    mutable double rechargeSumW_ = 0.0;
+    mutable double chargeSetpointA_ = 0.0;
+    mutable double maxDodCache_ = 0.0;
+    mutable double dodSum_ = 0.0;
 };
 
 } // namespace dcbatt::battery

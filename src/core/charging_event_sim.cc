@@ -1,6 +1,7 @@
 #include "core/charging_event_sim.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "core/charging_invariants.h"
@@ -105,7 +106,7 @@ runChargingEvent(const ChargingEventConfig &config,
         power::Topology::build(spec, makeLocalCharger(config));
 
     // --- event timing ----------------------------------------------
-    util::TimeSeries aggregate = traces.aggregate();
+    const util::TimeSeries &aggregate = traces.aggregate();
     const size_t peak_index = config.eventTime
         ? aggregate.indexAt(*config.eventTime)
         : traces.firstPeakIndex();
@@ -210,27 +211,42 @@ runChargingEvent(const ChargingEventConfig &config,
 
     // --- physics loop -------------------------------------------------
     std::vector<bool> done(static_cast<size_t>(n_racks), false);
+    size_t last_trace_idx = std::numeric_limits<size_t>::max();
     const Seconds dt = config.physicsStep;
     sim::PeriodicTask physics(queue, sim::toTicks(dt),
                               [&](sim::Tick now) {
         Seconds trace_time = t0 + sim::toSeconds(now);
-        for (int i = 0; i < n_racks; ++i)
-            topo.rack(i).setItDemand(traces.rackPower(i, trace_time));
+        // Every rack trace shares one clock, so one indexAt() resolves
+        // all the samples; when the trace index has not advanced since
+        // the previous physics tick every demand is unchanged and the
+        // update loop is skipped (setItDemand would ignore the equal
+        // value anyway, but not for free).
+        size_t trace_idx = traces.rack(0).indexAt(trace_time);
+        if (trace_idx != last_trace_idx) {
+            last_trace_idx = trace_idx;
+            for (int i = 0; i < n_racks; ++i) {
+                topo.rack(i).setItDemand(
+                    Watts(traces.rack(i)[trace_idx]));
+            }
+        }
         topo.stepRacks(dt);
         topo.observeBreakers(dt);
 
-        // Sample fleet-level series.
+        // Sample fleet-level series from the struct-of-arrays rows
+        // stepRacks just refreshed (no rack mutates between the step
+        // and this read, so the rows equal the object walk exactly).
+        const battery::FleetState &fleet = topo.fleet();
         Watts it(0.0), recharge(0.0), cap(0.0);
         for (int i = 0; i < n_racks; ++i) {
-            const Rack &rack = topo.rack(i);
-            if (rack.inputPowerOn())
-                it += rack.itLoad();
-            recharge += rack.rechargePower();
-            cap += rack.capAmount();
-            if (rack.capAmount().value() > 0.0)
-                result.racks[static_cast<size_t>(i)].everCapped = true;
-            if (rack.shelf().chargingHeld())
-                result.racks[static_cast<size_t>(i)].everHeld = true;
+            auto idx = static_cast<size_t>(i);
+            if (fleet.inputOn[idx])
+                it += Watts(fleet.itLoadW[idx]);
+            recharge += Watts(fleet.rechargeW[idx]);
+            cap += Watts(fleet.capW[idx]);
+            if (fleet.capW[idx] > 0.0)
+                result.racks[idx].everCapped = true;
+            if (fleet.held[idx])
+                result.racks[idx].everHeld = true;
         }
         Watts msb = topo.root().inputPower();
         result.msbPower.append(msb.value());
@@ -247,7 +263,7 @@ runChargingEvent(const ChargingEventConfig &config,
                 auto idx = static_cast<size_t>(i);
                 if (done[idx])
                     continue;
-                if (topo.rack(i).shelf().fullyCharged()) {
+                if (fleet.fullyCharged[idx]) {
                     done[idx] = true;
                     result.racks[idx].chargeDuration =
                         sim_now - result.chargeStart;

@@ -55,10 +55,19 @@ PriorityAwareCoordinator::slaCurrentFor(double dod,
         (static_cast<uint64_t>(power::priorityIndex(p)) << 32)
         | bucket;
     auto it = slaMemo_.find(key);
-    if (it != slaMemo_.end())
+    if (it != slaMemo_.end()) {
+        ++memoStats_.hits;
         return it->second;
+    }
+    ++memoStats_.misses;
     Amperes current = calc_.requiredCurrent(
         static_cast<double>(bucket) * 1e-6, p);
+    if (slaMemo_.size() >= kSlaMemoCapacity) {
+        // Clear-on-full: deterministic and order-independent (see the
+        // declaration comment).
+        slaMemo_.clear();
+        ++memoStats_.evictions;
+    }
     slaMemo_.emplace(key, current);
     return current;
 }

@@ -65,10 +65,28 @@ struct PriorityAwareOptions
     util::Watts resumeMargin = util::kilowatts(2.0);
 };
 
+/** Hit/miss/eviction counters of the SLA-current memo. */
+struct SlaMemoStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /** Full-table clears (each drops every entry at once). */
+    uint64_t evictions = 0;
+};
+
 /** Algorithm 1 + reverse-order overload throttling. */
 class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
 {
   public:
+    /**
+     * Memo capacity: ~2^32 DOD buckets exist per priority, so an
+     * adversarial DOD stream could otherwise grow the table without
+     * bound inside a long sweep process. 4096 entries cover every
+     * fleet the experiments run (#racks distinct DODs per event) with
+     * two orders of magnitude of slack.
+     */
+    static constexpr size_t kSlaMemoCapacity = 4096;
+
     PriorityAwareCoordinator(SlaCurrentCalculator calculator,
                              PriorityAwareOptions options = {});
 
@@ -93,6 +111,9 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
     /** Postponement (hold) state per rack (after the last plan/tick). */
     const std::unordered_map<int, bool> &held() const { return held_; }
 
+    /** SLA-current memo counters since construction. */
+    const SlaMemoStats &slaMemoStats() const { return memoStats_; }
+
   private:
     /** Sort (priority asc, DOD asc, id) honoring the ablation knobs. */
     std::vector<const dynamo::RackChargeInfo *>
@@ -106,6 +127,11 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
      * with the same inputs every event. The bucketing error (DOD
      * rounded to the nearest 1e-6) moves the resulting current by
      * microamperes, far below the hardware's command resolution.
+     *
+     * The memo is bounded at kSlaMemoCapacity entries: on overflow the
+     * whole table is cleared (deterministic, order-independent — an
+     * LRU chain would make the retained set depend on rack visit
+     * order). A clear costs at most one re-bisection per live bucket.
      */
     util::Amperes slaCurrentFor(double dod, power::Priority p) const;
 
@@ -118,6 +144,7 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
     PriorityAwareOptions options_;
     /** Memo for slaCurrentFor: (priority, DOD bucket) -> current. */
     mutable std::unordered_map<uint64_t, util::Amperes> slaMemo_;
+    mutable SlaMemoStats memoStats_;
     std::unordered_map<int, util::Amperes> commanded_;
     std::unordered_map<int, util::Amperes> slaCurrent_;
     std::unordered_map<int, bool> held_;

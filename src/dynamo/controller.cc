@@ -48,26 +48,26 @@ BreakerController::anyCharging() const
                        [](const RackAgent *a) { return a->charging(); });
 }
 
-std::vector<RackChargeInfo>
+const std::vector<RackChargeInfo> &
 BreakerController::snapshotRacks() const
 {
-    std::vector<RackChargeInfo> infos;
-    infos.reserve(agents_.size());
-    for (const RackAgent *agent : agents_) {
+    snapshotBuf_.clear();
+    snapshotBuf_.reserve(agents_.size());
+    for (size_t i = 0; i < agents_.size(); ++i) {
+        const RackAgent *agent = agents_[i];
         RackChargeInfo info;
         info.rackId = agent->rackId();
         info.priority = agent->rack().priority();
-        auto it = initialDod_.find(info.rackId);
-        info.initialDod = it != initialDod_.end() ? it->second : 0.0;
+        info.initialDod = i < initialDod_.size() ? initialDod_[i] : 0.0;
         info.setpoint = agent->readSetpoint();
         info.rechargePower = agent->readRechargePower();
         info.itLoad = agent->readItLoad();
         info.capAmount = agent->rack().capAmount();
         info.charging = agent->charging();
         info.held = agent->holdCommanded();
-        infos.push_back(info);
+        snapshotBuf_.push_back(info);
     }
-    return infos;
+    return snapshotBuf_;
 }
 
 bool
@@ -155,10 +155,9 @@ BreakerController::tick()
         eventActive_ = true;
         ++eventCount_;
         initialDod_.clear();
-        for (const RackAgent *agent : agents_) {
-            initialDod_[agent->rackId()] =
-                agent->rack().shelf().meanDod();
-        }
+        initialDod_.reserve(agents_.size());
+        for (const RackAgent *agent : agents_)
+            initialDod_.push_back(agent->rack().shelf().meanDod());
         if (coordinator_) {
             Watts available = limit() - measuredItLoad();
             issue(coordinator_->planInitial(snapshotRacks(), available));

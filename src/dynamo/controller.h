@@ -89,7 +89,14 @@ class BreakerController
     int chargingEventCount() const { return eventCount_; }
 
   private:
-    std::vector<RackChargeInfo> snapshotRacks() const;
+    /**
+     * Rebuild and return the per-rack charge snapshot the coordinator
+     * consumes. The buffer is a reused member: the snapshot is taken
+     * every tick while an event is active, and returning a reference
+     * into the controller avoids a vector allocation per tick. Valid
+     * until the next snapshotRacks() call.
+     */
+    const std::vector<RackChargeInfo> &snapshotRacks() const;
     util::Watts measuredItLoad() const;
     bool anyCharging() const;
     bool overridesInFlight() const;
@@ -108,9 +115,16 @@ class BreakerController
     int eventCount_ = 0;
     /** Tick at which the current overload episode began (-1: none). */
     sim::Tick overloadSince_ = -1;
-    std::unordered_map<int, double> initialDod_;
+    /**
+     * Event-start mean DOD per agent, parallel to agents_; empty when
+     * no event is active (snapshots then report 0, like the paper's
+     * controllers before their first estimate).
+     */
+    std::vector<double> initialDod_;
     std::unordered_map<int, sim::Tick> lastCommandTick_;
     util::Watts maxCapObserved_{0.0};
+    /** Reused snapshot buffer (see snapshotRacks). */
+    mutable std::vector<RackChargeInfo> snapshotBuf_;
 };
 
 /**

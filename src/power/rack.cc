@@ -1,5 +1,6 @@
 #include "power/rack.h"
 
+#include "power/topology.h"
 #include "util/check.h"
 
 namespace dcbatt::power {
@@ -13,6 +14,18 @@ Rack::Rack(int id, std::string name, Priority priority,
     : id_(id), name_(std::move(name)), priority_(priority),
       shelf_(std::move(policy), params)
 {
+    // Shelf-level mutations (overrides, holds, failures, input-power
+    // transitions) change this rack's draw; propagate them to the
+    // cached topology aggregates. Racks live behind stable unique_ptrs
+    // in Topology, so capturing `this` is safe.
+    shelf_.setDirtyCallback([this] { markPowerDirty(); });
+}
+
+void
+Rack::markPowerDirty()
+{
+    if (node_)
+        node_->invalidatePower();
 }
 
 void
@@ -24,29 +37,25 @@ Rack::setCapAmount(Watts amount)
     DCBATT_REQUIRE(amount.value() >= -1e-6,
                    "negative cap %g W on rack %s", amount.value(),
                    name_.c_str());
-    capAmount_ = util::max(amount, Watts(0.0));
-}
-
-Watts
-Rack::itLoad() const
-{
-    return util::max(itDemand_ - capAmount_, Watts(0.0));
-}
-
-Watts
-Rack::inputPower() const
-{
-    if (!inputPowerOn())
-        return Watts(0.0);
-    return itLoad() + shelf_.rechargePower();
+    Watts clamped = util::max(amount, Watts(0.0));
+    if (clamped.value() != capAmount_.value()) {
+        capAmount_ = clamped;
+        markPowerDirty();
+    }
 }
 
 void
 Rack::step(Seconds dt)
 {
+    // Charging progress changes the recharge draw, so an active step
+    // dirties the cached aggregates. Evaluated before stepping: the
+    // step on which the last BBU completes must still invalidate.
+    bool was_active = inputPowerOn() && shelf_.anyCharging();
     Watts carried = shelf_.step(dt, itLoad());
     if (!inputPowerOn() && carried + Watts(1e-6) < itLoad())
         sawOutage_ = true;
+    if (was_active)
+        markPowerDirty();
 }
 
 } // namespace dcbatt::power

@@ -22,6 +22,8 @@
 
 namespace dcbatt::power {
 
+class PowerNode;
+
 /** A rack (leaf of the power hierarchy). */
 class Rack
 {
@@ -47,7 +49,14 @@ class Rack
 
     /** Demand the servers would draw uncapped (trace-driven). */
     util::Watts itDemand() const { return itDemand_; }
-    void setItDemand(util::Watts demand) { itDemand_ = demand; }
+    void
+    setItDemand(util::Watts demand)
+    {
+        if (demand.value() != itDemand_.value()) {
+            itDemand_ = demand;
+            markPowerDirty();
+        }
+    }
 
     /** Power cap currently imposed by the control plane (0 = none). */
     util::Watts capAmount() const { return capAmount_; }
@@ -57,10 +66,20 @@ class Rack
      * negative dust is clamped to zero.
      */
     void setCapAmount(util::Watts amount);
-    void uncap() { capAmount_ = util::Watts(0.0); }
+    void
+    uncap()
+    {
+        if (capAmount_.value() != 0.0) {
+            capAmount_ = util::Watts(0.0);
+            markPowerDirty();
+        }
+    }
 
     /** IT load after capping (what the servers actually draw). */
-    util::Watts itLoad() const;
+    util::Watts itLoad() const
+    {
+        return util::max(itDemand_ - capAmount_, util::Watts(0.0));
+    }
 
     bool inputPowerOn() const { return shelf_.inputPowerOn(); }
     void loseInputPower() { shelf_.loseInputPower(); }
@@ -71,7 +90,12 @@ class Rack
      * recharge power while input power is on; zero while it is off
      * (the load is on batteries).
      */
-    util::Watts inputPower() const;
+    util::Watts inputPower() const
+    {
+        if (!inputPowerOn())
+            return util::Watts(0.0);
+        return itLoad() + shelf_.rechargePower();
+    }
 
     /** Battery recharge component of the input power. */
     util::Watts rechargePower() const
@@ -94,11 +118,23 @@ class Rack
     bool sawOutage() const { return sawOutage_; }
     void clearOutageFlag() { sawOutage_ = false; }
 
+    /**
+     * Wire up the topology leaf node this rack feeds; every mutation
+     * of the rack's power draw then invalidates the cached aggregates
+     * on the leaf-to-root path. A free-standing rack (tests) runs
+     * without one.
+     */
+    void attachNode(PowerNode *node) { node_ = node; }
+
   private:
+    /** Invalidate the cached power sums above this rack (if wired). */
+    void markPowerDirty();
+
     int id_;
     std::string name_;
     Priority priority_;
     battery::PowerShelf shelf_;
+    PowerNode *node_ = nullptr;
     util::Watts itDemand_{0.0};
     util::Watts capAmount_{0.0};
     bool sawOutage_ = false;

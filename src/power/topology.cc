@@ -67,12 +67,49 @@ PowerNode::attachRack(Rack *rack)
 Watts
 PowerNode::inputPower() const
 {
-    if (rack_)
-        return rack_->inputPower();
+    if (powerCacheValid_)
+        return Watts(cachedPowerW_);
     Watts total(0.0);
-    for (const PowerNode *child : children_)
-        total += child->inputPower();
+    if (rack_) {
+        total = rack_->inputPower();
+    } else {
+        for (const PowerNode *child : children_)
+            total += child->inputPower();
+    }
+    cachedPowerW_ = total.value();
+    powerCacheValid_ = true;
     return total;
+}
+
+void
+PowerNode::refreshPowerCache() const
+{
+    if (powerCacheValid_)
+        return;
+    Watts total(0.0);
+    if (rack_) {
+        total = rack_->inputPower();
+    } else {
+        // Children summed in child order, exactly like the recursive
+        // path, so the cached value is bit-identical to it.
+        for (const PowerNode *child : children_) {
+            DCBATT_ASSERT(child->powerCacheValid_,
+                          "stale child %s under %s in bottom-up refresh",
+                          child->name_.c_str(), name_.c_str());
+            total += Watts(child->cachedPowerW_);
+        }
+    }
+    cachedPowerW_ = total.value();
+    powerCacheValid_ = true;
+}
+
+void
+PowerNode::invalidatePower()
+{
+    for (PowerNode *node = this; node && node->powerCacheValid_;
+         node = node->parent_) {
+        node->powerCacheValid_ = false;
+    }
 }
 
 std::vector<Rack *>
@@ -161,6 +198,7 @@ Topology::build(const TopologySpec &spec,
         topo.rackPtrs_.push_back(rack);
         PowerNode *leaf = topo.newNode(name, NodeKind::RackNode);
         leaf->attachRack(rack);
+        rack->attachNode(leaf);
         rpp.addChild(leaf);
     };
 
@@ -260,6 +298,8 @@ Topology::build(const TopologySpec &spec,
     }
     if (topo.rackPtrs_.empty())
         util::fatal("Topology::build: topology has no racks");
+    topo.fleet_ = std::make_unique<battery::FleetState>();
+    topo.fleet_->resize(topo.rackPtrs_.size());
     return topo;
 }
 
@@ -277,13 +317,32 @@ Topology::nodesOfKind(NodeKind kind) const
 void
 Topology::stepRacks(Seconds dt)
 {
-    for (Rack *rack : rackPtrs_)
+    battery::FleetState &fleet = *fleet_;
+    DCBATT_ASSERT(fleet.size() == rackPtrs_.size(),
+                  "fleet rows %zu != racks %zu", fleet.size(),
+                  rackPtrs_.size());
+    for (Rack *rack : rackPtrs_) {
         rack->step(dt);
+        const Rack &r = *rack;
+        auto i = static_cast<size_t>(r.id());
+        fleet.itLoadW[i] = r.itLoad().value();
+        fleet.rechargeW[i] = r.rechargePower().value();
+        fleet.capW[i] = r.capAmount().value();
+        fleet.inputOn[i] = r.inputPowerOn() ? 1 : 0;
+        fleet.held[i] = r.shelf().chargingHeld() ? 1 : 0;
+        fleet.fullyCharged[i] = r.shelf().fullyCharged() ? 1 : 0;
+    }
 }
 
 void
 Topology::observeBreakers(Seconds dt)
 {
+    // Refresh every stale cache bottom-up first (children always sit
+    // after their parents in creation order, so reverse order visits
+    // children first); the observe pass then reads cache hits only,
+    // never recursing.
+    for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it)
+        (*it)->refreshPowerCache();
     for (const auto &node : nodes_) {
         if (node->breaker())
             node->breaker()->observe(node->inputPower(), dt);

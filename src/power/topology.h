@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "battery/charger_policy.h"
+#include "battery/fleet_state.h"
 #include "power/breaker.h"
 #include "power/rack.h"
 #include "sim/event_queue.h"
@@ -62,8 +63,32 @@ class PowerNode
     Rack *rack() const { return rack_; }
     void attachRack(Rack *rack);
 
-    /** Aggregate input power of the subtree rooted here. */
+    /**
+     * Aggregate input power of the subtree rooted here. Cached: the
+     * recursive sum is only recomputed for subtrees whose racks were
+     * dirtied since the last read (children are summed in child order
+     * either way, so the cached value is bit-identical to a cold
+     * recompute).
+     */
     util::Watts inputPower() const;
+
+    /**
+     * Mark this node's cached aggregate stale, walking up to the
+     * root. The walk stops at the first already-invalid ancestor:
+     * invalidation always proceeds leaf-to-root, so an invalid node
+     * implies invalid ancestors.
+     */
+    void invalidatePower();
+
+    /**
+     * Non-recursive cache refresh: recompute this node's aggregate
+     * from its children's caches (or its rack), assuming every child
+     * is already fresh. Callers must visit children first —
+     * Topology::observeBreakers walks nodes in reverse creation order,
+     * which is bottom-up because children are always created after
+     * their parents.
+     */
+    void refreshPowerCache() const;
 
     /** All racks in this subtree (depth-first order). */
     std::vector<Rack *> racksBelow() const;
@@ -75,6 +100,8 @@ class PowerNode
     std::vector<PowerNode *> children_;
     std::unique_ptr<CircuitBreaker> breaker_;
     Rack *rack_ = nullptr;
+    mutable double cachedPowerW_ = 0.0;
+    mutable bool powerCacheValid_ = false;
 };
 
 /** Shape and ratings of a topology to build. */
@@ -134,8 +161,18 @@ class Topology
     /** All nodes of the given kind, in creation order. */
     std::vector<PowerNode *> nodesOfKind(NodeKind kind) const;
 
-    /** Advance every rack's physics by dt. */
+    /**
+     * Advance every rack's physics by dt in one batch pass, refreshing
+     * the struct-of-arrays fleet snapshot as it goes.
+     */
     void stepRacks(util::Seconds dt);
+
+    /**
+     * Per-rack hot-state rows (rack id == row index), refreshed by
+     * stepRacks(). Valid between a stepRacks() call and the next
+     * rack mutation.
+     */
+    const battery::FleetState &fleet() const { return *fleet_; }
 
     /** Update breaker thermal state for every node with a breaker. */
     void observeBreakers(util::Seconds dt);
@@ -160,6 +197,8 @@ class Topology
     std::vector<std::unique_ptr<PowerNode>> nodes_;
     std::vector<std::unique_ptr<Rack>> racks_;
     std::vector<Rack *> rackPtrs_;
+    /** Owned via pointer so the rows stay put across Topology moves. */
+    std::unique_ptr<battery::FleetState> fleet_;
     PowerNode *root_ = nullptr;
 };
 

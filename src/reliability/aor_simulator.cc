@@ -47,12 +47,13 @@ struct WalkSums
  * Walk one timeline over [0, horizon_s]: union of
  * [loss start, loss end + recharge] spans, where a loss that begins
  * during a recharge extends the span (the recharge restarts after the
- * new episode).
+ * new episode). Templated on the callable so the fixed-charge-time
+ * path pays no per-interval std::function dispatch.
  */
+template <typename ChargeTimeFn>
 WalkSums
 walkTimeline(const std::vector<LossInterval> &timeline, double horizon_s,
-             const std::function<Seconds(const LossInterval &)>
-                 &charge_time_fn)
+             const ChargeTimeFn &charge_time_fn)
 {
     WalkSums sums;
     sums.events = timeline.size();
@@ -82,6 +83,66 @@ walkTimeline(const std::vector<LossInterval> &timeline, double horizon_s,
     return sums;
 }
 
+/**
+ * Walk every shard and reduce in shard order (shared by both public
+ * entry points). The single-shard (legacy serial) case walks straight
+ * into the result — no per-call partials vector, no pool round-trip —
+ * which is also what keeps concurrent evaluations on one simulator
+ * safe: all per-call state is on the caller's stack.
+ */
+template <typename ChargeTimeFn>
+WalkSums
+walkAllShards(const std::vector<std::vector<LossInterval>> &shards,
+              double shard_horizon, util::ThreadPool *pool,
+              const ChargeTimeFn &charge_time_fn)
+{
+    if (shards.size() == 1)
+        return walkTimeline(shards.front(), shard_horizon,
+                            charge_time_fn);
+
+    std::vector<WalkSums> partial(shards.size());
+    auto walk = [&](size_t s) {
+        partial[s] =
+            walkTimeline(shards[s], shard_horizon, charge_time_fn);
+    };
+    if (pool) {
+        pool->parallelFor(shards.size(), walk);
+    } else {
+        for (size_t s = 0; s < shards.size(); ++s)
+            walk(s);
+    }
+
+    WalkSums total;
+    for (const WalkSums &sums : partial) {
+        total.notFull += sums.notFull;
+        total.dark += sums.dark;
+        total.events += sums.events;
+    }
+    return total;
+}
+
+/** Scale raw walk sums into the per-year AorResult metrics. */
+AorResult
+finishResult(const WalkSums &total, const AorConfig &config)
+{
+    const double horizon = config.years * kSecondsPerYear;
+    AorResult result;
+    // Each shard's loss-span union is clipped to its sub-horizon, so
+    // the total not-fully-redundant time can never exceed the full
+    // horizon.
+    DCBATT_ASSERT(total.notFull >= 0.0 && total.notFull <= horizon,
+                  "loss-span union %g s outside [0, %g] s",
+                  total.notFull, horizon);
+    result.aor = 1.0 - total.notFull / horizon;
+    result.lossOfRedundancyHoursPerYear =
+        total.notFull / kSecondsPerHour / config.years;
+    result.lossEventsPerYear =
+        static_cast<double>(total.events) / config.years;
+    result.darkHoursPerYear =
+        total.dark / kSecondsPerHour / config.years;
+    return result;
+}
+
 } // namespace
 
 AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
@@ -93,8 +154,13 @@ AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
     DCBATT_REQUIRE(config_.shards >= 1, "shard count %d < 1",
                    config_.shards);
     shards_.resize(static_cast<size_t>(config_.shards));
+    // All shards cover the same sub-horizon, so the reserve estimate
+    // is shared — computed once here, not once per shard.
+    const size_t reserve_hint = expectedIntervals(
+        processes, config_.years * kSecondsPerYear
+                       / static_cast<double>(config_.shards));
     auto generate = [&](size_t shard) {
-        generateShard(shard, processes);
+        generateShard(shard, processes, reserve_hint);
     };
     if (pool_ && config_.shards > 1) {
         pool_->parallelFor(shards_.size(), generate);
@@ -124,7 +190,8 @@ AorSimulator::shardTimeline(int shard) const
 
 void
 AorSimulator::generateShard(size_t shard,
-                            const std::vector<FailureProcess> &processes)
+                            const std::vector<FailureProcess> &processes,
+                            size_t reserve_hint)
 {
     // Shard 0 of a single-timeline run uses Rng(seed) directly so the
     // legacy serial history is preserved bit for bit; sharded runs
@@ -138,7 +205,7 @@ AorSimulator::generateShard(size_t shard,
 
     std::vector<LossInterval> &timeline =
         shards_[shard];
-    timeline.reserve(expectedIntervals(processes, horizon));
+    timeline.reserve(reserve_hint);
 
     for (const FailureProcess &proc : processes) {
         util::Rng stream = rng.fork();
@@ -188,8 +255,18 @@ AorSimulator::generateShard(size_t shard,
 AorResult
 AorSimulator::aorForChargeTime(Seconds charge_time) const
 {
-    return aorForChargeModel(
-        [charge_time](const LossInterval &) { return charge_time; });
+    // Inline lambda (not routed through aorForChargeModel) so the
+    // per-interval recharge lookup is a constant load, not a
+    // type-erased call — this is the Fig. 9a sweep's inner loop.
+    return finishResult(
+        walkAllShards(shards_,
+                      config_.years * kSecondsPerYear
+                          / static_cast<double>(config_.shards),
+                      pool_,
+                      [charge_time](const LossInterval &) {
+                          return charge_time;
+                      }),
+        config_);
 }
 
 AorResult
@@ -197,47 +274,12 @@ AorSimulator::aorForChargeModel(
     const std::function<Seconds(const LossInterval &)> &charge_time_fn)
     const
 {
-    const double horizon = config_.years * kSecondsPerYear;
-    const double shard_horizon =
-        horizon / static_cast<double>(config_.shards);
-
-    // Walk every shard (in parallel when a pool is attached — each
-    // walk writes only its own slot), then reduce in shard order so
-    // the floating-point sums never depend on scheduling.
-    std::vector<WalkSums> partial(shards_.size());
-    auto walk = [&](size_t s) {
-        partial[s] =
-            walkTimeline(shards_[s], shard_horizon, charge_time_fn);
-    };
-    if (pool_ && shards_.size() > 1) {
-        pool_->parallelFor(shards_.size(), walk);
-    } else {
-        for (size_t s = 0; s < shards_.size(); ++s)
-            walk(s);
-    }
-
-    WalkSums total;
-    for (const WalkSums &sums : partial) {
-        total.notFull += sums.notFull;
-        total.dark += sums.dark;
-        total.events += sums.events;
-    }
-
-    AorResult result;
-    // Each shard's loss-span union is clipped to its sub-horizon, so
-    // the total not-fully-redundant time can never exceed the full
-    // horizon.
-    DCBATT_ASSERT(total.notFull >= 0.0 && total.notFull <= horizon,
-                  "loss-span union %g s outside [0, %g] s",
-                  total.notFull, horizon);
-    result.aor = 1.0 - total.notFull / horizon;
-    result.lossOfRedundancyHoursPerYear =
-        total.notFull / kSecondsPerHour / config_.years;
-    result.lossEventsPerYear =
-        static_cast<double>(total.events) / config_.years;
-    result.darkHoursPerYear =
-        total.dark / kSecondsPerHour / config_.years;
-    return result;
+    return finishResult(
+        walkAllShards(shards_,
+                      config_.years * kSecondsPerYear
+                          / static_cast<double>(config_.shards),
+                      pool_, charge_time_fn),
+        config_);
 }
 
 } // namespace dcbatt::reliability

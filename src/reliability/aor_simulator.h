@@ -126,8 +126,10 @@ class AorSimulator
     double horizonYears() const { return config_.years; }
 
   private:
+    /** @p reserve_hint: expected interval count per shard (shared). */
     void generateShard(size_t shard,
-                       const std::vector<FailureProcess> &processes);
+                       const std::vector<FailureProcess> &processes,
+                       size_t reserve_hint);
 
     AorConfig config_;
     util::ThreadPool *pool_ = nullptr;

@@ -14,13 +14,20 @@ SweepRunner::run(const std::vector<SweepTask> &tasks) const
     std::vector<std::future<core::ChargingEventResult>> futures;
     futures.reserve(tasks.size());
     for (const SweepTask &task : tasks) {
-        DCBATT_REQUIRE(task.traces != nullptr,
+        const trace::TraceSet *traces =
+            task.traces ? task.traces : task.sharedTraces.get();
+        DCBATT_REQUIRE(traces != nullptr,
                        "sweep task '%s' has no trace set",
                        task.label.c_str());
         // The config is copied into the closure; the trace set is
-        // shared read-only across tasks.
+        // shared read-only across tasks (the shared_ptr, when that is
+        // the handle given, keeps the set alive for the task's
+        // lifetime). Warm its lazy aggregate/peak caches here, on the
+        // submitting thread, so the workers never write them.
+        traces->warmCaches();
         futures.push_back(pool_->submit(
-            [config = task.config, traces = task.traces] {
+            [config = task.config, traces,
+             owner = task.sharedTraces] {
                 return core::runChargingEvent(config, *traces);
             }));
     }

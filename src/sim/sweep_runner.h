@@ -11,13 +11,15 @@
  *
  * Each task carries its own trace handle. Tasks may share one
  * trace set (e.g. bench::paperMsbTraces(), a const process-wide
- * singleton) because runChargingEvent only reads traces; anything a
- * task mutates lives in its own topology/event-queue instance.
+ * singleton, or a trace::sharedTraces() cache entry) because
+ * runChargingEvent only reads traces; anything a task mutates lives in
+ * its own topology/event-queue instance.
  */
 
 #ifndef DCBATT_SIM_SWEEP_RUNNER_H_
 #define DCBATT_SIM_SWEEP_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,7 +32,11 @@ class ThreadPool;
 
 namespace dcbatt::sim {
 
-/** One charging event to run: a config plus its trace handle. */
+/**
+ * One charging event to run: a config plus its trace handle. Exactly
+ * one of `traces` (borrowed) or `sharedTraces` (owned) must be set;
+ * `traces` wins when both are.
+ */
 struct SweepTask
 {
     /** Free-form tag the caller uses to identify the result. */
@@ -38,6 +44,11 @@ struct SweepTask
     core::ChargingEventConfig config;
     /** Borrowed; must outlive the run() call. */
     const trace::TraceSet *traces = nullptr;
+    /**
+     * Owning alternative to `traces`, e.g. a trace::sharedTraces()
+     * cache entry; kept alive by the task closure for the whole run.
+     */
+    std::shared_ptr<const trace::TraceSet> sharedTraces;
 };
 
 /** Fans charging events across a pool; results come back in order. */

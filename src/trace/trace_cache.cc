@@ -1,0 +1,114 @@
+#include "trace/trace_cache.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/logging.h"
+
+namespace dcbatt::trace {
+
+namespace {
+
+/**
+ * Exact textual key for a spec. %.17g round-trips every double, so
+ * two specs map to the same key iff every field is bit-equal (minus
+ * the -0.0/0.0 distinction, which the generator cannot observe).
+ */
+std::string
+specKey(const TraceGenSpec &spec)
+{
+    std::string key = util::strf(
+        "n=%d dur=%.17g step=%.17g t0=%.17g seed=%llu mean=%.17g "
+        "amp=%.17g noise=%.17g peak=%.17g dip=%.17g max=%.17g "
+        "min=%.17g",
+        spec.rackCount, spec.duration.value(), spec.step.value(),
+        spec.startTime.value(),
+        static_cast<unsigned long long>(spec.seed),
+        spec.aggregateMean.value(), spec.aggregateAmplitude.value(),
+        spec.aggregateNoiseFraction, spec.peakTimeOfDay.value(),
+        spec.weekendDip, spec.rackMaxPower.value(),
+        spec.rackMinPower.value());
+    for (const RackProfile &p : spec.profiles) {
+        key += util::strf(
+            " p[%.17g %.17g %.17g %.17g %.17g %.17g]",
+            p.baseMean.value(), p.baseSpread.value(),
+            p.diurnalAmplitude, p.diurnalPhaseShift, p.noiseSigma,
+            p.noisePersistence);
+    }
+    key += " pri=";
+    for (power::Priority pri : spec.priorities)
+        key += static_cast<char>('0' + power::priorityIndex(pri));
+    return key;
+}
+
+struct CacheState
+{
+    std::mutex mutex;
+    std::map<std::string, std::shared_ptr<const TraceSet>> entries;
+    TraceCacheStats stats;
+};
+
+CacheState &
+cache()
+{
+    static CacheState state;
+    return state;
+}
+
+} // namespace
+
+std::shared_ptr<const TraceSet>
+sharedTraces(const TraceGenSpec &spec)
+{
+    std::string key = specKey(spec);
+    CacheState &state = cache();
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        auto it = state.entries.find(key);
+        if (it != state.entries.end()) {
+            ++state.stats.hits;
+            util::debug(util::strf(
+                "trace cache hit (%llu hits, %llu misses): %d racks, "
+                "seed %llu",
+                static_cast<unsigned long long>(state.stats.hits),
+                static_cast<unsigned long long>(state.stats.misses),
+                spec.rackCount,
+                static_cast<unsigned long long>(spec.seed)));
+            return it->second;
+        }
+    }
+    // Generate outside the lock: generation takes seconds and two
+    // concurrent first requests for the same key are harmless (last
+    // insert wins; both results are identical by determinism). Warm
+    // the lazy aggregate/peak caches before publishing so every
+    // thread that receives the shared set only ever reads it.
+    auto traces = std::make_shared<const TraceSet>(generateTraces(spec));
+    traces->warmCaches();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto [it, inserted] = state.entries.emplace(key, std::move(traces));
+    if (inserted)
+        ++state.stats.misses;
+    else
+        ++state.stats.hits;
+    return it->second;
+}
+
+TraceCacheStats
+traceCacheStats()
+{
+    CacheState &state = cache();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.stats;
+}
+
+void
+clearTraceCache()
+{
+    CacheState &state = cache();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.entries.clear();
+    state.stats = TraceCacheStats{};
+}
+
+} // namespace dcbatt::trace

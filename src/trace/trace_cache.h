@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Process-wide cache of generated trace sets.
+ *
+ * Trace generation is the single most expensive setup step of the
+ * experiments (316 racks x a week at 3 s is ~64M samples), and sweep
+ * drivers — fig14's limit sweep, the CLI's --limit-mw list, benchmark
+ * repetitions — replay the *same* deterministic traces for every
+ * configuration. The cache keys on an exact serialization of every
+ * TraceGenSpec field (doubles printed at full precision), so two specs
+ * share a TraceSet if and only if the generator would produce
+ * bit-identical output for them.
+ *
+ * Entries are immutable (`shared_ptr<const TraceSet>`), so concurrent
+ * SweepRunner tasks can replay one instance without synchronization;
+ * the cache map itself is mutex-guarded.
+ */
+
+#ifndef DCBATT_TRACE_TRACE_CACHE_H_
+#define DCBATT_TRACE_TRACE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/trace_generator.h"
+
+namespace dcbatt::trace {
+
+/** Hit/miss counters for the process-wide trace cache. */
+struct TraceCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/**
+ * The TraceSet for @p spec, generating and caching it on first use.
+ * Returns a shared, immutable instance: callers on any thread may
+ * replay it concurrently. Cache hits are logged at debug level.
+ */
+std::shared_ptr<const TraceSet> sharedTraces(const TraceGenSpec &spec);
+
+/** Counters since process start (or the last clearTraceCache). */
+TraceCacheStats traceCacheStats();
+
+/** Drop every cached trace set and zero the counters (tests). */
+void clearTraceCache();
+
+} // namespace dcbatt::trace
+
+#endif // DCBATT_TRACE_TRACE_CACHE_H_

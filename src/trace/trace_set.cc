@@ -20,21 +20,27 @@ TraceSet::TraceSet(Seconds start, Seconds step, int rack_count)
                   TimeSeries(start, step));
 }
 
-TimeSeries
+const TimeSeries &
 TraceSet::aggregate() const
 {
+    if (aggValid_)
+        return aggCache_;
     if (racks_.empty())
         util::panic("TraceSet::aggregate: no racks");
     TimeSeries total = racks_.front();
     for (size_t i = 1; i < racks_.size(); ++i)
         total += racks_[i];
-    return total;
+    aggCache_ = std::move(total);
+    aggValid_ = true;
+    return aggCache_;
 }
 
 size_t
 TraceSet::firstPeakIndex() const
 {
-    TimeSeries agg = aggregate();
+    if (peakCached_)
+        return peakCache_;
+    const TimeSeries &agg = aggregate();
     // Smooth over ~15 minutes to ignore sample noise, then find the
     // first index whose smoothed value is not exceeded for a sustained
     // window afterwards (a genuine diurnal crest, not a blip).
@@ -54,10 +60,16 @@ TraceSet::firstPeakIndex() const
                 break;
             }
         }
-        if (is_peak)
-            return std::min(agg.size() - 1, i * window + window / 2);
+        if (is_peak) {
+            peakCache_ = std::min(agg.size() - 1,
+                                  i * window + window / 2);
+            peakCached_ = true;
+            return peakCache_;
+        }
     }
-    return agg.argMax();
+    peakCache_ = agg.argMax();
+    peakCached_ = true;
+    return peakCache_;
 }
 
 void
@@ -65,6 +77,8 @@ TraceSet::appendSample(const std::vector<double> &rack_watts)
 {
     if (rack_watts.size() != racks_.size())
         util::panic("TraceSet::appendSample: wrong rack count");
+    aggValid_ = false;
+    peakCached_ = false;
     for (size_t i = 0; i < racks_.size(); ++i)
         racks_[i].append(rack_watts[i]);
 }

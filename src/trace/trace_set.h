@@ -36,6 +36,10 @@ class TraceSet
 
     util::TimeSeries &rack(int i)
     {
+        // The caller may mutate the series through this reference, so
+        // conservatively drop the cached aggregate.
+        aggValid_ = false;
+        peakCached_ = false;
         return racks_[static_cast<size_t>(i)];
     }
     const util::TimeSeries &rack(int i) const
@@ -49,8 +53,12 @@ class TraceSet
         return util::Watts(rack(i).sample(t));
     }
 
-    /** Sum of all rack series. */
-    util::TimeSeries aggregate() const;
+    /**
+     * Sum of all rack series. Cached: the traces are generated (or
+     * loaded) once and replayed read-only by every experiment, so the
+     * sum is computed on first use and invalidated by mutation.
+     */
+    const util::TimeSeries &aggregate() const;
 
     /**
      * Index of the first local maximum of the day-smoothed aggregate —
@@ -58,6 +66,20 @@ class TraceSet
      * transitions because available power is most constrained.
      */
     size_t firstPeakIndex() const;
+
+    /**
+     * Populate the lazy aggregate/peak caches now. The caches are not
+     * synchronized (a mutex member would make TraceSet non-copyable),
+     * so a set that will be read by several threads at once must be
+     * warmed on one thread first — SweepRunner and the trace cache do
+     * this before sharing; after warming, every const accessor is a
+     * pure read.
+     */
+    void warmCaches() const
+    {
+        aggregate();
+        firstPeakIndex();
+    }
 
     /** Append one sample per rack (values in watts). */
     void appendSample(const std::vector<double> &rack_watts);
@@ -70,6 +92,11 @@ class TraceSet
     util::Seconds start_{0.0};
     util::Seconds step_{3.0};
     std::vector<util::TimeSeries> racks_;
+    /** Lazily computed caches (invalidated by any mutation). */
+    mutable util::TimeSeries aggCache_;
+    mutable bool aggValid_ = false;
+    mutable size_t peakCache_ = 0;
+    mutable bool peakCached_ = false;
 };
 
 } // namespace dcbatt::trace

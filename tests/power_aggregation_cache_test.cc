@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property test of the incremental power-aggregation cache: after any
+ * sequence of mutations (demand changes, caps, open transitions,
+ * physics steps, overrides, BBU fail/repair), every node's cached
+ * inputPower() equals a brute-force recursive recompute — exactly, not
+ * approximately, because the cache refresh sums children in the same
+ * order with the same expressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/topology.h"
+#include "util/random.h"
+
+namespace dcbatt::power {
+namespace {
+
+using util::Seconds;
+using util::Watts;
+
+/**
+ * Cache-free recursive aggregate, associating the sum exactly like
+ * PowerNode::refreshPowerCache (children in order, left to right).
+ */
+Watts
+bruteForcePower(const PowerNode &node)
+{
+    if (node.rack())
+        return node.rack()->inputPower();
+    Watts total(0.0);
+    for (const PowerNode *child : node.children())
+        total += bruteForcePower(*child);
+    return total;
+}
+
+/** Compare every node's cached aggregate against the brute force. */
+void
+expectCachesExact(const Topology &topo, int step)
+{
+    const PowerNode &root = topo.root();
+    ASSERT_EQ(root.inputPower().value(),
+              bruteForcePower(root).value())
+        << "root mismatch after mutation " << step;
+    for (NodeKind kind : {NodeKind::Sb, NodeKind::Rpp}) {
+        for (const PowerNode *node :
+             const_cast<Topology &>(topo).nodesOfKind(kind)) {
+            ASSERT_EQ(node->inputPower().value(),
+                      bruteForcePower(*node).value())
+                << toString(kind) << " " << node->name()
+                << " mismatch after mutation " << step;
+        }
+    }
+}
+
+TEST(PowerAggregationCache, RandomizedMutationsStayExact)
+{
+    TopologySpec spec;
+    spec.rootKind = NodeKind::Msb;
+    spec.sbsPerMsb = 2;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 4;
+    Topology topo =
+        Topology::build(spec, battery::makeVariableCharger());
+    const int n = static_cast<int>(topo.racks().size());
+
+    util::Rng rng(2024);
+    for (int i = 0; i < n; ++i)
+        topo.rack(i).setItDemand(util::kilowatts(6.0));
+
+    for (int step = 0; step < 400; ++step) {
+        int rack_id = static_cast<int>(rng.uniform(0.0, 1.0)
+                                       * (n - 1));
+        double roll = rng.uniform(0.0, 1.0);
+        Rack &rack = topo.rack(rack_id);
+        if (roll < 0.3) {
+            rack.setItDemand(Watts(rng.uniform(500.0, 12000.0)));
+        } else if (roll < 0.45) {
+            rack.setCapAmount(Watts(rng.uniform(0.0, 3000.0)));
+        } else if (roll < 0.55) {
+            rack.loseInputPower();
+        } else if (roll < 0.7) {
+            rack.restoreInputPower();
+        } else if (roll < 0.8) {
+            rack.shelf().setOverride(
+                util::Amperes(rng.uniform(1.0, 5.0)));
+        } else if (roll < 0.9) {
+            topo.stepRacks(Seconds(1.0));
+        } else if (roll < 0.95) {
+            rack.shelf().failBbu(
+                static_cast<int>(rng.uniform(0.0, 1.0) * 5.0));
+        } else {
+            rack.shelf().repairBbu(
+                static_cast<int>(rng.uniform(0.0, 1.0) * 5.0));
+        }
+        expectCachesExact(topo, step);
+    }
+}
+
+TEST(PowerAggregationCache, ObserveBreakersRefreshesBottomUp)
+{
+    // observeBreakers() batch-refreshes every node before the thermal
+    // observation; the refreshed caches must equal a cold recompute.
+    TopologySpec spec;
+    spec.rootKind = NodeKind::Msb;
+    spec.sbsPerMsb = 2;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 4;
+    Topology topo =
+        Topology::build(spec, battery::makeVariableCharger());
+    for (Rack *rack : topo.racks())
+        rack->setItDemand(util::kilowatts(7.5));
+
+    topo.startOpenTransition(topo.root());
+    topo.stepRacks(Seconds(30.0));
+    topo.endOpenTransition(topo.root());
+    for (int t = 0; t < 60; ++t) {
+        topo.stepRacks(Seconds(1.0));
+        topo.observeBreakers(Seconds(1.0));
+        expectCachesExact(topo, t);
+    }
+}
+
+} // namespace
+} // namespace dcbatt::power

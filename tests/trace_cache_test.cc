@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the process-wide trace cache: identical specs share one
+ * immutable instance, any field difference gets its own entry, the
+ * cached data equals a fresh generation, and the hit/miss counters
+ * account for every lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_cache.h"
+
+namespace dcbatt::trace {
+namespace {
+
+/** Small, fast spec (a few seconds of generation work overall). */
+TraceGenSpec
+smallSpec()
+{
+    TraceGenSpec spec;
+    spec.rackCount = 4;
+    spec.duration = util::minutes(10.0);
+    spec.step = util::Seconds(3.0);
+    spec.seed = 99;
+    return spec;
+}
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearTraceCache(); }
+    void TearDown() override { clearTraceCache(); }
+};
+
+TEST_F(TraceCacheTest, IdenticalSpecsShareOneInstance)
+{
+    auto a = sharedTraces(smallSpec());
+    auto b = sharedTraces(smallSpec());
+    EXPECT_EQ(a.get(), b.get());
+
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(TraceCacheTest, CachedDataEqualsFreshGeneration)
+{
+    auto cached = sharedTraces(smallSpec());
+    TraceSet fresh = generateTraces(smallSpec());
+
+    ASSERT_EQ(cached->rackCount(), fresh.rackCount());
+    ASSERT_EQ(cached->sampleCount(), fresh.sampleCount());
+    for (int r = 0; r < fresh.rackCount(); ++r) {
+        for (size_t s = 0; s < fresh.sampleCount(); ++s) {
+            ASSERT_EQ(cached->rack(r)[s], fresh.rack(r)[s])
+                << "rack " << r << " sample " << s;
+        }
+    }
+}
+
+TEST_F(TraceCacheTest, EveryFieldIsPartOfTheKey)
+{
+    auto base = sharedTraces(smallSpec());
+
+    // Integer, double, unit-typed, and array-member fields: changing
+    // any of them must miss the cache.
+    std::vector<TraceGenSpec> variants;
+    variants.push_back(smallSpec());
+    variants.back().seed = 100;
+    variants.push_back(smallSpec());
+    variants.back().rackCount = 5;
+    variants.push_back(smallSpec());
+    variants.back().aggregateNoiseFraction += 1e-9;
+    variants.push_back(smallSpec());
+    variants.back().startTime = util::hours(1.0);
+    variants.push_back(smallSpec());
+    variants.back().profiles[2].noiseSigma += 1e-9;
+    variants.push_back(smallSpec());
+    variants.back().priorities = {power::Priority::P1};
+
+    for (size_t i = 0; i < variants.size(); ++i) {
+        auto other = sharedTraces(variants[i]);
+        EXPECT_NE(base.get(), other.get()) << "variant " << i;
+    }
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.misses, 1u + variants.size());
+    EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(TraceCacheTest, ClearDropsEntriesAndCounters)
+{
+    auto a = sharedTraces(smallSpec());
+    clearTraceCache();
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+
+    // The old shared_ptr stays valid (entries are immutable and
+    // reference-counted); a re-request generates a new instance.
+    auto b = sharedTraces(smallSpec());
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->sampleCount(), b->sampleCount());
+}
+
+} // namespace
+} // namespace dcbatt::trace

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_to_json.sh capture against the committed
+baseline and fail on large microbenchmark regressions.
+
+Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--max-slowdown X]
+
+Every op present in both files' ``micro_ns_per_op`` maps is compared;
+an op slower than ``--max-slowdown`` (default 2.0) times its baseline
+fails the check. Ops present on only one side are reported but never
+fatal (benchmarks get added and retired), and the artifact wall times
+are printed for context only — CI runner wall clocks are too noisy to
+gate on. The generous 2x gate is deliberate for the same reason: it
+catches algorithmic regressions (the kind this repo's caching layers
+could silently lose), not scheduling jitter.
+
+Exit status: 0 clean, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if "micro_ns_per_op" not in doc:
+        print(f"bench_diff: {path} has no micro_ns_per_op map",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two bench_to_json.sh captures")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this "
+                             "ratio for any shared op (default 2.0)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+    base_ops = base["micro_ns_per_op"]
+    curr_ops = curr["micro_ns_per_op"]
+
+    shared = sorted(set(base_ops) & set(curr_ops))
+    only_base = sorted(set(base_ops) - set(curr_ops))
+    only_curr = sorted(set(curr_ops) - set(base_ops))
+
+    if not shared:
+        print("bench_diff: no ops in common between baseline and "
+              "current", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    width = max(len(op) for op in shared)
+    print(f"{'op':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for op in shared:
+        b, c = base_ops[op], curr_ops[op]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > args.max_slowdown:
+            regressions.append((op, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{op:<{width}}  {b:>12.0f}  {c:>12.0f}  "
+              f"{ratio:>5.2f}x{flag}")
+
+    for op in only_base:
+        print(f"note: {op} only in baseline (retired?)")
+    for op in only_curr:
+        print(f"note: {op} only in current (new benchmark)")
+
+    for doc, label in ((base, "baseline"), (curr, "current")):
+        walls = doc.get("artifact_wall_seconds", {})
+        for artifact, times in sorted(walls.items()):
+            timing = ", ".join(f"{k}={v}s"
+                               for k, v in sorted(times.items()))
+            print(f"wall ({label}): {artifact}: {timing}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} op(s) regressed "
+              f"beyond {args.max_slowdown}x:", file=sys.stderr)
+        for op, ratio in regressions:
+            print(f"  {op}: {ratio:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_diff: all {len(shared)} shared ops within "
+          f"{args.max_slowdown}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,8 @@
  *                      seconds (a violation aborts the run)
  *   --csv PATH         write time,msb,it,recharge,cap series
  *                      (single-limit runs only)
+ *   --verbose          debug-level logging on stderr (trace-cache
+ *                      hit/miss accounting, etc.)
  */
 
 #include <cstdio>
@@ -40,6 +42,7 @@
 
 #include "core/charging_event_sim.h"
 #include "sim/sweep_runner.h"
+#include "trace/trace_cache.h"
 #include "trace/trace_generator.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -65,6 +68,7 @@ struct CliOptions
     int threads = 0;  // 0 = hardware concurrency
     double auditSeconds = -1.0;
     std::string csvPath;
+    bool verbose = false;
 };
 
 std::vector<double>
@@ -151,6 +155,8 @@ parseArgs(int argc, char **argv)
             options.auditSeconds = std::atof(need_value(i++));
         } else if (flag == "--csv") {
             options.csvPath = need_value(i++);
+        } else if (flag == "--verbose") {
+            options.verbose = true;
         } else if (flag == "--help" || flag == "-h") {
             std::printf("see the header comment of tools/dcbatt_sim.cc"
                         " for the flag list\n");
@@ -173,6 +179,8 @@ int
 main(int argc, char **argv)
 {
     CliOptions options = parseArgs(argc, argv);
+    if (options.verbose)
+        util::setLogLevel(util::LogLevel::Debug);
 
     // Priority mix: explicit counts, or the paper's ratio scaled.
     int p1 = options.p1, p2 = options.p2, p3 = options.p3;
@@ -194,7 +202,6 @@ main(int argc, char **argv)
     tspec.aggregateMean = util::megawatts(options.meanMw);
     tspec.aggregateAmplitude = util::megawatts(0.05 * options.meanMw);
     tspec.priorities = priorities;
-    trace::TraceSet traces = trace::generateTraces(tspec);
 
     core::ChargingEventConfig config;
     config.policy = options.policy;
@@ -224,9 +231,19 @@ main(int argc, char **argv)
             task.label = util::strf("%.2fMW", limit);
             task.config = config;
             task.config.msbLimit = util::megawatts(limit);
-            task.traces = &traces;
+            // Every limit shares the one cached trace set: the first
+            // fetch generates, the rest are cache hits (visible with
+            // --verbose).
+            task.sharedTraces = trace::sharedTraces(tspec);
             tasks.push_back(std::move(task));
         }
+        auto stats = trace::traceCacheStats();
+        util::debug(util::strf(
+            "trace cache after sweep setup: %llu hits, %llu misses "
+            "for %zu limits",
+            static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses),
+            options.limitsMw.size()));
         auto results = runner.run(tasks);
 
         std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d "
@@ -261,7 +278,8 @@ main(int argc, char **argv)
     }
 
     config.msbLimit = util::megawatts(options.limitsMw[0]);
-    auto result = core::runChargingEvent(config, traces);
+    auto traces = trace::sharedTraces(tspec);
+    auto result = core::runChargingEvent(config, *traces);
 
     std::printf("dcbatt_sim: %s, %d racks (%d P1 / %d P2 / %d P3), "
                 "limit %.2f MW\n",
