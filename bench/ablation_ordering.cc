@@ -59,6 +59,7 @@ main(int argc, char **argv)
     }
 
     auto options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(options);
     util::ThreadPool pool(
         bench::resolveThreadCount(options.threads));
     sim::SweepRunner runner(pool);
@@ -98,5 +99,6 @@ main(int argc, char **argv)
         "grants — more total SLAs,\n   but the wrong ones;\n"
         " - skip-greedy and restore-on-headroom recover some grants "
         "the strict paper\n   algorithm leaves on the table.\n");
+    bench::finishObservability(options);
     return 0;
 }

@@ -6,6 +6,9 @@
 #include <memory>
 #include <type_traits>
 
+#include "obs/chrome_trace_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "trace/trace_cache.h"
 #include "util/logging.h"
 
@@ -99,6 +102,10 @@ parseBenchRunOptions(int argc, char **argv)
             options.aorYears = std::atof(need_value(i++));
         } else if (flag == "--shards") {
             options.aorShards = std::atoi(need_value(i++));
+        } else if (flag == "--metrics-json") {
+            options.metricsJsonPath = need_value(i++);
+        } else if (flag == "--trace-out") {
+            options.traceOutPath = need_value(i++);
         } else if (!flag.empty()
                    && flag.find_first_not_of("0123456789.e+")
                        == std::string::npos) {
@@ -107,7 +114,8 @@ parseBenchRunOptions(int argc, char **argv)
         } else {
             util::fatal(util::strf(
                 "unknown bench flag: %s (expected --threads N, "
-                "--years X, --shards N)",
+                "--years X, --shards N, --metrics-json PATH, "
+                "--trace-out PATH)",
                 flag.c_str()));
         }
     }
@@ -118,6 +126,28 @@ parseBenchRunOptions(int argc, char **argv)
     if (options.aorYears <= 0.0)
         util::fatal("--years must be positive");
     return options;
+}
+
+void
+initObservability(const BenchRunOptions &options)
+{
+    if (!options.traceOutPath.empty())
+        obs::setTracingEnabled(true);
+}
+
+void
+finishObservability(const BenchRunOptions &options)
+{
+    if (!options.metricsJsonPath.empty()) {
+        obs::writeMetricsJson(options.metricsJsonPath);
+        std::fprintf(stderr, "[bench] metrics snapshot: %s\n",
+                     options.metricsJsonPath.c_str());
+    }
+    if (!options.traceOutPath.empty()) {
+        obs::writeChromeTrace(options.traceOutPath);
+        std::fprintf(stderr, "[bench] chrome trace: %s\n",
+                     options.traceOutPath.c_str());
+    }
 }
 
 unsigned

@@ -66,14 +66,32 @@ struct BenchRunOptions
     double aorYears = 3e4;
     /** AOR shard count (fig09a); 1 = the legacy serial timeline. */
     int aorShards = 64;
+    /** Write the final metrics snapshot here (empty = off). */
+    std::string metricsJsonPath;
+    /** Record spans and write a Chrome trace here (empty = off). */
+    std::string traceOutPath;
 };
 
 /**
- * Parse `--threads N`, `--years X`, `--shards N`. A bare positional
- * number is accepted as the year count (fig09a back-compat). Unknown
- * flags are fatal.
+ * Parse `--threads N`, `--years X`, `--shards N`, `--metrics-json
+ * PATH`, `--trace-out PATH`. A bare positional number is accepted as
+ * the year count (fig09a back-compat). Unknown flags are fatal.
  */
 BenchRunOptions parseBenchRunOptions(int argc, char **argv);
+
+/**
+ * Arm span recording when --trace-out was given. Call before the
+ * run so spans cover it; a no-op otherwise.
+ */
+void initObservability(const BenchRunOptions &options);
+
+/**
+ * Write the --metrics-json snapshot and/or --trace-out Chrome trace.
+ * Call after worker threads have quiesced (after the sweep). Both
+ * files are side channels: nothing is printed to stdout, so the
+ * figure artifact bytes do not depend on these flags.
+ */
+void finishObservability(const BenchRunOptions &options);
 
 /**
  * Resolve the worker count (0 -> hardware concurrency) and announce

@@ -30,6 +30,7 @@ main(int argc, char **argv)
                   "(Monte Carlo)");
 
     auto options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(options);
     util::ThreadPool pool(
         bench::resolveThreadCount(options.threads));
 
@@ -69,5 +70,6 @@ main(int argc, char **argv)
     std::printf("Paper anchors: AOR(30 min) = 99.94%%, AOR(60 min) = "
                 "99.90%%, AOR(90 min) = 99.85%%;\nAOR decreases "
                 "~linearly with charging time.\n");
+    bench::finishObservability(options);
     return 0;
 }

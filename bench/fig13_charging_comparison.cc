@@ -48,6 +48,7 @@ main(int argc, char **argv)
     const char glyphs[] = {'o', 'v', 'p'};
 
     auto options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(options);
     util::ThreadPool pool(
         bench::resolveThreadCount(options.threads));
     sim::SweepRunner runner(pool);
@@ -120,5 +121,6 @@ main(int argc, char **argv)
                 "all six cases. Capping begins for priority-aware "
                 "only when\navailable power drops below ~120 kW "
                 "(316 racks at the 1 A floor).\n");
+    bench::finishObservability(options);
     return 0;
 }

@@ -37,6 +37,7 @@ main(int argc, char **argv)
         limits.push_back(limit);
 
     auto options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(options);
     util::ThreadPool pool(
         bench::resolveThreadCount(options.threads));
     sim::SweepRunner runner(pool);
@@ -94,5 +95,6 @@ main(int argc, char **argv)
         "demand), then P2;\n"
         " - server capping appears only when the limit approaches the "
         "IT load plus the\n   316-rack 1 A floor (~120 kW).\n");
+    bench::finishObservability(options);
     return 0;
 }

@@ -112,6 +112,7 @@ main(int argc, char **argv)
     trace::TraceSet p1_traces = make_traces(all_p1.priorities);
 
     auto options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(options);
     util::ThreadPool pool(
         bench::resolveThreadCount(options.threads));
     sim::SweepRunner runner(pool);
@@ -151,5 +152,6 @@ main(int argc, char **argv)
                 "of satisfied SLAs for the given power — the "
                 "priority-aware average is\nseveral times the global "
                 "baseline's.\n");
+    bench::finishObservability(options);
     return 0;
 }

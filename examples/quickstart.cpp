@@ -17,6 +17,7 @@
 
 #include "core/priority_aware_coordinator.h"
 #include "dynamo/controller.h"
+#include "obs/metrics.h"
 #include "power/topology.h"
 #include "trace/trace_generator.h"
 #include "util/logging.h"
@@ -114,5 +115,17 @@ main()
                                                          : "NO"});
     }
     std::printf("%s", table.render().c_str());
+
+    // --- 7. Metrics ------------------------------------------------
+    // The control plane counted its work in the process-wide metrics
+    // registry as a side effect; the same snapshot is what the bench
+    // binaries export with --metrics-json.
+    obs::MetricsSnapshot snapshot = obs::snapshotMetrics();
+    if (const obs::MetricValue *ticks =
+            snapshot.find("dynamo.control_ticks")) {
+        std::printf("\ncontrol-plane ticks: %llu (from the metrics "
+                    "registry; see --metrics-json on the benches)\n",
+                    static_cast<unsigned long long>(ticks->count));
+    }
     return 0;
 }

@@ -52,6 +52,7 @@ PowerShelf::materializeTwins() const
     if (!lockstep_)
         return;
     lockstep_ = false;
+    ++stepStats_.materializations;
     auto &self = const_cast<PowerShelf &>(*this);
     const BbuModel &rep = bbus_[repIdx_];
     for (int i = 0; i < bbuCount(); ++i) {
@@ -115,9 +116,12 @@ PowerShelf::step(Seconds dt, Watts it_load)
         // Quiescent fast path: with nothing charging, stepping every
         // BBU is a no-op walk — skip it and keep the aggregates valid.
         ensureAggregates();
-        if (chargingN_ == 0)
+        if (chargingN_ == 0) {
+            ++stepStats_.quiescentSteps;
             return it_load;
+        }
         if (lockstep_) {
+            ++stepStats_.lockstepSteps;
             // Every healthy pack is a bit-equal twin of the
             // representative: integrating it advances them all (the
             // replicas stay stale until materializeTwins()).
@@ -133,6 +137,7 @@ PowerShelf::step(Seconds dt, Watts it_load)
         // deterministic, so the copy equals re-integrating exactly.
         // When the whole shelf moved as twins, enter lockstep mode and
         // stop touching the replicas from the next step on.
+        ++stepStats_.fullSteps;
         bool have_rep = false;
         bool all_twins = true;
         size_t rep_idx = 0;

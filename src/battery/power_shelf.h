@@ -184,6 +184,21 @@ class PowerShelf
     void forceUniformDod(double dod);
 
     /**
+     * Tally of how the per-step integrator ran, kept as plain members
+     * so the hot loop pays one increment and the observability layer
+     * can fold the totals into the metrics registry once per event
+     * (see runChargingEvent) instead of per step.
+     */
+    struct StepStats
+    {
+        uint64_t quiescentSteps = 0; ///< nothing charging, walk skipped
+        uint64_t lockstepSteps = 0;  ///< one representative integrated
+        uint64_t fullSteps = 0;      ///< twin-compare walk over packs
+        uint64_t materializations = 0; ///< lockstep exits (twin copies)
+    };
+    const StepStats &stepStats() const { return stepStats_; }
+
+    /**
      * Register a callback fired whenever the shelf's aggregate power
      * may have changed (override/hold/fail/repair/input transitions,
      * mutable BBU access). The power topology uses this to invalidate
@@ -269,6 +284,9 @@ class PowerShelf
     mutable double chargeSetpointA_ = 0.0;
     mutable double maxDodCache_ = 0.0;
     mutable double dodSum_ = 0.0;
+
+    /** Last: keeps the hot aggregate block's layout unchanged. */
+    mutable StepStats stepStats_;
 };
 
 } // namespace dcbatt::battery

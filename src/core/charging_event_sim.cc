@@ -4,9 +4,12 @@
 #include <limits>
 #include <memory>
 
+#include "battery/power_shelf.h"
 #include "core/charging_invariants.h"
 #include "core/global_coordinator.h"
 #include "core/local_coordinator.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "power/topology.h"
 #include "sim/event_queue.h"
 #include "sim/invariant_auditor.h"
@@ -76,9 +79,11 @@ ChargingEventResult
 runChargingEvent(const ChargingEventConfig &config,
                  const trace::TraceSet &traces)
 {
+    DCBATT_SPAN_NAMED(event_span, "core.runChargingEvent");
     const int n_racks = traces.rackCount();
     if (n_racks <= 0)
         util::fatal("runChargingEvent: empty trace set");
+    event_span.arg("racks", static_cast<double>(n_racks));
     DCBATT_REQUIRE(config.physicsStep.value() > 0.0,
                    "nonpositive physics step %g s",
                    config.physicsStep.value());
@@ -294,6 +299,7 @@ runChargingEvent(const ChargingEventConfig &config,
         it_at > 0.0 ? result.maxCap.value() / it_at : 0.0;
     result.breakerTripped = topo.root().breaker()->tripped();
 
+    uint64_t sla_met = 0;
     for (int i = 0; i < n_racks; ++i) {
         RackOutcome &outcome = result.racks[static_cast<size_t>(i)];
         Seconds sla =
@@ -302,9 +308,59 @@ runChargingEvent(const ChargingEventConfig &config,
             && *outcome.chargeDuration <= sla;
         int pri = power::priorityIndex(outcome.priority);
         ++result.racksByPriority[static_cast<size_t>(pri)];
-        if (outcome.slaMet)
+        if (outcome.slaMet) {
             ++result.slaMetByPriority[static_cast<size_t>(pri)];
+            ++sla_met;
+        }
     }
+
+    // --- metrics ------------------------------------------------------
+    // One registry visit per event, after the hot loop: every quantity
+    // below is simulation-deterministic (counts and sim-time seconds),
+    // so snapshots are identical at any thread count. Wall-clock time
+    // is the span's business, never the registry's.
+    const auto steps = static_cast<uint64_t>(result.msbPower.size());
+    DCBATT_COUNT("core.charging_events");
+    DCBATT_COUNT_N("core.racks_simulated", n_racks);
+    DCBATT_COUNT_N("core.physics_steps", steps);
+    DCBATT_COUNT_N("core.overload_steps", result.overloadSteps);
+    DCBATT_COUNT_N("core.sla_met", sla_met);
+    DCBATT_COUNT_N("core.sla_missed",
+                   static_cast<uint64_t>(n_racks) - sla_met);
+    battery::PowerShelf::StepStats shelf{};
+    for (int i = 0; i < n_racks; ++i) {
+        const auto &stats = topo.rack(i).shelf().stepStats();
+        shelf.quiescentSteps += stats.quiescentSteps;
+        shelf.lockstepSteps += stats.lockstepSteps;
+        shelf.fullSteps += stats.fullSteps;
+        shelf.materializations += stats.materializations;
+    }
+    DCBATT_COUNT_N("battery.shelf_quiescent_steps",
+                   shelf.quiescentSteps);
+    DCBATT_COUNT_N("battery.shelf_lockstep_steps", shelf.lockstepSteps);
+    DCBATT_COUNT_N("battery.shelf_full_steps", shelf.fullSteps);
+    DCBATT_COUNT_N("battery.twin_materializations",
+                   shelf.materializations);
+    // The SLA memo counts hits with plain per-instance increments (the
+    // lookup itself is only a hash probe); fold them into the registry
+    // here, once, instead of per probe.
+    if (const auto *pac =
+            dynamic_cast<const PriorityAwareCoordinator *>(
+                coordinator.get())) {
+        const SlaMemoStats &memo = pac->slaMemoStats();
+        DCBATT_COUNT_N("core.sla_memo_hits", memo.hits);
+        DCBATT_COUNT_N("core.sla_memo_misses", memo.misses);
+        DCBATT_COUNT_N("core.sla_memo_evictions", memo.evictions);
+    }
+    {
+        static obs::Histogram &window_hist = obs::histogram(
+            "core.event_window_s",
+            {600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0});
+        window_hist.observe((t_end - t0).value());
+    }
+    event_span.arg("physics_steps", static_cast<double>(steps));
+    event_span.arg("overload_steps",
+                   static_cast<double>(result.overloadSteps));
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -120,12 +121,14 @@ BreakerController::issue(const std::vector<OverrideCommand> &commands)
             if (!agent->holdCommanded()) {
                 agent->commandHold();
                 lastCommandTick_[cmd.rackId] = queue_->now();
+                DCBATT_COUNT("dynamo.cmd_hold");
             }
             break;
           case OverrideCommand::Kind::Resume:
             if (agent->holdCommanded()) {
                 agent->commandResume(cmd.current);
                 lastCommandTick_[cmd.rackId] = queue_->now();
+                DCBATT_COUNT("dynamo.cmd_resume");
             }
             break;
           case OverrideCommand::Kind::SetCurrent: {
@@ -134,6 +137,7 @@ BreakerController::issue(const std::vector<OverrideCommand> &commands)
             if (std::abs((agent->lastCommanded() - before).value())
                 > 1e-12) {
                 lastCommandTick_[cmd.rackId] = queue_->now();
+                DCBATT_COUNT("dynamo.cmd_set_current");
             }
             break;
           }
@@ -154,6 +158,7 @@ BreakerController::tick()
         // breaker's available power (limit minus IT load).
         eventActive_ = true;
         ++eventCount_;
+        DCBATT_COUNT("dynamo.charging_event_starts");
         initialDod_.clear();
         initialDod_.reserve(agents_.size());
         for (const RackAgent *agent : agents_)
@@ -194,6 +199,7 @@ BreakerController::tick()
         if (coordinating && charge_relief_possible && within_grace) {
             // Give the charge-current reduction a chance to land.
         } else {
+            DCBATT_COUNT("dynamo.cap_reductions");
             Watts applied = capping_.applyReduction(agents_, -headroom);
             if (applied + Watts(1.0) < -headroom) {
                 util::warn(util::strf(
@@ -204,10 +210,25 @@ BreakerController::tick()
             }
         }
     } else {
+        if (overloadSince_ >= 0) {
+            // End of an overload episode: record how long the breaker
+            // sat above its limit, in *sim time* — deterministic by
+            // construction, unlike a wall-clock latency (which belongs
+            // in a trace span, not the registry).
+            DCBATT_COUNT("dynamo.overload_episodes");
+            static obs::Histogram &relief_hist = obs::histogram(
+                "dynamo.overload_relief_latency_s",
+                {1.0, 5.0, 15.0, 60.0, 300.0, 1800.0});
+            relief_hist.observe(
+                sim::toSeconds(queue_->now() - overloadSince_)
+                    .value());
+        }
         overloadSince_ = -1;
         Watts margin = limit() * config_.releaseMarginFraction;
-        if (headroom > margin && totalCap().value() > 0.0)
+        if (headroom > margin && totalCap().value() > 0.0) {
+            DCBATT_COUNT("dynamo.cap_releases");
             capping_.release(agents_, headroom - margin);
+        }
     }
     maxCapObserved_ = util::max(maxCapObserved_, totalCap());
 }
@@ -269,6 +290,9 @@ ControlPlane::stop()
 void
 ControlPlane::tickAll()
 {
+    // One count per control-plane tick, not per controller — keeps the
+    // registry visit off the per-breaker path.
+    DCBATT_COUNT("dynamo.control_ticks");
     for (auto &controller : controllers_)
         controller->tick();
 }

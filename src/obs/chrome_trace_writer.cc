@@ -1,0 +1,95 @@
+#include "obs/chrome_trace_writer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dcbatt::obs {
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += util::strf("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+ChromeTraceWriter::toJson(const std::vector<SpanEvent> &events)
+{
+    std::string out;
+    out.reserve(events.size() * 96 + 64);
+    out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const SpanEvent &event : events) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "{\"name\": ";
+        appendJsonString(out, event.name);
+        // Timestamps are microseconds in the trace format.
+        out += util::strf(
+            ", \"cat\": \"dcbatt\", \"ph\": \"X\", \"pid\": 1, "
+            "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+            event.tid, static_cast<double>(event.startNs) / 1e3,
+            static_cast<double>(event.durNs) / 1e3);
+        if (!event.args.empty()) {
+            out += ", \"args\": {";
+            for (size_t i = 0; i < event.args.size(); ++i) {
+                if (i)
+                    out += ", ";
+                appendJsonString(out, event.args[i].key);
+                out += util::strf(": %.17g", event.args[i].value);
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+ChromeTraceWriter::writeFile(const std::string &path,
+                             const std::vector<SpanEvent> &events)
+{
+    std::string doc = toJson(events);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        util::fatal(util::strf("obs: cannot open %s for writing",
+                               path.c_str()));
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    ChromeTraceWriter::writeFile(path, drainSpans());
+}
+
+} // namespace dcbatt::obs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto JSON export of recorded spans.
+ *
+ * Emits the JSON object format consumed by `chrome://tracing` and by
+ * https://ui.perfetto.dev (drag the file in, or "Open trace file"):
+ * complete events (`"ph": "X"`) with microsecond timestamps, one
+ * track per recording thread. Span args appear under each slice's
+ * `args` pane in the UI.
+ *
+ * Trace output is strictly opt-in (`--trace-out`), lands in its own
+ * file, and never touches stdout — artifact byte-identity is
+ * unaffected by tracing (obs_determinism_test and the CI golden job
+ * pin this).
+ */
+
+#ifndef DCBATT_OBS_CHROME_TRACE_WRITER_H_
+#define DCBATT_OBS_CHROME_TRACE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_span.h"
+
+namespace dcbatt::obs {
+
+class ChromeTraceWriter
+{
+  public:
+    /** Render @p events as a Chrome trace JSON document. */
+    static std::string toJson(const std::vector<SpanEvent> &events);
+
+    /** Write toJson(events) to @p path (fatal on I/O error). */
+    static void writeFile(const std::string &path,
+                          const std::vector<SpanEvent> &events);
+};
+
+/** drainSpans() straight into @p path. */
+void writeChromeTrace(const std::string &path);
+
+} // namespace dcbatt::obs
+
+#endif // DCBATT_OBS_CHROME_TRACE_WRITER_H_

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Lock-cheap process-wide metrics registry.
+ *
+ * Named counters, gauges, and fixed-bucket histograms. Counter and
+ * histogram increments land in *per-thread shards* — the owning
+ * thread is the only writer of its cells (plain relaxed store of
+ * load+n), so the hot path is a TLS lookup plus one cache-line write,
+ * with no contended atomics and no locks. A snapshot merges the
+ * shards of every thread that ever incremented (live or exited) by
+ * integer summation, which is commutative and associative: the merged
+ * values are *identical at any thread count* for the same work, and
+ * the snapshot lists metrics sorted by name — deterministic output,
+ * byte for byte.
+ *
+ * Determinism contract (DESIGN.md §11): metrics record only
+ * simulation-deterministic quantities — event counts, sim-time
+ * durations, cache hit/miss tallies. Wall-clock timing never enters
+ * the registry; it belongs to TraceSpan (trace_span.h), whose output
+ * is opt-in and kept out of every artifact. This is what lets CI
+ * assert that metrics snapshots are bit-identical across `--threads`
+ * values.
+ *
+ * Registration (obs::counter("name") etc.) takes the registry mutex
+ * and is meant to be amortized through a function-local static at the
+ * call site — the DCBATT_COUNT macros below do exactly that.
+ */
+
+#ifndef DCBATT_OBS_METRICS_H_
+#define DCBATT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcbatt::obs {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+const char *toString(MetricKind kind);
+
+/** One merged metric in a snapshot. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /** Counter value (Counter) or total observation count (Histogram). */
+    uint64_t count = 0;
+    /** Gauge value (Gauge only). */
+    double gauge = 0.0;
+    /** Histogram bucket upper edges (ascending; Histogram only). */
+    std::vector<double> bucketEdges;
+    /**
+     * Per-bucket counts, size bucketEdges.size() + 1: bucket i counts
+     * observations in (edge[i-1], edge[i]]; the final bucket is the
+     * overflow (> last edge).
+     */
+    std::vector<uint64_t> bucketCounts;
+
+    bool operator==(const MetricValue &other) const = default;
+};
+
+/** Deterministic merged view of the registry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<MetricValue> metrics;
+
+    /** The metric named @p name, or nullptr. */
+    const MetricValue *find(std::string_view name) const;
+
+    /**
+     * Stable JSON rendering (sorted keys, %.17g doubles): equal
+     * snapshots produce byte-equal documents.
+     */
+    std::string toJson() const;
+
+    bool operator==(const MetricsSnapshot &other) const = default;
+};
+
+namespace detail {
+struct Shard;
+} // namespace detail
+
+/** Cheap handle: increments go to the calling thread's shard. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1);
+    /** Merged value across all shards (takes the registry lock). */
+    uint64_t value() const;
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(size_t slot) : slot_(slot) {}
+    size_t slot_;
+};
+
+/** Last-write-wins double; set it from one thread at a time. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    Gauge() = default;
+    std::atomic<double> value_{0.0};
+};
+
+/** Fixed-bucket histogram; bucket i is (edge[i-1], edge[i]]. */
+class Histogram
+{
+  public:
+    void observe(double x);
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(size_t base_slot, std::vector<double> edges)
+        : baseSlot_(base_slot), edges_(std::move(edges))
+    {
+    }
+    size_t baseSlot_;
+    std::vector<double> edges_;
+};
+
+/**
+ * The process-wide registry. A leaked singleton: it outlives every
+ * thread, so shard retirement on thread exit is always safe.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Shard capacity; registering past it is fatal. */
+    static constexpr size_t kMaxSlots = 4096;
+
+    static MetricsRegistry &instance();
+
+    /**
+     * Register-or-fetch by name. Fatal on a kind mismatch with an
+     * earlier registration (or different histogram edges). Returned
+     * references are stable for the process lifetime.
+     */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name,
+                         std::vector<double> edges);
+
+    /** Merge every shard; sorted by name, deterministic. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero every counter, gauge, and histogram. Callers must ensure
+     * no thread is concurrently incrementing (tests and per-run
+     * scoping only).
+     */
+    void reset();
+
+    // Internal (Counter/Histogram/thread plumbing).
+    detail::Shard *adoptShard();
+    void retireShard(detail::Shard *shard);
+    uint64_t slotTotal(size_t slot) const;
+
+  private:
+    MetricsRegistry();
+    struct Impl;
+    Impl *impl_;
+};
+
+/** Convenience forwarders to MetricsRegistry::instance(). */
+Counter &counter(std::string_view name);
+Gauge &gauge(std::string_view name);
+Histogram &histogram(std::string_view name, std::vector<double> edges);
+
+/** Snapshot the process registry. */
+MetricsSnapshot snapshotMetrics();
+
+/** Write snapshotMetrics().toJson() to @p path (fatal on I/O error). */
+void writeMetricsJson(const std::string &path);
+
+} // namespace dcbatt::obs
+
+/**
+ * Count one occurrence on the hot path: the registry lookup happens
+ * once per call site (function-local static), the increment is a
+ * thread-shard write.
+ */
+#define DCBATT_OBS_CONCAT2(a, b) a##b
+#define DCBATT_OBS_CONCAT(a, b) DCBATT_OBS_CONCAT2(a, b)
+
+#define DCBATT_COUNT(name) DCBATT_COUNT_N(name, 1)
+
+#define DCBATT_COUNT_N(name, n)                                        \
+    do {                                                               \
+        static ::dcbatt::obs::Counter &dcbatt_obs_counter_ =           \
+            ::dcbatt::obs::counter(name);                              \
+        dcbatt_obs_counter_.add(                                       \
+            static_cast<uint64_t>(n));                                 \
+    } while (0)
+
+#endif // DCBATT_OBS_METRICS_H_

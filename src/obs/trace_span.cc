@@ -1,0 +1,111 @@
+#include "obs/trace_span.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace dcbatt::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/** Buffer of completed spans; leaked so late thread exits stay safe. */
+struct SpanBuffer
+{
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+};
+
+SpanBuffer &
+buffer()
+{
+    static SpanBuffer *buf = new SpanBuffer();
+    return *buf;
+}
+
+/** ns since the first span-related call in the process. */
+uint64_t
+nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+void
+setTracingEnabled(bool on)
+{
+    g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool
+tracingEnabled()
+{
+    return g_tracing.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent>
+drainSpans()
+{
+    SpanBuffer &buf = buffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    std::vector<SpanEvent> out = std::move(buf.events);
+    buf.events.clear();
+    return out;
+}
+
+void
+clearSpans()
+{
+    SpanBuffer &buf = buffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.clear();
+}
+
+TraceSpan::TraceSpan(const char *name) : name_(name)
+{
+    if (!tracingEnabled())
+        return;
+    armed_ = true;
+    startNs_ = nowNs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!armed_)
+        return;
+    SpanEvent event;
+    event.name = name_;
+    event.tid = threadId();
+    event.startNs = startNs_;
+    event.durNs = nowNs() - startNs_;
+    event.args = std::move(args_);
+    SpanBuffer &buf = buffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(std::move(event));
+}
+
+void
+TraceSpan::arg(const char *key, double value)
+{
+    if (!armed_)
+        return;
+    args_.push_back({key, value});
+}
+
+} // namespace dcbatt::obs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scoped wall-clock tracing spans.
+ *
+ * A TraceSpan records one named begin/end interval on the calling
+ * thread into an in-memory buffer, later exported as a Chrome
+ * `chrome://tracing` / Perfetto JSON document (chrome_trace_writer.h).
+ * Spans carry *wall-clock* time and exist for performance archaeology
+ * — they are the designated home for anything nondeterministic, which
+ * is exactly why they are banned from the metrics registry (see the
+ * determinism contract in metrics.h and DESIGN.md §11).
+ *
+ * Cost model:
+ *  - compile-out: building with DCBATT_OBS=OFF defines
+ *    DCBATT_OBS_ENABLED=0 and the DCBATT_SPAN macros expand to
+ *    nothing at all;
+ *  - runtime-off (the default): one relaxed atomic load and a
+ *    predictable branch per span site;
+ *  - runtime-on (--trace-out): a clock read at entry and a mutex push
+ *    at exit. Span sites therefore live at event/phase granularity
+ *    (a charging event, an AOR walk, a trace generation), never
+ *    inside per-step physics loops.
+ */
+
+#ifndef DCBATT_OBS_TRACE_SPAN_H_
+#define DCBATT_OBS_TRACE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef DCBATT_OBS_ENABLED
+#define DCBATT_OBS_ENABLED 1
+#endif
+
+namespace dcbatt::obs {
+
+/** One key/value annotation attached to a span. */
+struct SpanArg
+{
+    std::string key;
+    double value = 0.0;
+
+    bool operator==(const SpanArg &other) const = default;
+};
+
+/** One completed span, on the process trace clock (ns since start). */
+struct SpanEvent
+{
+    std::string name;
+    /** Small sequential id of the recording thread. */
+    uint32_t tid = 0;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    std::vector<SpanArg> args;
+};
+
+/** Runtime switch; off by default. Cheap to query. */
+void setTracingEnabled(bool on);
+bool tracingEnabled();
+
+/**
+ * Move out every span recorded so far (oldest first) and clear the
+ * buffer. Call after worker threads have quiesced to get a complete
+ * picture; spans still open are not included.
+ */
+std::vector<SpanEvent> drainSpans();
+
+/** Drop all recorded spans. */
+void clearSpans();
+
+/** RAII span: records [construction, destruction) when tracing is on. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach a numeric annotation (no-op when tracing is off). */
+    void arg(const char *key, double value);
+
+  private:
+    const char *name_;
+    uint64_t startNs_ = 0;
+    bool armed_ = false;
+    std::vector<SpanArg> args_;
+};
+
+/** No-op stand-in the disabled macros expand to. */
+struct NoopSpan
+{
+    void arg(const char *, double) {}
+};
+
+} // namespace dcbatt::obs
+
+#ifndef DCBATT_OBS_CONCAT
+#define DCBATT_OBS_CONCAT2(a, b) a##b
+#define DCBATT_OBS_CONCAT(a, b) DCBATT_OBS_CONCAT2(a, b)
+#endif
+
+#if DCBATT_OBS_ENABLED
+/** Anonymous scoped span. */
+#define DCBATT_SPAN(name)                                              \
+    ::dcbatt::obs::TraceSpan DCBATT_OBS_CONCAT(dcbatt_obs_span_,       \
+                                               __LINE__)(name)
+/** Named scoped span, for attaching args: var.arg("k", v). */
+#define DCBATT_SPAN_NAMED(var, name)                                   \
+    ::dcbatt::obs::TraceSpan var(name)
+#else
+#define DCBATT_SPAN(name) static_cast<void>(0)
+#define DCBATT_SPAN_NAMED(var, name) ::dcbatt::obs::NoopSpan var
+#endif
+
+#endif // DCBATT_OBS_TRACE_SPAN_H_

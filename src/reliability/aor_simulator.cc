@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -126,6 +128,7 @@ AorResult
 finishResult(const WalkSums &total, const AorConfig &config)
 {
     const double horizon = config.years * kSecondsPerYear;
+    DCBATT_COUNT_N("reliability.loss_events_walked", total.events);
     AorResult result;
     // Each shard's loss-span union is clipped to its sub-horizon, so
     // the total not-fully-redundant time can never exceed the full
@@ -154,6 +157,9 @@ AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
     DCBATT_REQUIRE(config_.shards >= 1, "shard count %d < 1",
                    config_.shards);
     shards_.resize(static_cast<size_t>(config_.shards));
+    DCBATT_SPAN_NAMED(gen_span, "reliability.generate_timelines");
+    gen_span.arg("shards", static_cast<double>(config_.shards));
+    gen_span.arg("years", config_.years);
     // All shards cover the same sub-horizon, so the reserve estimate
     // is shared — computed once here, not once per shard.
     const size_t reserve_hint = expectedIntervals(
@@ -168,6 +174,7 @@ AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
         for (size_t s = 0; s < shards_.size(); ++s)
             generate(s);
     }
+    DCBATT_COUNT_N("reliability.shards_generated", config_.shards);
 }
 
 const std::vector<LossInterval> &
@@ -202,6 +209,13 @@ AorSimulator::generateShard(size_t shard,
         : util::Rng(config_.seed).substream(shard);
     const double horizon = config_.years * kSecondsPerYear
         / static_cast<double>(config_.shards);
+
+    // Per-shard span: in a pooled build the shards land on different
+    // tids, which is exactly what makes the trace's per-shard
+    // years/sec lane readable in Perfetto.
+    DCBATT_SPAN_NAMED(shard_span, "reliability.generateShard");
+    shard_span.arg("shard", static_cast<double>(shard));
+    shard_span.arg("years", horizon / kSecondsPerYear);
 
     std::vector<LossInterval> &timeline =
         shards_[shard];
@@ -244,6 +258,11 @@ AorSimulator::generateShard(size_t shard,
               [](const LossInterval &a, const LossInterval &b) {
                   return a.startSeconds < b.startSeconds;
               });
+    // One shard-sized increment (not one per draw); worker-thread
+    // increments land in that thread's shard and merge exactly.
+    DCBATT_COUNT_N("reliability.loss_intervals_generated",
+                   timeline.size());
+    shard_span.arg("intervals", static_cast<double>(timeline.size()));
     for (const LossInterval &loss : timeline) {
         DCBATT_ASSERT(loss.startSeconds >= 0.0
                           && loss.durationSeconds >= 0.0,
@@ -255,6 +274,8 @@ AorSimulator::generateShard(size_t shard,
 AorResult
 AorSimulator::aorForChargeTime(Seconds charge_time) const
 {
+    DCBATT_COUNT("reliability.aor_evaluations");
+    DCBATT_SPAN("reliability.aor_eval");
     // Inline lambda (not routed through aorForChargeModel) so the
     // per-interval recharge lookup is a constant load, not a
     // type-erased call — this is the Fig. 9a sweep's inner loop.
@@ -274,6 +295,8 @@ AorSimulator::aorForChargeModel(
     const std::function<Seconds(const LossInterval &)> &charge_time_fn)
     const
 {
+    DCBATT_COUNT("reliability.aor_evaluations");
+    DCBATT_SPAN("reliability.aor_eval");
     return finishResult(
         walkAllShards(shards_,
                       config_.years * kSecondsPerYear

@@ -3,6 +3,8 @@
 #include <exception>
 #include <future>
 
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -11,6 +13,10 @@ namespace dcbatt::sim {
 std::vector<core::ChargingEventResult>
 SweepRunner::run(const std::vector<SweepTask> &tasks) const
 {
+    DCBATT_COUNT("sweep.runs");
+    DCBATT_COUNT_N("sweep.tasks", tasks.size());
+    DCBATT_SPAN_NAMED(sweep_span, "sweep.run");
+    sweep_span.arg("tasks", static_cast<double>(tasks.size()));
     std::vector<std::future<core::ChargingEventResult>> futures;
     futures.reserve(tasks.size());
     for (const SweepTask &task : tasks) {

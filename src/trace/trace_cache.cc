@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dcbatt::trace {
@@ -42,11 +43,18 @@ specKey(const TraceGenSpec &spec)
     return key;
 }
 
+/**
+ * The hit/miss tallies live in the metrics registry (the process-wide
+ * source of truth the --metrics-json export reads); the cache itself
+ * only remembers the counter values at the last clearTraceCache() so
+ * traceCacheStats() can keep its since-last-clear semantics.
+ */
 struct CacheState
 {
     std::mutex mutex;
     std::map<std::string, std::shared_ptr<const TraceSet>> entries;
-    TraceCacheStats stats;
+    uint64_t hitsBase = 0;
+    uint64_t missesBase = 0;
 };
 
 CacheState &
@@ -54,6 +62,27 @@ cache()
 {
     static CacheState state;
     return state;
+}
+
+obs::Counter &
+hitCounter()
+{
+    static obs::Counter &c = obs::counter("trace.cache_hits");
+    return c;
+}
+
+obs::Counter &
+missCounter()
+{
+    static obs::Counter &c = obs::counter("trace.cache_misses");
+    return c;
+}
+
+obs::Gauge &
+entriesGauge()
+{
+    static obs::Gauge &g = obs::gauge("trace.cache_entries");
+    return g;
 }
 
 } // namespace
@@ -67,12 +96,14 @@ sharedTraces(const TraceGenSpec &spec)
         std::lock_guard<std::mutex> lock(state.mutex);
         auto it = state.entries.find(key);
         if (it != state.entries.end()) {
-            ++state.stats.hits;
+            hitCounter().add(1);
             util::debug(util::strf(
                 "trace cache hit (%llu hits, %llu misses): %d racks, "
                 "seed %llu",
-                static_cast<unsigned long long>(state.stats.hits),
-                static_cast<unsigned long long>(state.stats.misses),
+                static_cast<unsigned long long>(hitCounter().value()
+                                                - state.hitsBase),
+                static_cast<unsigned long long>(missCounter().value()
+                                                - state.missesBase),
                 spec.rackCount,
                 static_cast<unsigned long long>(spec.seed)));
             return it->second;
@@ -88,9 +119,10 @@ sharedTraces(const TraceGenSpec &spec)
     std::lock_guard<std::mutex> lock(state.mutex);
     auto [it, inserted] = state.entries.emplace(key, std::move(traces));
     if (inserted)
-        ++state.stats.misses;
+        missCounter().add(1);
     else
-        ++state.stats.hits;
+        hitCounter().add(1);
+    entriesGauge().set(static_cast<double>(state.entries.size()));
     return it->second;
 }
 
@@ -99,7 +131,8 @@ traceCacheStats()
 {
     CacheState &state = cache();
     std::lock_guard<std::mutex> lock(state.mutex);
-    return state.stats;
+    return TraceCacheStats{hitCounter().value() - state.hitsBase,
+                           missCounter().value() - state.missesBase};
 }
 
 void
@@ -108,7 +141,9 @@ clearTraceCache()
     CacheState &state = cache();
     std::lock_guard<std::mutex> lock(state.mutex);
     state.entries.clear();
-    state.stats = TraceCacheStats{};
+    state.hitsBase = hitCounter().value();
+    state.missesBase = missCounter().value();
+    entriesGauge().set(0.0);
 }
 
 } // namespace dcbatt::trace

@@ -4,7 +4,6 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <vector>
 
 namespace dcbatt::util {
@@ -18,14 +17,19 @@ std::atomic<LogLevel> g_level{LogLevel::Info};
 void
 emit(const char *prefix, std::string_view msg)
 {
-    // Compose first and write once: a single stream insertion keeps
-    // concurrent messages from interleaving mid-line.
+    // Compose first and write once, straight to the C stderr stream.
+    // Not std::cerr: it is tied to std::cout, so every insertion
+    // first flushes whatever partial line the caller has buffered on
+    // stdout — under --verbose during a sweep that spliced
+    // diagnostics into the middle of the artifact stream. stderr is
+    // unbuffered, so the single fwrite stays one atomic-enough write
+    // and never touches stdout's buffer.
     std::string line;
     line.reserve(msg.size() + 16);
     line.append(prefix);
     line.append(msg);
     line.push_back('\n');
-    std::cerr << line;
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace

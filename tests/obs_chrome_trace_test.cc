@@ -1,0 +1,251 @@
+/**
+ * @file
+ * obs::TraceSpan + obs::ChromeTraceWriter contract: spans record only
+ * when tracing is enabled, nest correctly on one thread, and the
+ * exported document is well-formed JSON in the Chrome trace event
+ * format (the subset chrome://tracing and Perfetto consume).
+ */
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome_trace_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+
+namespace dcbatt {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON parser: validates syntax only (no
+ * DOM). Enough to prove the writer emits well-formed JSON, which is
+ * the contract Perfetto depends on.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        return value() && (skipWs(), pos_ == text_.size());
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    string()
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        return consume('"');
+    }
+
+    bool
+    number()
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        return number();
+    }
+
+    bool
+    object()
+    {
+        if (!consume('{'))
+            return false;
+        if (consume('}'))
+            return true;
+        do {
+            if (!string() || !consume(':') || !value())
+                return false;
+        } while (consume(','));
+        return consume('}');
+    }
+
+    bool
+    array()
+    {
+        if (!consume('['))
+            return false;
+        if (consume(']'))
+            return true;
+        do {
+            if (!value())
+                return false;
+        } while (consume(','));
+        return consume(']');
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+class TraceSpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::clearSpans(); }
+    void
+    TearDown() override
+    {
+        obs::setTracingEnabled(false);
+        obs::clearSpans();
+    }
+};
+
+TEST_F(TraceSpanTest, DisabledSpansRecordNothing)
+{
+    obs::setTracingEnabled(false);
+    {
+        DCBATT_SPAN("test.should_not_record");
+    }
+    EXPECT_TRUE(obs::drainSpans().empty());
+}
+
+TEST_F(TraceSpanTest, EnabledSpansRecordNameAndArgs)
+{
+    obs::setTracingEnabled(true);
+    {
+        DCBATT_SPAN_NAMED(span, "test.outer");
+        span.arg("answer", 42.0);
+    }
+    std::vector<obs::SpanEvent> events = obs::drainSpans();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "test.outer");
+    ASSERT_EQ(events[0].args.size(), 1u);
+    EXPECT_EQ(events[0].args[0].key, "answer");
+    EXPECT_EQ(events[0].args[0].value, 42.0);
+    // Drain empties the buffer.
+    EXPECT_TRUE(obs::drainSpans().empty());
+}
+
+TEST_F(TraceSpanTest, NestedSpansContainEachOther)
+{
+    obs::setTracingEnabled(true);
+    {
+        DCBATT_SPAN("test.outer");
+        {
+            DCBATT_SPAN("test.inner");
+        }
+    }
+    std::vector<obs::SpanEvent> events = obs::drainSpans();
+    ASSERT_EQ(events.size(), 2u);
+    // Spans close inner-first.
+    const obs::SpanEvent &inner = events[0];
+    const obs::SpanEvent &outer = events[1];
+    EXPECT_EQ(inner.name, "test.inner");
+    EXPECT_EQ(outer.name, "test.outer");
+    EXPECT_EQ(inner.tid, outer.tid);
+    // Containment on the shared trace clock: the outer interval
+    // brackets the inner one.
+    EXPECT_LE(outer.startNs, inner.startNs);
+    EXPECT_GE(outer.startNs + outer.durNs, inner.startNs + inner.durNs);
+}
+
+TEST_F(TraceSpanTest, SpansArmedBeforeDisableStillComplete)
+{
+    obs::setTracingEnabled(true);
+    {
+        DCBATT_SPAN("test.in_flight");
+        obs::setTracingEnabled(false);
+    }
+    // The span was armed while tracing was on; its record lands even
+    // though recording stopped mid-flight (drop-on-disable would lose
+    // the half-open interval silently).
+    EXPECT_EQ(obs::drainSpans().size(), 1u);
+}
+
+TEST_F(TraceSpanTest, ChromeTraceJsonIsWellFormed)
+{
+    obs::setTracingEnabled(true);
+    {
+        DCBATT_SPAN_NAMED(span, "test.with \"quotes\" and \\slash");
+        span.arg("racks", 316.0);
+        DCBATT_SPAN("test.nested");
+    }
+    std::string doc =
+        obs::ChromeTraceWriter::toJson(obs::drainSpans());
+    JsonChecker checker(doc);
+    EXPECT_TRUE(checker.valid()) << doc;
+    // The fields chrome://tracing requires of complete events.
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST_F(TraceSpanTest, EmptyTraceIsStillValidJson)
+{
+    std::string doc = obs::ChromeTraceWriter::toJson({});
+    JsonChecker checker(doc);
+    EXPECT_TRUE(checker.valid()) << doc;
+}
+
+TEST_F(TraceSpanTest, MetricsJsonIsWellFormedToo)
+{
+    // The metrics exporter shares the escaping helpers; validate its
+    // document with the same parser.
+    std::string doc = obs::snapshotMetrics().toJson();
+    JsonChecker checker(doc);
+    EXPECT_TRUE(checker.valid()) << doc;
+}
+
+} // namespace
+} // namespace dcbatt

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The observability determinism contract, end to end:
+ *
+ *  1. enabling span recording does not change a charging event's
+ *     results in any bit;
+ *  2. the metrics a sweep produces are identical whether it runs on
+ *     one worker thread or several (per-thread shards merge by
+ *     integer summation);
+ *  3. --metrics-json-style export is byte-stable.
+ *
+ * These are the properties the CI golden-artifact and determinism
+ * jobs pin at the binary level; this test pins them at the API level
+ * where failures are attributable.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/charging_event_sim.h"
+#include "obs/chrome_trace_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+#include "sim/sweep_runner.h"
+#include "trace/trace_generator.h"
+#include "util/thread_pool.h"
+
+namespace dcbatt {
+namespace {
+
+trace::TraceSet
+smallTraces(const std::vector<power::Priority> &priorities)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = static_cast<int>(priorities.size());
+    spec.startTime = util::hours(10.0);
+    spec.duration = util::hours(1.0);
+    spec.priorities = priorities;
+    return trace::generateTraces(spec);
+}
+
+core::ChargingEventConfig
+smallConfig(const std::vector<power::Priority> &priorities,
+            double limit_mw, double dod)
+{
+    core::ChargingEventConfig config;
+    config.policy = core::PolicyKind::PriorityAware;
+    config.msbLimit = util::megawatts(limit_mw);
+    config.targetMeanDod = dod;
+    config.priorities = priorities;
+    config.postEventDuration = util::minutes(20.0);
+    return config;
+}
+
+/** Every numeric field that goes into a figure artifact. */
+void
+expectResultsBitIdentical(const core::ChargingEventResult &a,
+                          const core::ChargingEventResult &b)
+{
+    ASSERT_EQ(a.msbPower.size(), b.msbPower.size());
+    for (size_t i = 0; i < a.msbPower.size(); ++i) {
+        EXPECT_EQ(a.msbPower[i], b.msbPower[i]) << "sample " << i;
+        EXPECT_EQ(a.itPower[i], b.itPower[i]) << "sample " << i;
+        EXPECT_EQ(a.rechargePower[i], b.rechargePower[i])
+            << "sample " << i;
+        EXPECT_EQ(a.capPower[i], b.capPower[i]) << "sample " << i;
+    }
+    EXPECT_EQ(a.peakPower.value(), b.peakPower.value());
+    EXPECT_EQ(a.maxCap.value(), b.maxCap.value());
+    EXPECT_EQ(a.overloadSteps, b.overloadSteps);
+    EXPECT_EQ(a.meanInitialDod, b.meanInitialDod);
+    ASSERT_EQ(a.racks.size(), b.racks.size());
+    for (size_t i = 0; i < a.racks.size(); ++i) {
+        EXPECT_EQ(a.racks[i].slaMet, b.racks[i].slaMet) << i;
+        EXPECT_EQ(a.racks[i].chargeDuration.has_value(),
+                  b.racks[i].chargeDuration.has_value())
+            << i;
+        if (a.racks[i].chargeDuration && b.racks[i].chargeDuration) {
+            EXPECT_EQ(a.racks[i].chargeDuration->value(),
+                      b.racks[i].chargeDuration->value())
+                << i;
+        }
+    }
+}
+
+TEST(ObsDeterminism, TracingOnOffProducesIdenticalEventResults)
+{
+    auto priorities = power::makePriorityMix(6, 5, 5);
+    trace::TraceSet traces = smallTraces(priorities);
+    auto config = smallConfig(priorities, 0.9, 0.5);
+
+    obs::setTracingEnabled(false);
+    obs::clearSpans();
+    auto off = core::runChargingEvent(config, traces);
+
+    obs::setTracingEnabled(true);
+    auto on = core::runChargingEvent(config, traces);
+    obs::setTracingEnabled(false);
+
+    // The traced run did record spans...
+    EXPECT_FALSE(obs::drainSpans().empty());
+    // ...and changed nothing in the simulation output.
+    expectResultsBitIdentical(off, on);
+}
+
+/** One fixed 4-task sweep against a given pool width. */
+obs::MetricsSnapshot
+runSweepAndSnapshot(unsigned threads,
+                    std::vector<core::ChargingEventResult> *results)
+{
+    auto priorities = power::makePriorityMix(6, 5, 5);
+    trace::TraceSet traces = smallTraces(priorities);
+    const double limits[] = {1.0, 0.9, 0.85, 0.95};
+    std::vector<sim::SweepTask> tasks;
+    for (size_t i = 0; i < 4; ++i) {
+        sim::SweepTask task;
+        task.label = util::strf("case%zu", i);
+        task.config = smallConfig(priorities, limits[i], 0.5);
+        task.traces = &traces;
+        tasks.push_back(std::move(task));
+    }
+    obs::MetricsRegistry::instance().reset();
+    util::ThreadPool pool(threads);
+    *results = sim::SweepRunner(pool).run(tasks);
+    return obs::snapshotMetrics();
+}
+
+TEST(ObsDeterminism, SweepMetricsIdenticalAcrossThreadCounts)
+{
+    std::vector<core::ChargingEventResult> serial_results;
+    std::vector<core::ChargingEventResult> pooled_results;
+    obs::MetricsSnapshot serial =
+        runSweepAndSnapshot(1, &serial_results);
+    obs::MetricsSnapshot pooled =
+        runSweepAndSnapshot(4, &pooled_results);
+
+    // Snapshot equality is structural: same metrics, same order, same
+    // merged values, bucket by bucket.
+    EXPECT_EQ(serial, pooled);
+    // And the JSON documents are byte-equal — what the CI determinism
+    // job diffs at the binary level.
+    EXPECT_EQ(serial.toJson(), pooled.toJson());
+
+    ASSERT_EQ(serial_results.size(), pooled_results.size());
+    for (size_t i = 0; i < serial_results.size(); ++i)
+        expectResultsBitIdentical(serial_results[i],
+                                  pooled_results[i]);
+
+    // Sanity: the sweep actually counted its work.
+    const obs::MetricValue *events =
+        serial.find("core.charging_events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->count, 4u);
+}
+
+} // namespace
+} // namespace dcbatt

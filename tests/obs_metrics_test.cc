@@ -1,0 +1,187 @@
+/**
+ * @file
+ * obs::MetricsRegistry contract: per-thread shard increments merge by
+ * integer summation, so snapshots are identical at any thread count;
+ * histogram buckets are (edge[i-1], edge[i]]; snapshots list metrics
+ * sorted by name; the JSON rendering is stable.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dcbatt {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricsSnapshot;
+using obs::MetricValue;
+
+/**
+ * Run `total` increments of `name` split across `threads` workers.
+ * Work is partitioned, not raced: every run does the same increments,
+ * only the thread placement differs.
+ */
+void
+countAcrossThreads(const std::string &name, uint64_t total,
+                   unsigned threads)
+{
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        uint64_t share = total / threads
+            + (t < total % threads ? 1 : 0);
+        workers.emplace_back([name, share] {
+            obs::Counter &counter = obs::counter(name);
+            for (uint64_t i = 0; i < share; ++i)
+                counter.add(1);
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+TEST(MetricsRegistry, CounterAccumulates)
+{
+    obs::Counter &counter = obs::counter("test.basic_counter");
+    uint64_t before = counter.value();
+    counter.add(1);
+    counter.add(41);
+    EXPECT_EQ(counter.value(), before + 42);
+    DCBATT_COUNT("test.basic_counter");
+    EXPECT_EQ(counter.value(), before + 43);
+}
+
+TEST(MetricsRegistry, RegisterOrFetchReturnsSameHandle)
+{
+    obs::Counter &a = obs::counter("test.same_handle");
+    obs::Counter &b = obs::counter("test.same_handle");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, MergeIsIdenticalAcrossThreadCounts)
+{
+    // The same logical work — 10'000 increments — placed on 1, 2, 3,
+    // and 8 threads must produce the same merged value. Exited
+    // threads' shards are folded into the retired accumulator, so
+    // this also covers shard retirement.
+    const uint64_t kTotal = 10'000;
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        std::string name =
+            "test.merge_t" + std::to_string(threads);
+        countAcrossThreads(name, kTotal, threads);
+        EXPECT_EQ(obs::counter(name).value(), kTotal)
+            << "thread count " << threads;
+    }
+}
+
+TEST(MetricsRegistry, SnapshotSortedByName)
+{
+    obs::counter("test.zz_last");
+    obs::counter("test.aa_first");
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    ASSERT_GE(snapshot.metrics.size(), 2u);
+    for (size_t i = 1; i < snapshot.metrics.size(); ++i) {
+        EXPECT_LT(snapshot.metrics[i - 1].name,
+                  snapshot.metrics[i].name);
+    }
+    EXPECT_NE(snapshot.find("test.aa_first"), nullptr);
+    EXPECT_EQ(snapshot.find("test.not_registered"), nullptr);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins)
+{
+    obs::Gauge &gauge = obs::gauge("test.gauge");
+    gauge.set(2.5);
+    gauge.set(-1.25);
+    EXPECT_EQ(gauge.value(), -1.25);
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    const MetricValue *value = snapshot.find("test.gauge");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->kind, MetricKind::Gauge);
+    EXPECT_EQ(value->gauge, -1.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreUpperInclusive)
+{
+    // Buckets of {10, 20}: (-inf, 10], (10, 20], (20, inf).
+    obs::Histogram &hist =
+        obs::histogram("test.hist_edges", {10.0, 20.0});
+    hist.observe(10.0);  // exactly on an edge -> that bucket
+    hist.observe(10.5);
+    hist.observe(20.0);
+    hist.observe(20.000001);  // just past the last edge -> overflow
+    hist.observe(-3.0);       // below the first edge -> first bucket
+
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    const MetricValue *value = snapshot.find("test.hist_edges");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->kind, MetricKind::Histogram);
+    ASSERT_EQ(value->bucketEdges,
+              (std::vector<double>{10.0, 20.0}));
+    ASSERT_EQ(value->bucketCounts.size(), 3u);
+    EXPECT_EQ(value->bucketCounts[0], 2u);  // 10.0, -3.0
+    EXPECT_EQ(value->bucketCounts[1], 2u);  // 10.5, 20.0
+    EXPECT_EQ(value->bucketCounts[2], 1u);  // 20.000001
+    EXPECT_EQ(value->count, 5u);
+}
+
+TEST(MetricsRegistry, HistogramMergeAcrossThreads)
+{
+    // 300 observations in each of three buckets, spread over 4
+    // threads; the merged counts must be exact.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([] {
+            obs::Histogram &hist = obs::histogram(
+                "test.hist_threads", {1.0, 2.0});
+            for (int i = 0; i < 75; ++i) {
+                hist.observe(0.5);
+                hist.observe(1.5);
+                hist.observe(2.5);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    const MetricValue *value = snapshot.find("test.hist_threads");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->bucketCounts,
+              (std::vector<uint64_t>{300, 300, 300}));
+    EXPECT_EQ(value->count, 900u);
+}
+
+TEST(MetricsRegistry, JsonIsStableAndEscaped)
+{
+    obs::counter("test.json \"quoted\"").add(7);
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    std::string doc = snapshot.toJson();
+    EXPECT_EQ(doc, snapshot.toJson()) << "rendering must be stable";
+    EXPECT_NE(doc.find("dcbatt-metrics-v1"), std::string::npos);
+    EXPECT_NE(doc.find("\"test.json \\\"quoted\\\"\""),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything)
+{
+    // reset() is the per-run scoping hook (tests, bench reruns); it
+    // must zero counters, gauges, and histogram buckets but keep the
+    // registrations alive.
+    obs::counter("test.reset_counter").add(5);
+    obs::gauge("test.reset_gauge").set(9.0);
+    obs::histogram("test.reset_hist", {1.0}).observe(0.5);
+    obs::MetricsRegistry::instance().reset();
+    EXPECT_EQ(obs::counter("test.reset_counter").value(), 0u);
+    EXPECT_EQ(obs::gauge("test.reset_gauge").value(), 0.0);
+    MetricsSnapshot snapshot = obs::snapshotMetrics();
+    const MetricValue *hist = snapshot.find("test.reset_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 0u);
+}
+
+} // namespace
+} // namespace dcbatt

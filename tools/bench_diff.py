@@ -13,12 +13,19 @@ gate on. The generous 2x gate is deliberate for the same reason: it
 catches algorithmic regressions (the kind this repo's caching layers
 could silently lose), not scheduling jitter.
 
-Exit status: 0 clean, 1 regression, 2 usage/parse error.
+Exit status: 0 clean, 1 regression, 2 usage/parse error, 3 when a
+capture is missing the ``micro_ns_per_op`` map (e.g. a stale or
+hand-edited baseline) — distinct so CI can tell "baseline needs
+regenerating" from "the code got slower".
 """
 
 import argparse
 import json
 import sys
+
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_MISSING_KEY = 3
 
 
 def load(path):
@@ -27,11 +34,12 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
-        sys.exit(2)
+        sys.exit(EXIT_USAGE)
     if "micro_ns_per_op" not in doc:
-        print(f"bench_diff: {path} has no micro_ns_per_op map",
+        print(f"bench_diff: {path} has no micro_ns_per_op map — "
+              f"regenerate it with tools/bench_to_json.sh",
               file=sys.stderr)
-        sys.exit(2)
+        sys.exit(EXIT_MISSING_KEY)
     return doc
 
 
@@ -57,7 +65,7 @@ def main():
     if not shared:
         print("bench_diff: no ops in common between baseline and "
               "current", file=sys.stderr)
-        sys.exit(2)
+        sys.exit(EXIT_MISSING_KEY)
 
     regressions = []
     width = max(len(op) for op in shared)
@@ -89,7 +97,7 @@ def main():
               f"beyond {args.max_slowdown}x:", file=sys.stderr)
         for op, ratio in regressions:
             print(f"  {op}: {ratio:.2f}x", file=sys.stderr)
-        sys.exit(1)
+        sys.exit(EXIT_REGRESSION)
     print(f"\nbench_diff: all {len(shared)} shared ops within "
           f"{args.max_slowdown}x of baseline")
 

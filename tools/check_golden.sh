@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Golden-artifact gate: regenerate the five figure artifacts that CI
+# pins and diff them against tests/golden/. Every run is --threads 1;
+# the artifacts are deterministic, so any diff is a real behavioural
+# change, not noise.
+#
+# Usage: tools/check_golden.sh [--build-dir DIR] [--update]
+#   --build-dir DIR  where the bench binaries live (default: build)
+#   --update         rewrite tests/golden/ from the current binaries
+#                    instead of diffing (use after an intentional
+#                    output change; commit the result)
+#
+# Exits nonzero if a binary is missing, fails to run, or its output
+# differs from the committed golden copy.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+UPDATE=0
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+      --build-dir) BUILD_DIR=$2; shift 2 ;;
+      --update) UPDATE=1; shift ;;
+      *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+GOLDEN_DIR=tests/golden
+
+# name:extra-args — fig09a gets a short horizon so the gate stays
+# fast; the full-horizon run is the bench's own business.
+ARTIFACTS=(
+    "fig09a_aor_vs_charge_time:--years 2000"
+    "fig13_charging_comparison:"
+    "fig14_sla_vs_power_limit:"
+    "fig15_priority_distributions:"
+    "ablation_ordering:"
+)
+
+FAILURES=()
+for spec in "${ARTIFACTS[@]}"; do
+    name=${spec%%:*}
+    extra=${spec#*:}
+    binary=$BUILD_DIR/bench/$name
+    golden=$GOLDEN_DIR/$name.txt
+    if [ ! -x "$binary" ]; then
+        echo "MISSING  $binary (build the '$BUILD_DIR' tree first)" >&2
+        FAILURES+=("$name: binary missing")
+        continue
+    fi
+    # shellcheck disable=SC2086  # $extra is intentionally word-split
+    if ! "$binary" --threads 1 $extra > "/tmp/golden_$name.txt" \
+            2> "/tmp/golden_$name.stderr"; then
+        echo "RUNFAIL  $name" >&2
+        sed 's/^/    /' "/tmp/golden_$name.stderr" >&2
+        FAILURES+=("$name: run failed")
+        continue
+    fi
+    if [ "$UPDATE" -eq 1 ]; then
+        mkdir -p "$GOLDEN_DIR"
+        cp "/tmp/golden_$name.txt" "$golden"
+        echo "UPDATED  $golden"
+    elif [ ! -f "$golden" ]; then
+        echo "MISSING  $golden (run with --update to create)" >&2
+        FAILURES+=("$name: golden missing")
+    elif ! diff -u "$golden" "/tmp/golden_$name.txt" \
+            > "/tmp/golden_$name.diff"; then
+        echo "DIFF     $name" >&2
+        cat "/tmp/golden_$name.diff" >&2
+        FAILURES+=("$name: output changed")
+    else
+        echo "OK       $name"
+    fi
+done
+
+if [ "${#FAILURES[@]}" -gt 0 ]; then
+    echo
+    echo "Golden-artifact check FAILED:" >&2
+    printf '  %s\n' "${FAILURES[@]}" >&2
+    echo "If the change is intentional:" \
+         "tools/check_golden.sh --update && git add tests/golden" >&2
+    exit 1
+fi
+[ "$UPDATE" -eq 1 ] || echo "All golden artifacts match."

@@ -30,6 +30,11 @@
  *                      seconds (a violation aborts the run)
  *   --csv PATH         write time,msb,it,recharge,cap series
  *                      (single-limit runs only)
+ *   --metrics-json PATH  write the deterministic metrics snapshot
+ *                      (counters/histograms; identical at any
+ *                      --threads value)
+ *   --trace-out PATH   record wall-clock spans and write a Chrome
+ *                      trace (open in chrome://tracing or Perfetto)
  *   --verbose          debug-level logging on stderr (trace-cache
  *                      hit/miss accounting, etc.)
  */
@@ -41,6 +46,9 @@
 #include <vector>
 
 #include "core/charging_event_sim.h"
+#include "obs/chrome_trace_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "sim/sweep_runner.h"
 #include "trace/trace_cache.h"
 #include "trace/trace_generator.h"
@@ -68,6 +76,8 @@ struct CliOptions
     int threads = 0;  // 0 = hardware concurrency
     double auditSeconds = -1.0;
     std::string csvPath;
+    std::string metricsJsonPath;
+    std::string traceOutPath;
     bool verbose = false;
 };
 
@@ -155,6 +165,10 @@ parseArgs(int argc, char **argv)
             options.auditSeconds = std::atof(need_value(i++));
         } else if (flag == "--csv") {
             options.csvPath = need_value(i++);
+        } else if (flag == "--metrics-json") {
+            options.metricsJsonPath = need_value(i++);
+        } else if (flag == "--trace-out") {
+            options.traceOutPath = need_value(i++);
         } else if (flag == "--verbose") {
             options.verbose = true;
         } else if (flag == "--help" || flag == "-h") {
@@ -181,6 +195,22 @@ main(int argc, char **argv)
     CliOptions options = parseArgs(argc, argv);
     if (options.verbose)
         util::setLogLevel(util::LogLevel::Debug);
+    if (!options.traceOutPath.empty())
+        obs::setTracingEnabled(true);
+    // Both exports are side channels (own files, notes on stderr):
+    // stdout stays byte-identical whether or not they are requested.
+    auto finish_observability = [&options] {
+        if (!options.metricsJsonPath.empty()) {
+            obs::writeMetricsJson(options.metricsJsonPath);
+            std::fprintf(stderr, "metrics snapshot: %s\n",
+                         options.metricsJsonPath.c_str());
+        }
+        if (!options.traceOutPath.empty()) {
+            obs::writeChromeTrace(options.traceOutPath);
+            std::fprintf(stderr, "chrome trace: %s\n",
+                         options.traceOutPath.c_str());
+        }
+    };
 
     // Priority mix: explicit counts, or the paper's ratio scaled.
     int p1 = options.p1, p2 = options.p2, p3 = options.p3;
@@ -274,6 +304,7 @@ main(int argc, char **argv)
                             util::toKilowatts(result.maxCap))});
         }
         std::printf("%s", table.render().c_str());
+        finish_observability();
         return tripped ? 2 : 0;
     }
 
@@ -343,5 +374,6 @@ main(int argc, char **argv)
         std::printf("\npower series written to %s\n",
                     options.csvPath.c_str());
     }
+    finish_observability();
     return result.breakerTripped ? 2 : 0;
 }
