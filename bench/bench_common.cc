@@ -7,7 +7,10 @@
 #include <type_traits>
 
 #include "obs/chrome_trace_writer.h"
+#include "obs/crash_bundle.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/time_series_recorder.h"
 #include "obs/trace_span.h"
 #include "trace/trace_cache.h"
 #include "util/logging.h"
@@ -106,6 +109,16 @@ parseBenchRunOptions(int argc, char **argv)
             options.metricsJsonPath = need_value(i++);
         } else if (flag == "--trace-out") {
             options.traceOutPath = need_value(i++);
+        } else if (flag == "--timeseries-out") {
+            options.timeSeriesOutPath = need_value(i++);
+        } else if (flag == "--timeseries-cadence") {
+            options.timeSeriesCadence = std::atof(need_value(i++));
+        } else if (flag == "--timeseries-mode") {
+            options.timeSeriesMode = need_value(i++);
+        } else if (flag == "--events-out") {
+            options.eventsOutPath = need_value(i++);
+        } else if (flag == "--crash-dir") {
+            options.crashDirPath = need_value(i++);
         } else if (!flag.empty()
                    && flag.find_first_not_of("0123456789.e+")
                        == std::string::npos) {
@@ -115,7 +128,9 @@ parseBenchRunOptions(int argc, char **argv)
             util::fatal(util::strf(
                 "unknown bench flag: %s (expected --threads N, "
                 "--years X, --shards N, --metrics-json PATH, "
-                "--trace-out PATH)",
+                "--trace-out PATH, --timeseries-out PATH, "
+                "--timeseries-cadence SECS, --timeseries-mode "
+                "decimate|ring, --events-out PATH, --crash-dir DIR)",
                 flag.c_str()));
         }
     }
@@ -125,6 +140,11 @@ parseBenchRunOptions(int argc, char **argv)
         util::fatal("--shards must be >= 1");
     if (options.aorYears <= 0.0)
         util::fatal("--years must be positive");
+    if (options.timeSeriesCadence <= 0.0)
+        util::fatal("--timeseries-cadence must be positive");
+    if (options.timeSeriesMode != "decimate"
+        && options.timeSeriesMode != "ring")
+        util::fatal("--timeseries-mode must be decimate or ring");
     return options;
 }
 
@@ -133,6 +153,25 @@ initObservability(const BenchRunOptions &options)
 {
     if (!options.traceOutPath.empty())
         obs::setTracingEnabled(true);
+    if (!options.timeSeriesOutPath.empty()) {
+        obs::TimeSeriesOptions ts;
+        ts.cadenceSeconds = options.timeSeriesCadence;
+        ts.bound = options.timeSeriesMode == "ring"
+            ? obs::TimeSeriesBound::Ring
+            : obs::TimeSeriesBound::Decimate;
+        obs::armTimeSeries(ts);
+    }
+    if (!options.eventsOutPath.empty())
+        obs::setEventLoggingEnabled(true);
+    // The flag wins; the environment variable lets CI arm post-mortem
+    // bundles fleet-wide without touching every invocation.
+    std::string crash_dir = options.crashDirPath;
+    if (crash_dir.empty()) {
+        if (const char *env = std::getenv("DCBATT_CRASH_DIR"))
+            crash_dir = env;
+    }
+    if (!crash_dir.empty())
+        obs::setCrashBundleDir(crash_dir);
 }
 
 void
@@ -147,6 +186,16 @@ finishObservability(const BenchRunOptions &options)
         obs::writeChromeTrace(options.traceOutPath);
         std::fprintf(stderr, "[bench] chrome trace: %s\n",
                      options.traceOutPath.c_str());
+    }
+    if (!options.timeSeriesOutPath.empty()) {
+        obs::writeTimeSeries(options.timeSeriesOutPath);
+        std::fprintf(stderr, "[bench] time series: %s\n",
+                     options.timeSeriesOutPath.c_str());
+    }
+    if (!options.eventsOutPath.empty()) {
+        obs::writeEventsJsonl(options.eventsOutPath);
+        std::fprintf(stderr, "[bench] event log: %s\n",
+                     options.eventsOutPath.c_str());
     }
 }
 

@@ -70,26 +70,48 @@ struct BenchRunOptions
     std::string metricsJsonPath;
     /** Record spans and write a Chrome trace here (empty = off). */
     std::string traceOutPath;
+    /**
+     * Record flight-recorder time series and write them here (CSV,
+     * or compact JSON for .json paths; empty = off).
+     */
+    std::string timeSeriesOutPath;
+    /** Sampling cadence for --timeseries-out, in sim seconds. */
+    double timeSeriesCadence = 30.0;
+    /** Bound policy for --timeseries-out: decimate (default)/ring. */
+    std::string timeSeriesMode = "decimate";
+    /** Record the structured event log and write JSONL here. */
+    std::string eventsOutPath;
+    /**
+     * Dump a post-mortem crash bundle here on contract/invariant
+     * failure (also read from $DCBATT_CRASH_DIR; empty = off).
+     */
+    std::string crashDirPath;
 };
 
 /**
  * Parse `--threads N`, `--years X`, `--shards N`, `--metrics-json
- * PATH`, `--trace-out PATH`. A bare positional number is accepted as
- * the year count (fig09a back-compat). Unknown flags are fatal.
+ * PATH`, `--trace-out PATH`, `--timeseries-out PATH`,
+ * `--timeseries-cadence SECS`, `--timeseries-mode decimate|ring`,
+ * `--events-out PATH`, `--crash-dir DIR`. A bare positional number
+ * is accepted as the year count (fig09a back-compat). Unknown flags
+ * are fatal.
  */
 BenchRunOptions parseBenchRunOptions(int argc, char **argv);
 
 /**
- * Arm span recording when --trace-out was given. Call before the
- * run so spans cover it; a no-op otherwise.
+ * Arm the requested recording sinks (spans for --trace-out, the
+ * time-series recorder, the event log, the crash-bundle directory —
+ * the latter also honoring $DCBATT_CRASH_DIR when the flag is
+ * absent). Call before the run so recording covers it; a no-op when
+ * nothing was requested.
  */
 void initObservability(const BenchRunOptions &options);
 
 /**
- * Write the --metrics-json snapshot and/or --trace-out Chrome trace.
- * Call after worker threads have quiesced (after the sweep). Both
- * files are side channels: nothing is printed to stdout, so the
- * figure artifact bytes do not depend on these flags.
+ * Write the side files requested by the observability flags. Call
+ * after worker threads have quiesced (after the sweep). All of them
+ * are side channels: nothing is printed to stdout, so the figure
+ * artifact bytes do not depend on these flags.
  */
 void finishObservability(const BenchRunOptions &options);
 

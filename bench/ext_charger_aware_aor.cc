@@ -26,8 +26,10 @@ using reliability::LossInterval;
 using util::Seconds;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Extension: charger-aware AOR",
                   "AOR from episode-dependent recharge times instead "
                   "of a fixed sweep value");
@@ -96,5 +98,6 @@ main()
         "spike\n60%%, and the coordinated SLA currents land each "
         "priority close to its Table II\ntarget without the "
         "fixed-charge-time approximation.\n");
+    bench::finishObservability(run_options);
     return 0;
 }

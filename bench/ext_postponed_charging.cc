@@ -21,8 +21,10 @@ using namespace dcbatt;
 using core::PolicyKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Extension: postponed charging",
                   "capping vs postponement below the 1 A floor "
                   "budget (medium discharge)");
@@ -60,5 +62,6 @@ main()
         "same P1/P2 protection, lower P3 redundancy while held. "
         "This is the\nAOR relaxation for lower priorities the paper "
         "anticipated.\n");
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -23,8 +23,10 @@ using util::Seconds;
 using util::Watts;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 2 (Case I)",
                   "regional utility blip: battery recharge spike with "
                   "the original 5 A charger");
@@ -84,5 +86,6 @@ main()
     std::printf("\nWhy: the original charger always starts in CC mode "
                 "at 5 A regardless of DOD\n(Section III-A), so even a "
                 "sub-second outage triggers the worst-case spike.\n");
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -19,8 +19,10 @@ using util::Amperes;
 using util::Seconds;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 3",
                   "BBU charge profile after a full discharge (5 A "
                   "original charger)");
@@ -87,5 +89,6 @@ main()
                     fresh.startCharging(Amperes(5.0));
                     return fresh.inputPower().value();
                 }());
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -20,8 +20,10 @@ using util::Amperes;
 using util::Seconds;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 4",
                   "BBU recharge power vs time for DOD 25/50/75/100% "
                   "(5 A charger)");
@@ -76,5 +78,6 @@ main()
 
     std::printf("Paper checks: initial power ~260 W for every DOD; "
                 "CV-phase spread across DODs < 4 min.\n");
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -16,8 +16,10 @@ using namespace dcbatt;
 using util::Amperes;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 5",
                   "charging time vs DOD for charging currents 1-5 A");
 
@@ -69,5 +71,6 @@ main()
     std::printf("  <50%% DOD at 2 A ~same time:     %s\n",
                 bench::fmtMin(model.chargeTime(0.5, Amperes(2.0)))
                     .c_str());
+    bench::finishObservability(run_options);
     return 0;
 }

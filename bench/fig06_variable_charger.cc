@@ -18,8 +18,10 @@ using namespace dcbatt;
 using util::Amperes;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 6(b) / Eq. (1)",
                   "variable charger CC current selection vs DOD");
 
@@ -64,5 +66,6 @@ main()
                 worst_minutes);
     std::printf("  recharge power cut by 60%% for DOD < 50%% "
                 "(2 A vs 5 A).\n");
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -58,8 +58,10 @@ runRow(std::shared_ptr<const battery::ChargerPolicy> policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 7",
                   "RPP power during the variable-charger production "
                   "validation (14-rack row, 60 s open transition)");
@@ -97,5 +99,6 @@ main()
     std::printf("reduction:                      %.0f%% "
                 "(paper: 60%%)\n",
                 (1.0 - var_spike / orig_spike) * 100.0);
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -16,8 +16,10 @@ using namespace dcbatt;
 using power::Priority;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 9(b)",
                   "SLA charging current vs DOD per rack priority");
 
@@ -59,5 +61,6 @@ main()
                 "prototype assigned; P1 saturates at the 5 A hardware "
                 "limit for\nDOD above %.0f%%.\n",
                 calc.maxAttainableDod(Priority::P1) * 100.0);
+    bench::finishObservability(run_options);
     return 0;
 }

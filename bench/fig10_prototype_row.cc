@@ -24,8 +24,10 @@ using util::Seconds;
 using util::Watts;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 10",
                   "prototype: leaf-controller coordinated charging of "
                   "a 17-rack row after a 5 s open transition");
@@ -127,5 +129,6 @@ main()
                 "battery faster than the production\n"
                 "packs' measured wall time; the SLA outcomes match "
                 "(see EXPERIMENTS.md).\n");
+    bench::finishObservability(run_options);
     return 0;
 }

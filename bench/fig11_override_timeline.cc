@@ -19,8 +19,10 @@ using util::Amperes;
 using util::Seconds;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 11",
                   "rack recharge power during a charging-current "
                   "override (20 s actuation lag)");
@@ -85,5 +87,6 @@ main()
                 bench::fmtKw(util::Watts(recharge.sample(
                                  Seconds(stabilized_at + 10.0))))
                     .c_str());
+    bench::finishObservability(run_options);
     return 0;
 }

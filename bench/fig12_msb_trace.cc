@@ -8,14 +8,18 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/event_log.h"
+#include "obs/time_series_recorder.h"
 #include "trace/trace_generator.h"
 #include "util/ascii_chart.h"
 
 using namespace dcbatt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Fig. 12",
                   "aggregate MSB power over one week (synthetic "
                   "production trace, 316 racks)");
@@ -27,6 +31,33 @@ main()
     spec.priorities = trace::paperMsbPriorities();
     trace::TraceSet traces = trace::generateTraces(spec);
     util::TimeSeries aggregate = traces.aggregate();
+
+    // Flight recorder: replay the weekly aggregate onto a sampled
+    // tape and note the trace milestones as events. Side channels
+    // only — the chart below is printed from the full series either
+    // way.
+    obs::RunScope run_scope("fig12:msb_week");
+    if (obs::eventLoggingEnabled()) {
+        obs::logEvent(
+            0.0, "trace_generated",
+            {{"racks", static_cast<double>(spec.rackCount)},
+             {"samples", static_cast<double>(traces.sampleCount())},
+             {"step_s", spec.step.value()}});
+        size_t peak_idx = traces.firstPeakIndex();
+        obs::logEvent(aggregate.timeAt(peak_idx).value(), "trace_peak",
+                      {{"msb_mw", aggregate[peak_idx] / 1e6}});
+    }
+    if (obs::timeSeriesArmed()) {
+        obs::TimeSeriesRecorder recorder(
+            obs::armedTimeSeriesOptions());
+        size_t cursor = 0;
+        recorder.addProbe("msb_aggregate_mw", [&aggregate, &cursor] {
+            return aggregate[cursor] / 1e6;
+        });
+        for (cursor = 0; cursor < aggregate.size(); ++cursor)
+            recorder.sampleAt(aggregate.timeAt(cursor).value());
+        obs::publishTimeSeries(std::move(recorder));
+    }
 
     util::ChartOptions options;
     options.title = "MSB aggregate power, one week";
@@ -57,5 +88,6 @@ main()
                 aggregate.timeAt(peak).value() / 86400.0,
                 bench::fmtMw(util::Watts(aggregate[peak])).c_str());
     std::printf("fleet:       316 racks = 89 P1 + 142 P2 + 85 P3\n");
+    bench::finishObservability(run_options);
     return 0;
 }

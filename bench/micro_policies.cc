@@ -10,13 +10,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "battery/bbu.h"
 #include "core/charging_event_sim.h"
 #include "core/global_coordinator.h"
 #include "core/priority_aware_coordinator.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/time_series_recorder.h"
 #include "power/topology.h"
 #include "reliability/aor_simulator.h"
 #include "sim/event_queue.h"
+#include "trace/trace_cache.h"
 #include "trace/trace_generator.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -68,6 +74,8 @@ reportSlaMemo(benchmark::State &state,
         static_cast<double>(memo.misses);
     state.counters["sla_memo_evictions"] =
         static_cast<double>(memo.evictions);
+    state.counters["sla_memo_peak_occupancy"] =
+        static_cast<double>(memo.peakOccupancy);
 }
 
 void
@@ -232,13 +240,51 @@ BM_RunChargingEvent(benchmark::State &state)
     config.targetMeanDod = 0.5;
     config.priorities = spec.priorities;
     config.postEventDuration = util::minutes(20.0);
+    // DCBATT_BENCH_RECORD=1 arms the flight recorder so the
+    // recording-on cost can be A/B'd against the default run (the
+    // 1.2x budget in BENCH_perf.json's gate policy).
+    const char *record = std::getenv("DCBATT_BENCH_RECORD");
+    const bool recording = record && record[0] == '1';
+    if (recording) {
+        obs::setEventLoggingEnabled(true);
+        obs::armTimeSeries();
+    }
     for (auto _ : state) {
         auto result = core::runChargingEvent(config, traces);
         benchmark::DoNotOptimize(result);
+        if (recording) {
+            // Drop the tapes between iterations so memory stays flat;
+            // the clear is part of the measured recording overhead.
+            obs::clearTimeSeries();
+            obs::clearEvents();
+        }
     }
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_RunChargingEvent)->Unit(benchmark::kMillisecond);
+
+/**
+ * Hot-path cost of resolving an already-cached trace set, with the
+ * cache's memory footprint attached (the trace.cache_bytes gauge the
+ * --metrics-json export carries).
+ */
+void
+BM_TraceCacheLookup(benchmark::State &state)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = 64;
+    spec.duration = util::hours(1.0);
+    spec.step = util::Seconds(3.0);
+    auto warm = trace::sharedTraces(spec);  // miss happens here
+    for (auto _ : state) {
+        auto traces = trace::sharedTraces(spec);
+        benchmark::DoNotOptimize(traces);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["trace_cache_bytes"] =
+        obs::gauge("trace.cache_bytes").value();
+}
+BENCHMARK(BM_TraceCacheLookup);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -15,8 +15,10 @@
 using namespace dcbatt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Table I", "component failure and repair times");
 
     auto data = reliability::paperFailureData();
@@ -46,5 +48,6 @@ main()
                 result.lossEventsPerYear);
     std::printf("simulated dark hours/year:      %.2f\n",
                 result.darkHoursPerYear);
+    bench::finishObservability(run_options);
     return 0;
 }

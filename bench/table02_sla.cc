@@ -16,8 +16,10 @@ using namespace dcbatt;
 using power::Priority;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto run_options = bench::parseBenchRunOptions(argc, argv);
+    bench::initObservability(run_options);
     bench::banner("Table II",
                   "charging time SLA for different rack priority");
 
@@ -47,5 +49,6 @@ main()
     std::printf("Paper Table II: P1 99.94%% / 5.26 h/yr / 30 min; "
                 "P2 99.90%% / 8.76 h/yr / 60 min;\n"
                 "P3 99.85%% / 13.14 h/yr / 90 min.\n");
+    bench::finishObservability(run_options);
     return 0;
 }

@@ -38,6 +38,10 @@ struct FleetState
     std::vector<std::uint8_t> held;
     /** PowerShelf::fullyCharged(). */
     std::vector<std::uint8_t> fullyCharged;
+    /** PowerShelf::chargingCount() (BBUs charging, CC or CV). */
+    std::vector<std::int32_t> chargingBbus;
+    /** PowerShelf::cvCount() (charging BBUs in the CV phase). */
+    std::vector<std::int32_t> cvBbus;
 
     void
     resize(std::size_t racks)
@@ -48,6 +52,8 @@ struct FleetState
         inputOn.assign(racks, 1);
         held.assign(racks, 0);
         fullyCharged.assign(racks, 1);
+        chargingBbus.assign(racks, 0);
+        cvBbus.assign(racks, 0);
     }
 
     std::size_t size() const { return itLoadW.size(); }

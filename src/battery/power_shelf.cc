@@ -261,6 +261,7 @@ void
 PowerShelf::refreshAggregates() const
 {
     int charging = 0;
+    int cv = 0;
     int discharged = 0;
     int healthy = 0;
     Watts recharge(0.0);
@@ -280,6 +281,8 @@ PowerShelf::refreshAggregates() const
             dod_sum += rep.dod();
             if (rep.charging()) {
                 ++charging;
+                if (rep.inCvPhase())
+                    ++cv;
                 if (!rep.paused())
                     setpoint = util::max(setpoint, rep.setpoint());
             } else if (!rep.fullyCharged()) {
@@ -298,6 +301,8 @@ PowerShelf::refreshAggregates() const
             dod_sum += bbu.dod();
             if (bbu.charging()) {
                 ++charging;
+                if (bbu.inCvPhase())
+                    ++cv;
                 // Paused (postponed) packs draw nothing; reporting
                 // their stored setpoint would make the control plane
                 // believe relief is still in flight forever.
@@ -309,6 +314,7 @@ PowerShelf::refreshAggregates() const
         }
     }
     chargingN_ = charging;
+    cvN_ = cv;
     dischargedN_ = discharged;
     healthyN_ = healthy;
     rechargeSumW_ = recharge.value();

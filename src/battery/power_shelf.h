@@ -132,6 +132,12 @@ class PowerShelf
         ensureAggregates();
         return chargingN_;
     }
+    /** Charging BBUs in the constant-voltage phase. */
+    int cvCount() const
+    {
+        ensureAggregates();
+        return cvN_;
+    }
     int dischargedCount() const
     {
         ensureAggregates();
@@ -278,6 +284,7 @@ class PowerShelf
     /** Cached aggregates over the healthy BBUs (refreshAggregates). */
     mutable bool aggValid_ = false;
     mutable int chargingN_ = 0;
+    mutable int cvN_ = 0;
     mutable int dischargedN_ = 0;
     mutable int healthyN_ = 0;
     mutable double rechargeSumW_ = 0.0;

@@ -8,7 +8,10 @@
 #include "core/charging_invariants.h"
 #include "core/global_coordinator.h"
 #include "core/local_coordinator.h"
+#include "obs/crash_bundle.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/time_series_recorder.h"
 #include "obs/trace_span.h"
 #include "power/topology.h"
 #include "sim/event_queue.h"
@@ -147,6 +150,102 @@ runChargingEvent(const ChargingEventConfig &config,
                                config.controllerConfig);
     plane.start();
 
+    // --- flight recorder ---------------------------------------------
+    // Every sink below is a side channel gated on process-wide arming:
+    // an unarmed run takes one relaxed load per gate and nothing else,
+    // and stdout never depends on any of it. A crash mid-run can stamp
+    // the simulation clock into the bundle through this provider.
+    obs::SimTimeGuard sim_time_guard(
+        [&queue] { return sim::toSeconds(queue.now()).value(); });
+    if (obs::crashBundleArmed()) {
+        obs::setCrashContext("core.policy", toString(config.policy));
+        obs::setCrashContext(
+            "core.msb_limit_mw",
+            util::strf("%.6g", util::toMegawatts(config.msbLimit)));
+        obs::setCrashContext(
+            "core.target_mean_dod",
+            util::strf("%.6g", config.targetMeanDod));
+        obs::setCrashContext("core.racks",
+                             util::strf("%d", n_racks));
+        obs::setCrashContext(
+            "core.physics_step_s",
+            util::strf("%.6g", config.physicsStep.value()));
+    }
+    const bool events_on = obs::eventLoggingEnabled();
+
+    std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+    std::vector<double> dod_scratch;
+    if (obs::timeSeriesArmed()) {
+        recorder = std::make_unique<obs::TimeSeriesRecorder>(
+            obs::armedTimeSeriesOptions());
+        // MSB aggregate load vs. the breaker limit (the Fig. 12 view).
+        recorder->addProbe("msb_mw", [&topo] {
+            return util::toMegawatts(topo.root().inputPower());
+        });
+        // Per-priority capped-rack counts (the Fig. 11 view).
+        for (power::Priority pri : power::kAllPriorities) {
+            recorder->addProbe(
+                util::strf("capped_racks_p%d",
+                           power::priorityIndex(pri) + 1),
+                [&topo, pri, n_racks] {
+                    const battery::FleetState &fleet = topo.fleet();
+                    double capped = 0.0;
+                    for (int i = 0; i < n_racks; ++i) {
+                        auto idx = static_cast<size_t>(i);
+                        if (fleet.capW[idx] > 0.0
+                            && topo.rack(i).priority() == pri)
+                            capped += 1.0;
+                    }
+                    return capped;
+                });
+        }
+        // SoC distribution quantiles across the fleet (Figs. 3-5).
+        auto soc_quantile = [&topo, &dod_scratch,
+                             n_racks](double q) {
+            dod_scratch.clear();
+            for (int i = 0; i < n_racks; ++i) {
+                dod_scratch.push_back(
+                    topo.rack(i).shelf().meanDod());
+            }
+            auto nth = dod_scratch.begin()
+                + static_cast<ptrdiff_t>(
+                    q * static_cast<double>(n_racks - 1));
+            std::nth_element(dod_scratch.begin(), nth,
+                             dod_scratch.end());
+            return 1.0 - *nth;
+        };
+        recorder->addProbe("soc_p10",
+                           [soc_quantile] { return soc_quantile(0.9); });
+        recorder->addProbe("soc_p50",
+                           [soc_quantile] { return soc_quantile(0.5); });
+        recorder->addProbe("soc_p90",
+                           [soc_quantile] { return soc_quantile(0.1); });
+        // Shelf CC/CV population.
+        recorder->addProbe("charging_bbus", [&topo, n_racks] {
+            const battery::FleetState &fleet = topo.fleet();
+            double total = 0.0;
+            for (int i = 0; i < n_racks; ++i)
+                total += fleet.chargingBbus[static_cast<size_t>(i)];
+            return total;
+        });
+        recorder->addProbe("cv_bbus", [&topo, n_racks] {
+            const battery::FleetState &fleet = topo.fleet();
+            double total = 0.0;
+            for (int i = 0; i < n_racks; ++i)
+                total += fleet.cvBbus[static_cast<size_t>(i)];
+            return total;
+        });
+        // Dynamo controller state.
+        recorder->addProbe("dynamo_cap_kw", [&plane] {
+            return util::toKilowatts(plane.totalCap());
+        });
+        recorder->addProbe("dynamo_event_active", [&plane] {
+            return plane.rootController().chargingEventActive()
+                ? 1.0
+                : 0.0;
+        });
+    }
+
     // Open transition at the peak. Sim time 0 == trace time t0.
     auto to_tick = [&](Seconds trace_time) {
         return sim::toTicks(trace_time - t0);
@@ -212,10 +311,40 @@ runChargingEvent(const ChargingEventConfig &config,
             dod_sum += dod;
         }
         result.meanInitialDod = dod_sum / n_racks;
+        if (events_on) {
+            double t_s = result.chargeStart.value();
+            for (int i = 0; i < n_racks; ++i) {
+                const RackOutcome &outcome =
+                    result.racks[static_cast<size_t>(i)];
+                obs::logEvent(
+                    t_s, "charge_start",
+                    {{"rack", static_cast<double>(i)},
+                     {"priority",
+                      static_cast<double>(power::priorityIndex(
+                                              outcome.priority)
+                                          + 1)},
+                     {"dod", outcome.initialDod}});
+            }
+        }
     });
+
+    if (events_on) {
+        obs::logEvent(
+            0.0, "event_window",
+            {{"racks", static_cast<double>(n_racks)},
+             {"limit_mw", util::toMegawatts(config.msbLimit)},
+             {"ot_start_s", result.otStart.value()},
+             {"ot_length_s", result.otLength.value()},
+             {"window_s", (t_end - t0).value()}},
+            {{"policy", toString(config.policy)}});
+    }
 
     // --- physics loop -------------------------------------------------
     std::vector<bool> done(static_cast<size_t>(n_racks), false);
+    /** Per-rack "was any BBU in CV" flags for CC→CV transition events. */
+    std::vector<bool> was_cv;
+    if (events_on)
+        was_cv.assign(static_cast<size_t>(n_racks), false);
     size_t last_trace_idx = std::numeric_limits<size_t>::max();
     const Seconds dt = config.physicsStep;
     sim::PeriodicTask physics(queue, sim::toTicks(dt),
@@ -272,9 +401,38 @@ runChargingEvent(const ChargingEventConfig &config,
                     done[idx] = true;
                     result.racks[idx].chargeDuration =
                         sim_now - result.chargeStart;
+                    if (events_on) {
+                        obs::logEvent(
+                            sim_now.value(), "charge_finish",
+                            {{"rack", static_cast<double>(i)},
+                             {"duration_s",
+                              result.racks[idx]
+                                  .chargeDuration->value()}});
+                    }
                 }
             }
         }
+
+        // Flight recorder side channels: CC→CV transition events and
+        // the sim-time-cadence telemetry tape. Both read state the
+        // loop above already refreshed; neither mutates anything the
+        // simulation reads back.
+        if (events_on) {
+            for (int i = 0; i < n_racks; ++i) {
+                auto idx = static_cast<size_t>(i);
+                bool cv = fleet.cvBbus[idx] > 0;
+                if (cv && !was_cv[idx]) {
+                    obs::logEvent(
+                        sim_now.value(), "cc_cv_transition",
+                        {{"rack", static_cast<double>(i)},
+                         {"cv_bbus", static_cast<double>(
+                                         fleet.cvBbus[idx])}});
+                }
+                was_cv[idx] = cv;
+            }
+        }
+        if (recorder)
+            recorder->sampleAt(sim_now.value());
     });
     physics.start(0);
 
@@ -358,9 +516,40 @@ runChargingEvent(const ChargingEventConfig &config,
             {600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0});
         window_hist.observe((t_end - t0).value());
     }
+    {
+        static obs::Histogram &memo_hist = obs::histogram(
+            "core.sla_memo_occupancy",
+            {16.0, 64.0, 256.0, 1024.0, 4096.0});
+        if (const auto *pac =
+                dynamic_cast<const PriorityAwareCoordinator *>(
+                    coordinator.get())) {
+            memo_hist.observe(static_cast<double>(
+                pac->slaMemoStats().peakOccupancy));
+        }
+    }
     event_span.arg("physics_steps", static_cast<double>(steps));
     event_span.arg("overload_steps",
                    static_cast<double>(result.overloadSteps));
+
+    if (events_on) {
+        obs::logEvent(
+            (t_end - t0).value(), "event_end",
+            {{"peak_mw", util::toMegawatts(result.peakPower)},
+             {"overload_steps",
+              static_cast<double>(result.overloadSteps)},
+             {"sla_met", static_cast<double>(sla_met)},
+             {"audit_count",
+              static_cast<double>(result.auditCount)},
+             {"audit_violations",
+              static_cast<double>(result.auditViolations)}});
+    }
+    if (recorder) {
+        // Offer the end state as a final sample (taken iff the
+        // cadence is due), then hand the tape to the process-wide
+        // store under this task's RunScope label.
+        recorder->sampleAt((t_end - t0).value());
+        obs::publishTimeSeries(std::move(*recorder));
+    }
     return result;
 }
 

@@ -69,6 +69,9 @@ PriorityAwareCoordinator::slaCurrentFor(double dod,
         ++memoStats_.evictions;
     }
     slaMemo_.emplace(key, current);
+    memoStats_.peakOccupancy = std::max(
+        memoStats_.peakOccupancy,
+        static_cast<uint64_t>(slaMemo_.size()));
     return current;
 }
 

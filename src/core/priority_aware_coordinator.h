@@ -72,6 +72,8 @@ struct SlaMemoStats
     uint64_t misses = 0;
     /** Full-table clears (each drops every entry at once). */
     uint64_t evictions = 0;
+    /** High-water mark of live entries (occupancy telemetry). */
+    uint64_t peakOccupancy = 0;
 };
 
 /** Algorithm 1 + reverse-order overload throttling. */

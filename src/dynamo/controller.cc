@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -107,6 +108,12 @@ BreakerController::allChargingAtFloor() const
 void
 BreakerController::issue(const std::vector<OverrideCommand> &commands)
 {
+    // Flight-recorder gate, hoisted: one relaxed load per issue()
+    // call instead of per command.
+    const bool events_on = obs::eventLoggingEnabled();
+    auto sim_now = [this] {
+        return sim::toSeconds(queue_->now()).value();
+    };
     for (const OverrideCommand &cmd : commands) {
         auto it = agentById_.find(cmd.rackId);
         if (it == agentById_.end()) {
@@ -122,6 +129,12 @@ BreakerController::issue(const std::vector<OverrideCommand> &commands)
                 agent->commandHold();
                 lastCommandTick_[cmd.rackId] = queue_->now();
                 DCBATT_COUNT("dynamo.cmd_hold");
+                if (events_on) {
+                    obs::logEvent(
+                        sim_now(), "cmd_hold",
+                        {{"rack",
+                          static_cast<double>(cmd.rackId)}});
+                }
             }
             break;
           case OverrideCommand::Kind::Resume:
@@ -129,6 +142,13 @@ BreakerController::issue(const std::vector<OverrideCommand> &commands)
                 agent->commandResume(cmd.current);
                 lastCommandTick_[cmd.rackId] = queue_->now();
                 DCBATT_COUNT("dynamo.cmd_resume");
+                if (events_on) {
+                    obs::logEvent(
+                        sim_now(), "cmd_resume",
+                        {{"rack",
+                          static_cast<double>(cmd.rackId)},
+                         {"current_a", cmd.current.value()}});
+                }
             }
             break;
           case OverrideCommand::Kind::SetCurrent: {
@@ -138,6 +158,14 @@ BreakerController::issue(const std::vector<OverrideCommand> &commands)
                 > 1e-12) {
                 lastCommandTick_[cmd.rackId] = queue_->now();
                 DCBATT_COUNT("dynamo.cmd_set_current");
+                if (events_on) {
+                    obs::logEvent(
+                        sim_now(), "cmd_set_current",
+                        {{"rack",
+                          static_cast<double>(cmd.rackId)},
+                         {"current_a",
+                          agent->lastCommanded().value()}});
+                }
             }
             break;
           }
@@ -183,10 +211,21 @@ BreakerController::tick()
     if (eventActive_ && coordinator_)
         issue(coordinator_->onTick(snapshotRacks(), headroom));
 
+    const bool events_on = obs::eventLoggingEnabled();
+
     // --- capping: the last resort --------------------------------
     if (headroom.value() < 0.0) {
-        if (overloadSince_ < 0)
+        if (overloadSince_ < 0) {
             overloadSince_ = queue_->now();
+            if (events_on) {
+                obs::logEvent(
+                    sim::toSeconds(overloadSince_).value(),
+                    "overload_open",
+                    {{"over_kw",
+                      util::toKilowatts(-headroom)}},
+                    {{"node", node_->name()}});
+            }
+        }
         bool coordinating = coordinator_ && coordinator_->managesCurrents();
         bool charge_relief_possible = charging
             && (!allChargingAtFloor() || overridesInFlight());
@@ -201,6 +240,14 @@ BreakerController::tick()
         } else {
             DCBATT_COUNT("dynamo.cap_reductions");
             Watts applied = capping_.applyReduction(agents_, -headroom);
+            if (events_on) {
+                obs::logEvent(
+                    sim::toSeconds(queue_->now()).value(),
+                    "cap_reduction",
+                    {{"needed_kw", util::toKilowatts(-headroom)},
+                     {"applied_kw", util::toKilowatts(applied)}},
+                    {{"node", node_->name()}});
+            }
             if (applied + Watts(1.0) < -headroom) {
                 util::warn(util::strf(
                     "controller %s: capping floor reached, breaker "
@@ -219,15 +266,33 @@ BreakerController::tick()
             static obs::Histogram &relief_hist = obs::histogram(
                 "dynamo.overload_relief_latency_s",
                 {1.0, 5.0, 15.0, 60.0, 300.0, 1800.0});
-            relief_hist.observe(
+            double relief_s =
                 sim::toSeconds(queue_->now() - overloadSince_)
-                    .value());
+                    .value();
+            relief_hist.observe(relief_s);
+            if (events_on) {
+                obs::logEvent(
+                    sim::toSeconds(queue_->now()).value(),
+                    "overload_close",
+                    {{"duration_s", relief_s}},
+                    {{"node", node_->name()}});
+            }
         }
         overloadSince_ = -1;
         Watts margin = limit() * config_.releaseMarginFraction;
         if (headroom > margin && totalCap().value() > 0.0) {
             DCBATT_COUNT("dynamo.cap_releases");
+            Watts before_release = totalCap();
             capping_.release(agents_, headroom - margin);
+            if (events_on) {
+                obs::logEvent(
+                    sim::toSeconds(queue_->now()).value(),
+                    "cap_release",
+                    {{"released_kw",
+                      util::toKilowatts(before_release
+                                        - totalCap())}},
+                    {{"node", node_->name()}});
+            }
         }
     }
     maxCapObserved_ = util::max(maxCapObserved_, totalCap());

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Post-mortem crash bundles.
+ *
+ * When a DCBATT_REQUIRE / DCBATT_ASSERT / invariant-audit failure
+ * fires with a crash-bundle directory armed, the observability layer
+ * dumps everything an offline triage needs *before* the process
+ * aborts (or a test handler unwinds):
+ *
+ *   <dir>/manifest.json  — schema kCrashBundleSchema: the failing
+ *                          check (kind/file/line/condition/message),
+ *                          current sim time, the crash-context map
+ *                          (active config, RNG substream identifiers,
+ *                          run scope), event/drop counts
+ *   <dir>/failure.txt    — CheckFailure::describe(), one line
+ *   <dir>/events.jsonl   — the last-N ring of logged events
+ *   <dir>/metrics.json   — full metrics registry snapshot
+ *
+ * Read bundles with tools/postmortem_inspect.py.
+ *
+ * Arming (setCrashBundleDir) installs the util::setCheckFailureSink
+ * hook and force-enables event logging so the ring has content; it is
+ * a side channel like every other obs sink — stdout artifacts do not
+ * change. Engines contribute triage context:
+ *  - setCrashContext(key, value): process-wide key/value notes
+ *    (policy, limits, seeds, shard substreams) written verbatim into
+ *    the manifest;
+ *  - SimTimeGuard: a thread-local "what is sim-now" provider, so the
+ *    manifest can stamp the simulation clock of the failing thread.
+ */
+
+#ifndef DCBATT_OBS_CRASH_BUNDLE_H_
+#define DCBATT_OBS_CRASH_BUNDLE_H_
+
+#include <functional>
+#include <string>
+
+#include "util/check.h"
+
+namespace dcbatt::obs {
+
+/** Schema tag of manifest.json. */
+inline constexpr const char *kCrashBundleSchema =
+    "dcbatt-crash-bundle-v1";
+
+/**
+ * Arm crash bundles into @p dir (created on demand, parents too); an
+ * empty string disarms. Arming enables event logging.
+ */
+void setCrashBundleDir(std::string dir);
+
+/** The armed directory ("" when disarmed). */
+std::string crashBundleDir();
+
+bool crashBundleArmed();
+
+/** Events kept in the bundle's last-N ring (default 256). */
+void setCrashBundleEventTail(size_t n);
+
+/**
+ * Record a triage note for the manifest (last write per key wins).
+ * Cheap but mutex-guarded: call at run setup, not per step.
+ */
+void setCrashContext(const std::string &key, const std::string &value);
+
+/** Drop all triage notes. */
+void clearCrashContext();
+
+/**
+ * Thread-local sim-time provider for the manifest's `sim_time_s`
+ * field (-1 when no provider is installed on the failing thread).
+ * Nests; the innermost guard wins.
+ */
+class SimTimeGuard
+{
+  public:
+    explicit SimTimeGuard(std::function<double()> provider);
+    ~SimTimeGuard();
+
+    SimTimeGuard(const SimTimeGuard &) = delete;
+    SimTimeGuard &operator=(const SimTimeGuard &) = delete;
+
+  private:
+    std::function<double()> previous_;
+};
+
+/**
+ * Write a bundle for @p failure into the armed directory now.
+ * Returns the directory written, or "" if disarmed or the write
+ * failed (never throws — it runs inside the failure path). Exposed
+ * for tests; normal operation goes through the check-failure sink.
+ */
+std::string writeCrashBundle(const util::CheckFailure &failure);
+
+} // namespace dcbatt::obs
+
+#endif // DCBATT_OBS_CRASH_BUNDLE_H_

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Structured, deterministic event log (the flight recorder's journal).
+ *
+ * Discrete simulation events — charge start/finish, CC→CV
+ * transitions, cap/release commands, overload episode open/close,
+ * invariant-audit results — are appended as small typed records and
+ * exported as JSONL with a versioned schema (kEventSchema). The log
+ * follows the same discipline as the metrics registry (metrics.h):
+ * only simulation-deterministic payloads (sim-time seconds, counts,
+ * config labels — never wall clock), merged into an order that is
+ * *byte-identical at any `--threads` value*.
+ *
+ * Ordering model: every event belongs to a named *scope* (RunScope).
+ * A scope is owned by one logical task — SweepRunner wraps each sweep
+ * task in a RunScope whose name embeds the task index — so events
+ * within a scope are appended serially and carry a dense per-scope
+ * sequence number. The merged view sorts by (scope, seq), which is a
+ * total order independent of which worker thread ran which task.
+ * Events logged outside any RunScope land in the default scope ""
+ * (fine for single-threaded drivers; multi-threaded emitters must use
+ * RunScope or their relative order in "" is scheduling-dependent).
+ *
+ * Memory is bounded per scope: past the capacity the oldest events of
+ * that scope are dropped (a ring), which is again deterministic
+ * because the drop decision depends only on the scope's own append
+ * count. The drop tally is reported in the export header.
+ *
+ * Cost model: when disabled (the default), logEvent is one relaxed
+ * atomic load and a branch. When enabled, one uncontended per-scope
+ * mutex acquisition plus the record append — event granularity, not
+ * per-step granularity, except for the rare per-rack transitions the
+ * engine emits.
+ */
+
+#ifndef DCBATT_OBS_EVENT_LOG_H_
+#define DCBATT_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dcbatt::obs {
+
+/** Schema tag stamped on the first line of every JSONL export. */
+inline constexpr const char *kEventSchema = "dcbatt-events-v1";
+
+/** One logged event. Fields keep their call-site order. */
+struct EventRecord
+{
+    /** Owning RunScope name ("" = default scope). */
+    std::string scope;
+    /** Dense per-scope sequence number (the merge sort key). */
+    uint64_t seq = 0;
+    /** Simulation time in seconds (never wall clock). */
+    double tSeconds = 0.0;
+    /** Event type, e.g. "charge_start" (schema's discriminator). */
+    std::string type;
+    /** Numeric payload fields. */
+    std::vector<std::pair<std::string, double>> nums;
+    /** String payload fields (e.g. policy names). */
+    std::vector<std::pair<std::string, std::string>> labels;
+
+    bool operator==(const EventRecord &other) const = default;
+};
+
+/** Named numeric field at a logEvent call site. */
+struct EventNum
+{
+    const char *key;
+    double value;
+};
+
+/** Named string field at a logEvent call site. */
+struct EventStr
+{
+    const char *key;
+    std::string_view value;
+};
+
+namespace detail {
+struct ScopeBuffer;
+/** Hot-path gate; read through eventLoggingEnabled(). */
+extern std::atomic<bool> g_event_logging;
+} // namespace detail
+
+/**
+ * Runtime switch; off by default. Arming the crash-bundle path
+ * (crash_bundle.h) also turns this on so bundles always carry the
+ * event tail.
+ */
+void setEventLoggingEnabled(bool on);
+
+inline bool
+eventLoggingEnabled()
+{
+    return detail::g_event_logging.load(std::memory_order_relaxed);
+}
+
+/**
+ * Per-scope ring capacity; oldest events past it are dropped.
+ * Applies to scopes created after the call. Must be >= 1.
+ */
+void setEventCapacityPerScope(size_t capacity);
+
+/**
+ * Append one event to the calling thread's current scope at sim time
+ * @p t_seconds. No-op when event logging is disabled. Reserved field
+ * keys (used by the JSONL envelope): "scope", "seq", "t_s", "type".
+ */
+void logEvent(double t_seconds, std::string_view type,
+              std::initializer_list<EventNum> nums = {},
+              std::initializer_list<EventStr> labels = {});
+
+/**
+ * RAII scope label for the calling thread. Nests (inner scope wins);
+ * the name also labels published time series (time_series_recorder.h)
+ * and the crash-bundle context. Re-entering a name continues that
+ * scope's sequence numbering.
+ */
+class RunScope
+{
+  public:
+    explicit RunScope(std::string name);
+    ~RunScope();
+
+    RunScope(const RunScope &) = delete;
+    RunScope &operator=(const RunScope &) = delete;
+};
+
+/** The calling thread's innermost scope name ("" outside any). */
+std::string currentRunScope();
+
+/** Total events currently buffered across all scopes. */
+size_t eventCount();
+
+/** Total events dropped by per-scope rings so far. */
+size_t droppedEventCount();
+
+/** Merged deterministic view: sorted by (scope, seq). */
+std::vector<EventRecord> snapshotEvents();
+
+/**
+ * The @p n most recent events by (tSeconds, scope, seq) — the crash
+ * bundle's "last-N ring", deterministic like every other view.
+ */
+std::vector<EventRecord> lastEvents(size_t n);
+
+/** Render records as JSONL (header line first). Byte-stable. */
+std::string eventsToJsonl(const std::vector<EventRecord> &events,
+                          size_t dropped = 0);
+
+/** Write snapshotEvents() as JSONL to @p path (fatal on I/O error). */
+void writeEventsJsonl(const std::string &path);
+
+/**
+ * Drop all buffered events and reset every scope's sequence counter.
+ * Callers must ensure no thread is concurrently logging (tests and
+ * per-run scoping only).
+ */
+void clearEvents();
+
+} // namespace dcbatt::obs
+
+#endif // DCBATT_OBS_EVENT_LOG_H_

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic time-series telemetry (the flight recorder's tape).
+ *
+ * A TimeSeriesRecorder samples a set of registered probes — cheap
+ * `double()` callables over live simulation state — on a *sim-time*
+ * cadence into a columnar store. Because the sampling schedule is
+ * driven by simulation time (sampleAt is called from the physics
+ * loop), the recorded samples are a pure function of the simulated
+ * work: byte-identical at any `--threads` value, exactly like the
+ * metrics registry and event log. Wall clock never appears here.
+ *
+ * Memory is bounded by `maxSamples` with two policies:
+ *  - Decimate (default): on overflow every second sample is dropped
+ *    and the cadence doubles — the whole run stays covered at halving
+ *    resolution (right for post-mortem archaeology over unknown-length
+ *    runs);
+ *  - Ring: oldest samples are dropped — the tail stays at full
+ *    resolution (right when only the latest window matters).
+ * Both policies decide drops from the sample count alone, so bounding
+ * never breaks determinism.
+ *
+ * Process-wide plumbing: drivers *arm* recording (armTimeSeries);
+ * the charging-event engine checks timeSeriesArmed(), builds a
+ * recorder over its probes, and publishes the finished tape under the
+ * thread's current RunScope name. writeTimeSeries renders every
+ * published tape as CSV (or compact JSON for `.json` paths) sorted by
+ * scope — deterministic output for `--timeseries-out`.
+ */
+
+#ifndef DCBATT_OBS_TIME_SERIES_RECORDER_H_
+#define DCBATT_OBS_TIME_SERIES_RECORDER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dcbatt::obs {
+
+/** Schema tag stamped on the JSON export. */
+inline constexpr const char *kTimeSeriesSchema =
+    "dcbatt-timeseries-v1";
+
+/** Bounded-memory policy once maxSamples is reached. */
+enum class TimeSeriesBound
+{
+    /** Drop every 2nd sample, double the cadence (keeps coverage). */
+    Decimate,
+    /** Drop the oldest sample (keeps the tail at full resolution). */
+    Ring,
+};
+
+struct TimeSeriesOptions
+{
+    /** Sampling cadence in *simulation* seconds. */
+    double cadenceSeconds = 30.0;
+    /** Sample capacity; reaching it triggers the bound policy. */
+    size_t maxSamples = 4096;
+    TimeSeriesBound bound = TimeSeriesBound::Decimate;
+};
+
+/** Columnar store of probe samples on a sim-time cadence. */
+class TimeSeriesRecorder
+{
+  public:
+    explicit TimeSeriesRecorder(TimeSeriesOptions options = {});
+
+    /** Register a probe. Call before the first sampleAt. */
+    void addProbe(std::string name, std::function<double()> probe);
+
+    /**
+     * Sample every probe iff @p t_seconds has reached the next
+     * cadence point (the first call always samples). Must be called
+     * with non-decreasing times.
+     */
+    void sampleAt(double t_seconds);
+
+    size_t probeCount() const { return names_.size(); }
+    const std::vector<std::string> &probeNames() const
+    {
+        return names_;
+    }
+    size_t sampleCount() const { return times_.size(); }
+    /** Cadence now in effect (doubled by each decimation). */
+    double cadenceSeconds() const { return cadence_; }
+    double timeAt(size_t sample) const { return times_[sample]; }
+    double valueAt(size_t probe, size_t sample) const
+    {
+        return columns_[probe][sample];
+    }
+
+  private:
+    TimeSeriesOptions options_;
+    double cadence_;
+    double nextSample_;
+    bool started_ = false;
+    std::vector<std::string> names_;
+    std::vector<std::function<double()>> probes_;
+    std::vector<double> times_;
+    /** One column per probe, aligned with times_. */
+    std::vector<std::vector<double>> columns_;
+};
+
+/**
+ * Arm process-wide recording with @p options. Instrumented engines
+ * (core::runChargingEvent, fig12) build recorders only while armed,
+ * so the default run pays nothing.
+ */
+void armTimeSeries(TimeSeriesOptions options = {});
+void disarmTimeSeries();
+bool timeSeriesArmed();
+/** Options the recorder was armed with (defaults when disarmed). */
+TimeSeriesOptions armedTimeSeriesOptions();
+
+/**
+ * Publish a finished tape under the calling thread's RunScope name.
+ * A scope that publishes more than once gets `#2`, `#3`, ...
+ * suffixes — deterministic, since a scope has one serial owner.
+ */
+void publishTimeSeries(TimeSeriesRecorder recorder);
+
+/** Number of published tapes. */
+size_t publishedTimeSeriesCount();
+
+/**
+ * CSV rendering of every published tape: header
+ * `scope,t_s,<union of probe names, sorted>`, rows grouped by scope.
+ * Byte-stable for identical recordings.
+ */
+std::string timeSeriesToCsv();
+
+/** Compact columnar JSON rendering (schema kTimeSeriesSchema). */
+std::string timeSeriesToJson();
+
+/**
+ * Write published tapes to @p path: JSON when the path ends in
+ * `.json`, CSV otherwise (fatal on I/O error).
+ */
+void writeTimeSeries(const std::string &path);
+
+/** Drop every published tape (tests and per-run scoping only). */
+void clearTimeSeries();
+
+} // namespace dcbatt::obs
+
+#endif // DCBATT_OBS_TIME_SERIES_RECORDER_H_

@@ -331,6 +331,8 @@ Topology::stepRacks(Seconds dt)
         fleet.inputOn[i] = r.inputPowerOn() ? 1 : 0;
         fleet.held[i] = r.shelf().chargingHeld() ? 1 : 0;
         fleet.fullyCharged[i] = r.shelf().fullyCharged() ? 1 : 0;
+        fleet.chargingBbus[i] = r.shelf().chargingCount();
+        fleet.cvBbus[i] = r.shelf().cvCount();
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/crash_bundle.h"
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
 #include "util/check.h"
@@ -157,6 +158,25 @@ AorSimulator::AorSimulator(std::vector<FailureProcess> processes,
     DCBATT_REQUIRE(config_.shards >= 1, "shard count %d < 1",
                    config_.shards);
     shards_.resize(static_cast<size_t>(config_.shards));
+    if (obs::crashBundleArmed()) {
+        // Identify the RNG substream scheme in any post-mortem: shard
+        // s draws from Rng(seed).substream(s) (shards == 1 keeps the
+        // legacy direct Rng(seed) stream).
+        obs::setCrashContext(
+            "reliability.aor_seed",
+            util::strf("%llu", static_cast<unsigned long long>(
+                                   config_.seed)));
+        obs::setCrashContext("reliability.aor_shards",
+                             util::strf("%d", config_.shards));
+        obs::setCrashContext(
+            "reliability.aor_substreams",
+            config_.shards == 1
+                ? "Rng(seed)"
+                : util::strf("Rng(seed).substream(s), s in [0, %d)",
+                             config_.shards));
+        obs::setCrashContext("reliability.aor_years",
+                             util::strf("%.6g", config_.years));
+    }
     DCBATT_SPAN_NAMED(gen_span, "reliability.generate_timelines");
     gen_span.arg("shards", static_cast<double>(config_.shards));
     gen_span.arg("years", config_.years);

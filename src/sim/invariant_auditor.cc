@@ -1,5 +1,7 @@
 #include "sim/invariant_auditor.h"
 
+#include "obs/event_log.h"
+#include "sim/sim_time.h"
 #include "util/check.h"
 
 namespace dcbatt::sim {
@@ -96,13 +98,35 @@ InvariantAuditor::runAudit(Tick now)
     }
     lastAuditTick_ = now;
 
+    const bool events_on = obs::eventLoggingEnabled();
+    uint64_t violations_this_pass = 0;
     for (const NamedCheck &invariant : invariants_) {
         AuditContext context(invariant.name, now);
         invariant.check(context);
         for (const AuditViolation &violation : context.violations()) {
             ++violationCount_;
+            ++violations_this_pass;
+            // Journal the violation *before* the handler runs: the
+            // default handler aborts through the contract machinery,
+            // and the crash bundle's event tail should name the
+            // failing invariant.
+            if (events_on) {
+                obs::logEvent(
+                    toSeconds(violation.when).value(),
+                    "audit_violation", {},
+                    {{"invariant", violation.invariant},
+                     {"detail", violation.detail}});
+            }
             handler_(violation);
         }
+    }
+    if (events_on) {
+        obs::logEvent(
+            toSeconds(now).value(), "audit_pass",
+            {{"invariants",
+              static_cast<double>(invariants_.size())},
+             {"violations",
+              static_cast<double>(violations_this_pass)}});
     }
 }
 

@@ -3,9 +3,11 @@
 #include <exception>
 #include <future>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace dcbatt::sim {
@@ -19,7 +21,8 @@ SweepRunner::run(const std::vector<SweepTask> &tasks) const
     sweep_span.arg("tasks", static_cast<double>(tasks.size()));
     std::vector<std::future<core::ChargingEventResult>> futures;
     futures.reserve(tasks.size());
-    for (const SweepTask &task : tasks) {
+    for (size_t task_idx = 0; task_idx < tasks.size(); ++task_idx) {
+        const SweepTask &task = tasks[task_idx];
         const trace::TraceSet *traces =
             task.traces ? task.traces : task.sharedTraces.get();
         DCBATT_REQUIRE(traces != nullptr,
@@ -31,9 +34,15 @@ SweepRunner::run(const std::vector<SweepTask> &tasks) const
         // lifetime). Warm its lazy aggregate/peak caches here, on the
         // submitting thread, so the workers never write them.
         traces->warmCaches();
+        // The flight-recorder scope embeds the submission index, so
+        // event logs and time-series tapes merge into task order no
+        // matter which worker thread runs which task.
         futures.push_back(pool_->submit(
             [config = task.config, traces,
-             owner = task.sharedTraces] {
+             owner = task.sharedTraces,
+             scope = util::strf("%04zu:%s", task_idx,
+                                task.label.c_str())] {
+                obs::RunScope run_scope(scope);
                 return core::runChargingEvent(config, *traces);
             }));
     }

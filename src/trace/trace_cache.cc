@@ -55,6 +55,8 @@ struct CacheState
     std::map<std::string, std::shared_ptr<const TraceSet>> entries;
     uint64_t hitsBase = 0;
     uint64_t missesBase = 0;
+    /** Running sum of entry footprints (feeds trace.cache_bytes). */
+    uint64_t bytes = 0;
 };
 
 CacheState &
@@ -82,6 +84,13 @@ obs::Gauge &
 entriesGauge()
 {
     static obs::Gauge &g = obs::gauge("trace.cache_entries");
+    return g;
+}
+
+obs::Gauge &
+bytesGauge()
+{
+    static obs::Gauge &g = obs::gauge("trace.cache_bytes");
     return g;
 }
 
@@ -118,11 +127,14 @@ sharedTraces(const TraceGenSpec &spec)
     traces->warmCaches();
     std::lock_guard<std::mutex> lock(state.mutex);
     auto [it, inserted] = state.entries.emplace(key, std::move(traces));
-    if (inserted)
+    if (inserted) {
         missCounter().add(1);
-    else
+        state.bytes += it->second->memoryBytes();
+    } else {
         hitCounter().add(1);
+    }
     entriesGauge().set(static_cast<double>(state.entries.size()));
+    bytesGauge().set(static_cast<double>(state.bytes));
     return it->second;
 }
 
@@ -143,7 +155,9 @@ clearTraceCache()
     state.entries.clear();
     state.hitsBase = hitCounter().value();
     state.missesBase = missCounter().value();
+    state.bytes = 0;
     entriesGauge().set(0.0);
+    bytesGauge().set(0.0);
 }
 
 } // namespace dcbatt::trace

@@ -81,6 +81,20 @@ class TraceSet
         firstPeakIndex();
     }
 
+    /**
+     * Approximate heap footprint of the sample storage in bytes
+     * (per-rack series plus the cached aggregate) — the quantity
+     * behind the trace cache's `trace.cache_bytes` gauge.
+     */
+    size_t memoryBytes() const
+    {
+        size_t samples = 0;
+        for (const util::TimeSeries &series : racks_)
+            samples += series.size();
+        samples += aggCache_.size();
+        return samples * sizeof(double);
+    }
+
     /** Append one sample per rack (values in watts). */
     void appendSample(const std::vector<double> &rack_watts);
 

@@ -44,6 +44,7 @@ defaultFailHandler(const CheckFailure &failure)
 }
 
 CheckFailHandler g_handler = defaultFailHandler;
+CheckFailureSink g_sink = nullptr;
 
 } // namespace
 
@@ -67,6 +68,14 @@ resetCheckFailHandler()
     g_handler = defaultFailHandler;
 }
 
+CheckFailureSink
+setCheckFailureSink(CheckFailureSink sink)
+{
+    CheckFailureSink previous = g_sink;
+    g_sink = sink;
+    return previous;
+}
+
 namespace detail {
 
 void
@@ -80,6 +89,10 @@ checkFailed(CheckKind kind, const char *condition, const char *file,
     failure.line = line;
     failure.function = function;
     failure.message = std::move(message);
+    // The sink runs before the handler: a throwing test handler
+    // unwinds past us, and the post-mortem dump must already exist.
+    if (g_sink)
+        g_sink(failure);
     g_handler(failure);
     // A handler that wants to survive must throw; returning means the
     // invariant is broken and the process state untrustworthy.

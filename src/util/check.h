@@ -86,6 +86,17 @@ CheckFailHandler checkFailHandler();
 /** Restore the default print-and-abort handler. */
 void resetCheckFailHandler();
 
+/**
+ * Pre-handler observer of contract violations. Invoked on every
+ * failure *before* the fail handler runs, so it fires even when a
+ * test handler throws to unwind — the hook the observability layer
+ * uses to dump crash bundles (obs/crash_bundle.h). Must not throw.
+ */
+using CheckFailureSink = void (*)(const CheckFailure &);
+
+/** Install a failure sink; returns the previous one (null = none). */
+CheckFailureSink setCheckFailureSink(CheckFailureSink sink);
+
 namespace detail {
 
 /**

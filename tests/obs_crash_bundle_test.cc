@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the post-mortem crash-bundle path (obs/crash_bundle.h):
+ * a failing DCBATT_REQUIRE with a bundle directory armed must dump a
+ * manifest with the failing message, the last-N events in order, the
+ * crash context, the thread's sim time, and a parseable metrics
+ * snapshot — before the (throwing) fail handler unwinds.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/crash_bundle.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace dcbatt::obs {
+namespace {
+
+struct CheckUnwind : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void
+throwingHandler(const util::CheckFailure &failure)
+{
+    throw CheckUnwind(failure.describe());
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CrashBundleTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        previous_ = util::setCheckFailHandler(&throwingHandler);
+        clearEvents();
+        clearCrashContext();
+        // One directory per test: bundles from an earlier test must
+        // not satisfy a later test's existence checks.
+        dir_ = ::testing::TempDir() + "dcbatt_crash_bundle_test_"
+            + ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+    }
+
+    void
+    TearDown() override
+    {
+        setCrashBundleDir("");  // also uninstalls the failure sink
+        clearCrashContext();
+        setCrashBundleEventTail(256);
+        setEventLoggingEnabled(false);
+        clearEvents();
+        util::setCheckFailHandler(previous_);
+    }
+
+    std::string dir_;
+
+  private:
+    util::CheckFailHandler previous_ = nullptr;
+};
+
+TEST_F(CrashBundleTest, ArmingEnablesEventLoggingAndReportsState)
+{
+    EXPECT_FALSE(crashBundleArmed());
+    setEventLoggingEnabled(false);
+    setCrashBundleDir(dir_);
+    EXPECT_TRUE(crashBundleArmed());
+    EXPECT_EQ(crashBundleDir(), dir_);
+    // Bundles need an event tail, so arming force-enables the journal.
+    EXPECT_TRUE(eventLoggingEnabled());
+    setCrashBundleDir("");
+    EXPECT_FALSE(crashBundleArmed());
+}
+
+TEST_F(CrashBundleTest, FailureDumpsBundleBeforeHandlerUnwinds)
+{
+    setCrashBundleDir(dir_);
+    setCrashBundleEventTail(3);
+    setCrashContext("core.policy", "priority-aware");
+    setCrashContext("core.racks", "316");
+    SimTimeGuard sim_time([] { return 1234.5; });
+
+    // Four events; the tail keeps only the newest three.
+    logEvent(10.0, "charge_start", {{"rack", 0.0}});
+    logEvent(20.0, "charge_start", {{"rack", 1.0}});
+    logEvent(30.0, "cc_cv_transition", {{"rack", 0.0}});
+    logEvent(40.0, "charge_finish", {{"rack", 1.0}});
+
+    int racks = -7;
+    EXPECT_THROW(
+        DCBATT_REQUIRE(racks >= 0, "rack count %d went negative",
+                       racks),
+        CheckUnwind);
+
+    // --- manifest: schema, failing check, sim time, context ---
+    std::string manifest = readFile(dir_ + "/manifest.json");
+    EXPECT_NE(manifest.find("\"schema\": \"dcbatt-crash-bundle-v1\""),
+              std::string::npos)
+        << manifest;
+    EXPECT_NE(manifest.find("\"kind\": \"REQUIRE\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"condition\": \"racks >= 0\""),
+              std::string::npos);
+    EXPECT_NE(
+        manifest.find("\"message\": \"rack count -7 went negative\""),
+        std::string::npos)
+        << manifest;
+    EXPECT_NE(manifest.find("\"sim_time_s\": 1234.5"),
+              std::string::npos)
+        << manifest;
+    EXPECT_NE(manifest.find("\"core.policy\": \"priority-aware\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"core.racks\": \"316\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"events\": 3"), std::string::npos);
+
+    // --- failure.txt round-trips describe() ---
+    std::string failure_text = readFile(dir_ + "/failure.txt");
+    EXPECT_NE(failure_text.find("rack count -7 went negative"),
+              std::string::npos);
+
+    // --- events.jsonl: the last-N ring, in order ---
+    std::string events = readFile(dir_ + "/events.jsonl");
+    EXPECT_NE(events.find("\"schema\": \"dcbatt-events-v1\""),
+              std::string::npos);
+    EXPECT_EQ(events.find("charge_start\", \"rack\": 0"),
+              std::string::npos)
+        << "oldest event should have fallen off the 3-event tail";
+    size_t second = events.find("\"t_s\": 20");
+    size_t third = events.find("\"t_s\": 30");
+    size_t fourth = events.find("\"t_s\": 40");
+    ASSERT_NE(second, std::string::npos) << events;
+    ASSERT_NE(third, std::string::npos);
+    ASSERT_NE(fourth, std::string::npos);
+    EXPECT_LT(second, third);
+    EXPECT_LT(third, fourth);
+
+    // --- metrics.json: the versioned snapshot ---
+    std::string metrics = readFile(dir_ + "/metrics.json");
+    EXPECT_NE(metrics.find("\"schema\": \"dcbatt-metrics-v1\""),
+              std::string::npos);
+}
+
+TEST_F(CrashBundleTest, DisarmedFailureWritesNothing)
+{
+    // No setCrashBundleDir: the sink is not installed.
+    EXPECT_THROW(DCBATT_REQUIRE(false, "no bundle expected"),
+                 CheckUnwind);
+    std::ifstream manifest(dir_ + "/manifest.json");
+    EXPECT_FALSE(manifest.good());
+    EXPECT_EQ(writeCrashBundle(util::CheckFailure{}), "");
+}
+
+TEST_F(CrashBundleTest, SimTimeGuardNestsAndRestores)
+{
+    setCrashBundleDir(dir_);
+    {
+        SimTimeGuard outer([] { return 1.0; });
+        {
+            SimTimeGuard inner([] { return 2.0; });
+            EXPECT_THROW(DCBATT_REQUIRE(false, "inner"), CheckUnwind);
+            std::string manifest = readFile(dir_ + "/manifest.json");
+            EXPECT_NE(manifest.find("\"sim_time_s\": 2"),
+                      std::string::npos)
+                << manifest;
+        }
+        EXPECT_THROW(DCBATT_REQUIRE(false, "outer"), CheckUnwind);
+        std::string manifest = readFile(dir_ + "/manifest.json");
+        EXPECT_NE(manifest.find("\"sim_time_s\": 1"),
+                  std::string::npos)
+            << manifest;
+    }
+    EXPECT_THROW(DCBATT_REQUIRE(false, "no provider"), CheckUnwind);
+    std::string manifest = readFile(dir_ + "/manifest.json");
+    EXPECT_NE(manifest.find("\"sim_time_s\": -1"), std::string::npos)
+        << manifest;
+}
+
+} // namespace
+} // namespace dcbatt::obs

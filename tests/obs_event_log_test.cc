@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the flight recorder's event journal (obs/event_log.h):
+ * the off-by-default gate, per-scope sequence numbering, the
+ * (scope, seq) merge order and its independence from thread placement,
+ * deterministic ring drops, the last-N view, and the JSONL rendering.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/event_log.h"
+
+namespace dcbatt::obs {
+namespace {
+
+/** Clean journal + default knobs around every test. */
+class EventLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearEvents();
+        setEventCapacityPerScope(65536);
+        setEventLoggingEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setEventLoggingEnabled(false);
+        clearEvents();
+        setEventCapacityPerScope(65536);
+    }
+};
+
+TEST_F(EventLogTest, DisabledLoggingRecordsNothing)
+{
+    setEventLoggingEnabled(false);
+    logEvent(1.0, "ignored", {{"x", 1.0}});
+    EXPECT_EQ(eventCount(), 0u);
+}
+
+TEST_F(EventLogTest, RecordsPayloadAndPerScopeSequence)
+{
+    logEvent(0.5, "alpha", {{"rack", 3.0}}, {{"policy", "pa"}});
+    logEvent(1.5, "beta");
+
+    auto events = snapshotEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].scope, "");
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].tSeconds, 0.5);
+    EXPECT_EQ(events[0].type, "alpha");
+    ASSERT_EQ(events[0].nums.size(), 1u);
+    EXPECT_EQ(events[0].nums[0].first, "rack");
+    EXPECT_EQ(events[0].nums[0].second, 3.0);
+    ASSERT_EQ(events[0].labels.size(), 1u);
+    EXPECT_EQ(events[0].labels[0].first, "policy");
+    EXPECT_EQ(events[0].labels[0].second, "pa");
+    EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST_F(EventLogTest, RunScopeNamesAndNestingWin)
+{
+    EXPECT_EQ(currentRunScope(), "");
+    {
+        RunScope outer("outer");
+        EXPECT_EQ(currentRunScope(), "outer");
+        logEvent(0.0, "in_outer");
+        {
+            RunScope inner("inner");
+            EXPECT_EQ(currentRunScope(), "inner");
+            logEvent(0.0, "in_inner");
+        }
+        EXPECT_EQ(currentRunScope(), "outer");
+    }
+    EXPECT_EQ(currentRunScope(), "");
+
+    auto events = snapshotEvents();
+    ASSERT_EQ(events.size(), 2u);
+    // Merge order is scope-name order, not emission order.
+    EXPECT_EQ(events[0].scope, "inner");
+    EXPECT_EQ(events[1].scope, "outer");
+}
+
+TEST_F(EventLogTest, MergeOrderIndependentOfThreadPlacement)
+{
+    // Two logical tasks; run once with both on this thread, once on
+    // two racing threads. The merged view must be identical.
+    auto task = [](const std::string &scope, int base) {
+        RunScope run_scope(scope);
+        for (int i = 0; i < 50; ++i)
+            logEvent(base + i, "tick", {{"i", double(i)}});
+    };
+
+    task("0000:a", 100);
+    task("0001:b", 200);
+    auto serial = snapshotEvents();
+    clearEvents();
+
+    std::thread t1(task, "0000:a", 100);
+    std::thread t2(task, "0001:b", 200);
+    t1.join();
+    t2.join();
+    auto threaded = snapshotEvents();
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    EXPECT_EQ(serial, threaded);
+    EXPECT_EQ(eventsToJsonl(serial), eventsToJsonl(threaded));
+}
+
+TEST_F(EventLogTest, PerScopeRingDropsOldestDeterministically)
+{
+    setEventCapacityPerScope(4);
+    {
+        RunScope run_scope("ring");
+        for (int i = 0; i < 10; ++i)
+            logEvent(double(i), "e", {{"i", double(i)}});
+    }
+    auto events = snapshotEvents();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(droppedEventCount(), 6u);
+    // The survivors are the newest four, seqs intact.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].seq, 6u + i);
+}
+
+TEST_F(EventLogTest, LastEventsOrdersBySimTimeThenScope)
+{
+    {
+        RunScope a("a");
+        logEvent(5.0, "late_a");
+        logEvent(1.0, "early_a");
+    }
+    {
+        RunScope b("b");
+        logEvent(3.0, "mid_b");
+    }
+    auto tail = lastEvents(2);
+    ASSERT_EQ(tail.size(), 2u);
+    // Ascending (tSeconds, scope, seq); the 1.0 s event falls off.
+    EXPECT_EQ(tail[0].type, "mid_b");
+    EXPECT_EQ(tail[1].type, "late_a");
+}
+
+TEST_F(EventLogTest, JsonlHeaderAndFlattenedPayload)
+{
+    logEvent(2.0, "charge_start", {{"rack", 7.0}},
+             {{"policy", "priority-aware"}});
+    std::string doc = eventsToJsonl(snapshotEvents(), 3);
+
+    // Header line: schema + counts.
+    EXPECT_NE(doc.find("{\"schema\": \"dcbatt-events-v1\", "
+                       "\"events\": 1, \"dropped\": 3}\n"),
+              std::string::npos)
+        << doc;
+    // Body line: envelope keys then call-site payload order.
+    EXPECT_NE(doc.find("{\"scope\": \"\", \"seq\": 0, \"t_s\": 2, "
+                       "\"type\": \"charge_start\", "
+                       "\"policy\": \"priority-aware\", \"rack\": 7}"),
+              std::string::npos)
+        << doc;
+}
+
+TEST_F(EventLogTest, ClearResetsSequencesAndDropTally)
+{
+    // Capacity applies to scopes created after the call, so use a
+    // scope no earlier test has touched.
+    setEventCapacityPerScope(1);
+    RunScope run_scope("clear_test");
+    logEvent(0.0, "a");
+    logEvent(0.0, "b");
+    EXPECT_EQ(droppedEventCount(), 1u);
+    clearEvents();
+    EXPECT_EQ(eventCount(), 0u);
+    EXPECT_EQ(droppedEventCount(), 0u);
+    logEvent(0.0, "fresh");
+    auto events = snapshotEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].seq, 0u);
+}
+
+} // namespace
+} // namespace dcbatt::obs

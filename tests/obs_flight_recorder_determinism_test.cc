@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The flight recorder's determinism contract at the sweep level: with
+ * the time-series recorder armed and event logging on, a multi-task
+ * sweep must produce byte-identical CSV/JSONL exports whether it runs
+ * on one worker thread or several, and recording must not change the
+ * simulation results in any bit.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/charging_event_sim.h"
+#include "obs/event_log.h"
+#include "obs/time_series_recorder.h"
+#include "sim/sweep_runner.h"
+#include "trace/trace_generator.h"
+#include "util/thread_pool.h"
+
+namespace dcbatt {
+namespace {
+
+trace::TraceSet
+smallTraces(const std::vector<power::Priority> &priorities)
+{
+    trace::TraceGenSpec spec;
+    spec.rackCount = static_cast<int>(priorities.size());
+    spec.startTime = util::hours(10.0);
+    spec.duration = util::hours(1.0);
+    spec.priorities = priorities;
+    return trace::generateTraces(spec);
+}
+
+std::vector<sim::SweepTask>
+smallSweep(const trace::TraceSet &traces,
+           const std::vector<power::Priority> &priorities)
+{
+    const double limits[] = {1.0, 0.9, 0.85, 0.95};
+    std::vector<sim::SweepTask> tasks;
+    for (size_t i = 0; i < 4; ++i) {
+        sim::SweepTask task;
+        task.label = util::strf("case%zu", i);
+        task.config.policy = core::PolicyKind::PriorityAware;
+        task.config.msbLimit = util::megawatts(limits[i]);
+        task.config.targetMeanDod = 0.5;
+        task.config.priorities = priorities;
+        task.config.postEventDuration = util::minutes(20.0);
+        task.traces = &traces;
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+struct RecordedSweep
+{
+    std::string csv;
+    std::string json;
+    std::string events;
+    std::vector<core::ChargingEventResult> results;
+};
+
+RecordedSweep
+runRecordedSweep(unsigned threads)
+{
+    auto priorities = power::makePriorityMix(6, 5, 5);
+    trace::TraceSet traces = smallTraces(priorities);
+
+    obs::clearTimeSeries();
+    obs::clearEvents();
+    obs::TimeSeriesOptions options;
+    options.cadenceSeconds = 30.0;
+    obs::armTimeSeries(options);
+    obs::setEventLoggingEnabled(true);
+
+    RecordedSweep recorded;
+    {
+        util::ThreadPool pool(threads);
+        recorded.results = sim::SweepRunner(pool).run(
+            smallSweep(traces, priorities));
+    }
+
+    obs::setEventLoggingEnabled(false);
+    obs::disarmTimeSeries();
+    recorded.csv = obs::timeSeriesToCsv();
+    recorded.json = obs::timeSeriesToJson();
+    recorded.events = obs::eventsToJsonl(obs::snapshotEvents(),
+                                         obs::droppedEventCount());
+    obs::clearTimeSeries();
+    obs::clearEvents();
+    return recorded;
+}
+
+TEST(FlightRecorderDeterminism, ExportsByteIdenticalAcrossThreadCounts)
+{
+    RecordedSweep serial = runRecordedSweep(1);
+    RecordedSweep pooled = runRecordedSweep(8);
+
+    // The tapes have content...
+    EXPECT_NE(serial.csv.find("msb_mw"), std::string::npos)
+        << serial.csv.substr(0, 200);
+    EXPECT_NE(serial.events.find("charge_start"), std::string::npos);
+    EXPECT_NE(serial.events.find("event_end"), std::string::npos);
+
+    // ...and every export is byte-identical at 1 vs 8 workers.
+    EXPECT_EQ(serial.csv, pooled.csv);
+    EXPECT_EQ(serial.json, pooled.json);
+    EXPECT_EQ(serial.events, pooled.events);
+}
+
+TEST(FlightRecorderDeterminism, RecordingDoesNotPerturbResults)
+{
+    auto priorities = power::makePriorityMix(6, 5, 5);
+    trace::TraceSet traces = smallTraces(priorities);
+    auto tasks = smallSweep(traces, priorities);
+
+    obs::disarmTimeSeries();
+    obs::setEventLoggingEnabled(false);
+    util::ThreadPool pool(2);
+    auto off = sim::SweepRunner(pool).run(tasks);
+
+    obs::clearTimeSeries();
+    obs::clearEvents();
+    obs::armTimeSeries();
+    obs::setEventLoggingEnabled(true);
+    auto on = sim::SweepRunner(pool).run(tasks);
+    obs::setEventLoggingEnabled(false);
+    obs::disarmTimeSeries();
+
+    // Recording actually happened on the instrumented run.
+    EXPECT_GT(obs::publishedTimeSeriesCount(), 0u);
+    EXPECT_GT(obs::eventCount(), 0u);
+    obs::clearTimeSeries();
+    obs::clearEvents();
+
+    ASSERT_EQ(off.size(), on.size());
+    for (size_t i = 0; i < off.size(); ++i) {
+        ASSERT_EQ(off[i].msbPower.size(), on[i].msbPower.size());
+        for (size_t s = 0; s < off[i].msbPower.size(); ++s) {
+            ASSERT_EQ(off[i].msbPower[s], on[i].msbPower[s])
+                << "task " << i << " sample " << s;
+        }
+        EXPECT_EQ(off[i].peakPower.value(), on[i].peakPower.value());
+        EXPECT_EQ(off[i].overloadSteps, on[i].overloadSteps);
+        EXPECT_EQ(off[i].maxCap.value(), on[i].maxCap.value());
+    }
+}
+
+} // namespace
+} // namespace dcbatt

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the flight recorder's telemetry tape
+ * (obs/time_series_recorder.h): sim-time cadence, the decimate and
+ * ring bounded-memory policies, arming plumbing, scope-keyed
+ * publication, and the CSV/JSON exports.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/event_log.h"
+#include "obs/time_series_recorder.h"
+
+namespace dcbatt::obs {
+namespace {
+
+class TimeSeriesTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        disarmTimeSeries();
+        clearTimeSeries();
+    }
+
+    void
+    TearDown() override
+    {
+        disarmTimeSeries();
+        clearTimeSeries();
+    }
+};
+
+TEST_F(TimeSeriesTest, SamplesOnCadenceOnly)
+{
+    TimeSeriesOptions options;
+    options.cadenceSeconds = 10.0;
+    TimeSeriesRecorder recorder(options);
+    double value = 0.0;
+    recorder.addProbe("v", [&value] { return value; });
+
+    recorder.sampleAt(0.0);  // first call always samples
+    value = 1.0;
+    recorder.sampleAt(3.0);  // before the next cadence point: skipped
+    recorder.sampleAt(9.9);  // still skipped
+    value = 2.0;
+    recorder.sampleAt(10.0);  // due
+    value = 3.0;
+    recorder.sampleAt(25.0);  // due (19.9 or later)
+
+    ASSERT_EQ(recorder.sampleCount(), 3u);
+    EXPECT_EQ(recorder.timeAt(0), 0.0);
+    EXPECT_EQ(recorder.timeAt(1), 10.0);
+    EXPECT_EQ(recorder.timeAt(2), 25.0);
+    EXPECT_EQ(recorder.valueAt(0, 0), 0.0);
+    EXPECT_EQ(recorder.valueAt(0, 1), 2.0);
+    EXPECT_EQ(recorder.valueAt(0, 2), 3.0);
+}
+
+TEST_F(TimeSeriesTest, DecimateHalvesTapeAndDoublesCadence)
+{
+    TimeSeriesOptions options;
+    options.cadenceSeconds = 1.0;
+    options.maxSamples = 4;
+    options.bound = TimeSeriesBound::Decimate;
+    TimeSeriesRecorder recorder(options);
+    recorder.addProbe("t2", [] { return 0.0; });
+
+    for (int t = 0; t < 4; ++t)
+        recorder.sampleAt(double(t));
+    EXPECT_EQ(recorder.cadenceSeconds(), 1.0);
+
+    // The 5th sample triggers compaction: keep t = 0, 2, append 4.
+    recorder.sampleAt(4.0);
+    ASSERT_EQ(recorder.sampleCount(), 3u);
+    EXPECT_EQ(recorder.timeAt(0), 0.0);
+    EXPECT_EQ(recorder.timeAt(1), 2.0);
+    EXPECT_EQ(recorder.timeAt(2), 4.0);
+    EXPECT_EQ(recorder.cadenceSeconds(), 2.0);
+
+    // The new cadence really is in force: t = 5 is skipped, 6 sampled.
+    recorder.sampleAt(5.0);
+    EXPECT_EQ(recorder.sampleCount(), 3u);
+    recorder.sampleAt(6.0);
+    EXPECT_EQ(recorder.sampleCount(), 4u);
+    // Coverage is preserved: the tape still starts at t = 0.
+    EXPECT_EQ(recorder.timeAt(0), 0.0);
+}
+
+TEST_F(TimeSeriesTest, RingDropsOldestKeepsTailResolution)
+{
+    TimeSeriesOptions options;
+    options.cadenceSeconds = 1.0;
+    options.maxSamples = 3;
+    options.bound = TimeSeriesBound::Ring;
+    TimeSeriesRecorder recorder(options);
+    recorder.addProbe("v", [] { return 1.0; });
+
+    for (int t = 0; t < 5; ++t)
+        recorder.sampleAt(double(t));
+    ASSERT_EQ(recorder.sampleCount(), 3u);
+    // Full resolution at the tail, oldest gone.
+    EXPECT_EQ(recorder.timeAt(0), 2.0);
+    EXPECT_EQ(recorder.timeAt(1), 3.0);
+    EXPECT_EQ(recorder.timeAt(2), 4.0);
+    EXPECT_EQ(recorder.cadenceSeconds(), 1.0);
+}
+
+TEST_F(TimeSeriesTest, ArmingCarriesOptions)
+{
+    EXPECT_FALSE(timeSeriesArmed());
+    TimeSeriesOptions options;
+    options.cadenceSeconds = 7.5;
+    options.maxSamples = 128;
+    options.bound = TimeSeriesBound::Ring;
+    armTimeSeries(options);
+    EXPECT_TRUE(timeSeriesArmed());
+    TimeSeriesOptions armed = armedTimeSeriesOptions();
+    EXPECT_EQ(armed.cadenceSeconds, 7.5);
+    EXPECT_EQ(armed.maxSamples, 128u);
+    EXPECT_EQ(armed.bound, TimeSeriesBound::Ring);
+    disarmTimeSeries();
+    EXPECT_FALSE(timeSeriesArmed());
+}
+
+TimeSeriesRecorder
+tinyTape(double base)
+{
+    TimeSeriesOptions options;
+    options.cadenceSeconds = 1.0;
+    TimeSeriesRecorder recorder(options);
+    recorder.addProbe("a", [base] { return base; });
+    recorder.addProbe("b", [base] { return base * 2.0; });
+    recorder.sampleAt(0.0);
+    recorder.sampleAt(1.0);
+    return recorder;
+}
+
+TEST_F(TimeSeriesTest, CsvGroupsByScopeWithSortedHeaderUnion)
+{
+    {
+        RunScope scope("0001:second");
+        publishTimeSeries(tinyTape(2.0));
+    }
+    {
+        RunScope scope("0000:first");
+        TimeSeriesOptions options;
+        TimeSeriesRecorder recorder(options);
+        recorder.addProbe("c", [] { return 9.0; });
+        recorder.sampleAt(0.0);
+        publishTimeSeries(std::move(recorder));
+    }
+    EXPECT_EQ(publishedTimeSeriesCount(), 2u);
+
+    std::string csv = timeSeriesToCsv();
+    // Sorted union of probe names; scopes in name order regardless of
+    // publication order; empty cells where a tape lacks a probe.
+    EXPECT_EQ(csv,
+              "scope,t_s,a,b,c\n"
+              "0000:first,0,,,9\n"
+              "0001:second,0,2,4,\n"
+              "0001:second,1,2,4,\n");
+}
+
+TEST_F(TimeSeriesTest, RepeatPublishesGetSuffixedKeys)
+{
+    RunScope scope("dup");
+    publishTimeSeries(tinyTape(1.0));
+    publishTimeSeries(tinyTape(5.0));
+    EXPECT_EQ(publishedTimeSeriesCount(), 2u);
+    std::string csv = timeSeriesToCsv();
+    EXPECT_NE(csv.find("\ndup,0,1,2\n"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\ndup#2,0,5,10\n"), std::string::npos) << csv;
+}
+
+TEST_F(TimeSeriesTest, JsonCarriesSchemaAndColumns)
+{
+    {
+        RunScope scope("run");
+        publishTimeSeries(tinyTape(3.0));
+    }
+    std::string json = timeSeriesToJson();
+    EXPECT_NE(json.find("\"schema\": \"dcbatt-timeseries-v1\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"scope\": \"run\""), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"t_s\", \"a\", \"b\"]"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"values\": [[3, 3], [6, 6]]"),
+              std::string::npos)
+        << json;
+}
+
+} // namespace
+} // namespace dcbatt::obs

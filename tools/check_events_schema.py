@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a dcbatt event-log JSONL file (schema dcbatt-events-v1).
+
+Checks, in order:
+  - line 1 is a header object with schema/events/dropped, and the
+    schema tag is known;
+  - the header's event count matches the number of body lines;
+  - every body line is a JSON object carrying the envelope keys
+    scope (str), seq (int >= 0), t_s (number), type (non-empty str);
+  - payload values are numbers or strings only (no nesting);
+  - within each scope, seq values are strictly increasing and the
+    lines appear in (scope, seq) merge order.
+
+Usage: tools/check_events_schema.py EVENTS.jsonl [...]
+Exit codes: 0 all files valid, 1 any violation.
+"""
+
+import json
+import sys
+
+KNOWN_SCHEMAS = {"dcbatt-events-v1"}
+ENVELOPE = {"scope": str, "seq": int, "t_s": (int, float), "type": str}
+
+
+def check_file(path):
+    errors = []
+
+    def err(line_no, msg):
+        errors.append(f"{path}:{line_no}: {msg}")
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        err(1, "empty file (expected a header line)")
+        return errors
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        err(1, f"header is not valid JSON: {exc}")
+        return errors
+    if not isinstance(header, dict):
+        err(1, "header is not a JSON object")
+        return errors
+    schema = header.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        err(1, f"unknown schema {schema!r} (known: "
+            f"{sorted(KNOWN_SCHEMAS)})")
+    for key in ("events", "dropped"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            err(1, f"header field {key!r} must be a non-negative "
+                f"integer, got {header.get(key)!r}")
+
+    body = [line for line in lines[1:] if line]
+    if isinstance(header.get("events"), int) and \
+            header["events"] != len(body):
+        err(1, f"header says {header['events']} events but the file "
+            f"has {len(body)} body lines")
+
+    last_key = None   # (scope, seq) of the previous line
+    for i, line in enumerate(body, start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(i, f"not valid JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            err(i, "event is not a JSON object")
+            continue
+        bad = False
+        for key, expected in ENVELOPE.items():
+            value = event.get(key)
+            if not isinstance(value, expected) or \
+                    isinstance(value, bool):
+                err(i, f"envelope field {key!r} missing or wrong "
+                    f"type: {value!r}")
+                bad = True
+        if bad:
+            continue
+        if not event["type"]:
+            err(i, "empty event type")
+        if event["seq"] < 0:
+            err(i, f"negative seq {event['seq']}")
+        for key, value in event.items():
+            if key in ENVELOPE:
+                continue
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float, str)):
+                err(i, f"payload field {key!r} must be a number or "
+                    f"string, got {type(value).__name__}")
+        key = (event["scope"], event["seq"])
+        if last_key is not None and key <= last_key:
+            err(i, f"line out of (scope, seq) merge order: "
+                f"{key} after {last_key}")
+        last_key = key
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failed = False
+    for path in sys.argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(error, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,8 +67,13 @@ for spec in "${ARTIFACTS[@]}"; do
         FAILURES+=("$name: golden missing")
     elif ! diff -u "$golden" "/tmp/golden_$name.txt" \
             > "/tmp/golden_$name.diff"; then
-        echo "DIFF     $name" >&2
-        cat "/tmp/golden_$name.diff" >&2
+        echo "DIFF     $name (first 20 lines of the unified diff;" \
+             "full diff: /tmp/golden_$name.diff)" >&2
+        head -n 20 "/tmp/golden_$name.diff" >&2
+        diff_lines=$(wc -l < "/tmp/golden_$name.diff")
+        if [ "$diff_lines" -gt 20 ]; then
+            echo "    ... ($((diff_lines - 20)) more diff lines)" >&2
+        fi
         FAILURES+=("$name: output changed")
     else
         echo "OK       $name"

@@ -35,6 +35,20 @@
  *                      --threads value)
  *   --trace-out PATH   record wall-clock spans and write a Chrome
  *                      trace (open in chrome://tracing or Perfetto)
+ *   --timeseries-out PATH  record the flight-recorder telemetry tape
+ *                      (MSB load, capped racks, SoC quantiles, CC/CV
+ *                      population, Dynamo state) and write CSV — or
+ *                      compact JSON when PATH ends in .json
+ *   --timeseries-cadence SECS  tape cadence in sim seconds (def. 30)
+ *   --timeseries-mode decimate|ring  bounded-memory policy
+ *   --events-out PATH  record the structured event log and write
+ *                      JSONL (schema dcbatt-events-v1)
+ *   --crash-dir DIR    dump a post-mortem crash bundle into DIR on
+ *                      any contract/invariant failure (also read
+ *                      from $DCBATT_CRASH_DIR); inspect with
+ *                      tools/postmortem_inspect.py
+ *   --selftest-crash   deliberately trip a DCBATT_REQUIRE after
+ *                      arming, to exercise the crash-bundle path
  *   --verbose          debug-level logging on stderr (trace-cache
  *                      hit/miss accounting, etc.)
  */
@@ -47,11 +61,15 @@
 
 #include "core/charging_event_sim.h"
 #include "obs/chrome_trace_writer.h"
+#include "obs/crash_bundle.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/time_series_recorder.h"
 #include "obs/trace_span.h"
 #include "sim/sweep_runner.h"
 #include "trace/trace_cache.h"
 #include "trace/trace_generator.h"
+#include "util/check.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/text_table.h"
@@ -78,6 +96,12 @@ struct CliOptions
     std::string csvPath;
     std::string metricsJsonPath;
     std::string traceOutPath;
+    std::string timeSeriesOutPath;
+    double timeSeriesCadence = 30.0;
+    std::string timeSeriesMode = "decimate";
+    std::string eventsOutPath;
+    std::string crashDirPath;
+    bool selftestCrash = false;
     bool verbose = false;
 };
 
@@ -169,6 +193,25 @@ parseArgs(int argc, char **argv)
             options.metricsJsonPath = need_value(i++);
         } else if (flag == "--trace-out") {
             options.traceOutPath = need_value(i++);
+        } else if (flag == "--timeseries-out") {
+            options.timeSeriesOutPath = need_value(i++);
+        } else if (flag == "--timeseries-cadence") {
+            options.timeSeriesCadence =
+                std::atof(need_value(i++));
+            if (options.timeSeriesCadence <= 0.0)
+                util::fatal("--timeseries-cadence must be positive");
+        } else if (flag == "--timeseries-mode") {
+            options.timeSeriesMode = need_value(i++);
+            if (options.timeSeriesMode != "decimate"
+                && options.timeSeriesMode != "ring")
+                util::fatal(
+                    "--timeseries-mode must be decimate or ring");
+        } else if (flag == "--events-out") {
+            options.eventsOutPath = need_value(i++);
+        } else if (flag == "--crash-dir") {
+            options.crashDirPath = need_value(i++);
+        } else if (flag == "--selftest-crash") {
+            options.selftestCrash = true;
         } else if (flag == "--verbose") {
             options.verbose = true;
         } else if (flag == "--help" || flag == "-h") {
@@ -197,7 +240,37 @@ main(int argc, char **argv)
         util::setLogLevel(util::LogLevel::Debug);
     if (!options.traceOutPath.empty())
         obs::setTracingEnabled(true);
-    // Both exports are side channels (own files, notes on stderr):
+    if (!options.timeSeriesOutPath.empty()) {
+        obs::TimeSeriesOptions ts;
+        ts.cadenceSeconds = options.timeSeriesCadence;
+        ts.bound = options.timeSeriesMode == "ring"
+            ? obs::TimeSeriesBound::Ring
+            : obs::TimeSeriesBound::Decimate;
+        obs::armTimeSeries(ts);
+    }
+    if (!options.eventsOutPath.empty())
+        obs::setEventLoggingEnabled(true);
+    std::string crash_dir = options.crashDirPath;
+    if (crash_dir.empty()) {
+        if (const char *env = std::getenv("DCBATT_CRASH_DIR"))
+            crash_dir = env;
+    }
+    if (!crash_dir.empty())
+        obs::setCrashBundleDir(crash_dir);
+    if (options.selftestCrash) {
+        // Exercise the post-mortem path end to end: arm (above), put
+        // a couple of events on the tape, then trip a contract check
+        // exactly the way real invariant failures do.
+        if (crash_dir.empty())
+            util::fatal("--selftest-crash needs --crash-dir (or "
+                        "$DCBATT_CRASH_DIR)");
+        obs::setCrashContext("selftest", "1");
+        obs::logEvent(0.0, "selftest_marker", {{"step", 1}});
+        obs::logEvent(1.0, "selftest_marker", {{"step", 2}});
+        DCBATT_REQUIRE(false,
+                       "selftest crash requested (--selftest-crash)");
+    }
+    // All exports are side channels (own files, notes on stderr):
     // stdout stays byte-identical whether or not they are requested.
     auto finish_observability = [&options] {
         if (!options.metricsJsonPath.empty()) {
@@ -209,6 +282,16 @@ main(int argc, char **argv)
             obs::writeChromeTrace(options.traceOutPath);
             std::fprintf(stderr, "chrome trace: %s\n",
                          options.traceOutPath.c_str());
+        }
+        if (!options.timeSeriesOutPath.empty()) {
+            obs::writeTimeSeries(options.timeSeriesOutPath);
+            std::fprintf(stderr, "time series: %s\n",
+                         options.timeSeriesOutPath.c_str());
+        }
+        if (!options.eventsOutPath.empty()) {
+            obs::writeEventsJsonl(options.eventsOutPath);
+            std::fprintf(stderr, "event log: %s\n",
+                         options.eventsOutPath.c_str());
         }
     };
 

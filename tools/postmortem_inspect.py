@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Pretty-print a dcbatt crash bundle.
+
+A bundle is the directory written by the flight recorder's post-mortem
+path (obs/crash_bundle.h) when a DCBATT_REQUIRE / invariant audit
+fails while `--crash-dir` (or $DCBATT_CRASH_DIR) is armed:
+
+    manifest.json   schema dcbatt-crash-bundle-v1: the failure record,
+                    sim time, run scope, crash context, file list
+    failure.txt     the human-readable check-failure description
+    events.jsonl    last-N flight-recorder events (dcbatt-events-v1)
+    metrics.json    full metrics snapshot (dcbatt-metrics-v1)
+
+Usage:
+    tools/postmortem_inspect.py BUNDLE_DIR [--events N] [--json]
+
+--events N   show the last N events (default 15; 0 = all)
+--json       re-emit the parsed bundle as one JSON object (for
+             scripting; also what the round-trip test consumes)
+
+Exit codes: 0 ok, 1 bad/missing bundle.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"postmortem_inspect: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_bundle(bundle_dir):
+    manifest_path = os.path.join(bundle_dir, "manifest.json")
+    if not os.path.isfile(manifest_path):
+        fail(f"no manifest.json in {bundle_dir} (not a crash bundle?)")
+    with open(manifest_path, encoding="utf-8") as f:
+        try:
+            manifest = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"manifest.json is not valid JSON: {err}")
+    schema = manifest.get("schema")
+    if schema != "dcbatt-crash-bundle-v1":
+        fail(f"unknown bundle schema: {schema!r}")
+
+    bundle = {"dir": bundle_dir, "manifest": manifest, "events": [],
+              "events_header": None, "metrics": None, "failure_text": None}
+
+    events_path = os.path.join(bundle_dir, "events.jsonl")
+    if os.path.isfile(events_path):
+        with open(events_path, encoding="utf-8") as f:
+            lines = [line for line in f.read().splitlines() if line]
+        if not lines:
+            fail("events.jsonl is empty (expected a header line)")
+        try:
+            bundle["events_header"] = json.loads(lines[0])
+            bundle["events"] = [json.loads(line) for line in lines[1:]]
+        except json.JSONDecodeError as err:
+            fail(f"events.jsonl is not valid JSONL: {err}")
+
+    metrics_path = os.path.join(bundle_dir, "metrics.json")
+    if os.path.isfile(metrics_path):
+        with open(metrics_path, encoding="utf-8") as f:
+            try:
+                bundle["metrics"] = json.load(f)
+            except json.JSONDecodeError as err:
+                fail(f"metrics.json is not valid JSON: {err}")
+
+    failure_path = os.path.join(bundle_dir, "failure.txt")
+    if os.path.isfile(failure_path):
+        with open(failure_path, encoding="utf-8") as f:
+            bundle["failure_text"] = f.read().rstrip("\n")
+
+    return bundle
+
+
+ENVELOPE_KEYS = {"scope", "seq", "t_s", "type"}
+
+
+def fmt_event(event):
+    # Payload fields are flattened next to the envelope keys; keep
+    # their on-disk (call-site) order.
+    payload = []
+    for key, value in event.items():
+        if key in ENVELOPE_KEYS:
+            continue
+        if isinstance(value, float):
+            payload.append(f"{key}={value:g}")
+        else:
+            payload.append(f"{key}={value}")
+    scope = event.get("scope", "")
+    scope_part = f" [{scope}]" if scope else ""
+    return (f"  t={event.get('t_s', 0.0):>10.2f}s{scope_part} "
+            f"#{event.get('seq', 0):<4} {event.get('type', '?'):<20} "
+            + " ".join(payload))
+
+
+def print_bundle(bundle, max_events):
+    manifest = bundle["manifest"]
+    failure = manifest.get("failure", {})
+    print(f"crash bundle: {bundle['dir']}")
+    print(f"schema:       {manifest.get('schema')}")
+    print()
+    print("=== failure ===")
+    print(f"  kind:      {failure.get('kind', '?')}")
+    print(f"  where:     {failure.get('file', '?')}:"
+          f"{failure.get('line', '?')} ({failure.get('function', '?')})")
+    print(f"  condition: {failure.get('condition', '?')}")
+    print(f"  message:   {failure.get('message', '')}")
+    sim_time = manifest.get("sim_time_s", -1.0)
+    if sim_time >= 0.0:
+        print(f"  sim time:  {sim_time:.3f} s")
+    else:
+        print("  sim time:  (no provider registered)")
+    scope = manifest.get("scope", "")
+    if scope:
+        print(f"  run scope: {scope}")
+
+    context = manifest.get("context", {})
+    if context:
+        print()
+        print("=== crash context ===")
+        width = max(len(k) for k in context)
+        for key in sorted(context):
+            print(f"  {key:<{width}}  {context[key]}")
+
+    events = bundle["events"]
+    header = bundle["events_header"] or {}
+    print()
+    dropped = header.get("dropped", 0)
+    dropped_note = f", {dropped} dropped earlier" if dropped else ""
+    print(f"=== last events ({len(events)} in bundle{dropped_note}) ===")
+    shown = events if max_events == 0 else events[-max_events:]
+    if len(shown) < len(events):
+        print(f"  ... {len(events) - len(shown)} earlier "
+              f"events omitted (--events 0 shows all)")
+    for event in shown:
+        print(fmt_event(event))
+    if not events:
+        print("  (none recorded)")
+
+    metrics = bundle["metrics"]
+    if metrics is not None:
+        entries = metrics.get("metrics", {})
+        by_kind = {}
+        for name, entry in entries.items():
+            by_kind.setdefault(entry.get("kind", "?"), []).append(name)
+        kinds = ", ".join(f"{len(names)} {kind}s"
+                          for kind, names in sorted(by_kind.items()))
+        print()
+        print(f"=== metrics snapshot ({kinds or 'empty'}) ===")
+        for name in sorted(entries)[:12]:
+            entry = entries[name]
+            value = entry.get("value", entry.get("total", "?"))
+            print(f"  {name:<44} {value}")
+        if len(entries) > 12:
+            print(f"  ... {len(entries) - 12} more in metrics.json")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Pretty-print a dcbatt crash bundle.")
+    parser.add_argument("bundle_dir")
+    parser.add_argument("--events", type=int, default=15,
+                        help="last N events to show (0 = all)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the parsed bundle as JSON")
+    args = parser.parse_args()
+
+    bundle = load_bundle(args.bundle_dir)
+    if args.json:
+        json.dump(bundle, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print_bundle(bundle, args.events)
+
+
+if __name__ == "__main__":
+    main()
