@@ -105,13 +105,13 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
     const SlaCurrentCalculator &calculator() const { return calc_; }
 
     /** Current commanded per rack (after the last plan/tick). */
-    const std::unordered_map<int, util::Amperes> &commanded() const
+    const std::unordered_map<int, util::Amperes> &commanded() const  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
     {
         return commanded_;
     }
 
     /** Postponement (hold) state per rack (after the last plan/tick). */
-    const std::unordered_map<int, bool> &held() const { return held_; }
+    const std::unordered_map<int, bool> &held() const { return held_; }  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
 
     /** SLA-current memo counters since construction. */
     const SlaMemoStats &slaMemoStats() const { return memoStats_; }
@@ -145,11 +145,11 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
     SlaCurrentCalculator calc_;
     PriorityAwareOptions options_;
     /** Memo for slaCurrentFor: (priority, DOD bucket) -> current. */
-    mutable std::unordered_map<uint64_t, util::Amperes> slaMemo_;
+    mutable std::unordered_map<uint64_t, util::Amperes> slaMemo_;  // detlint: allow(unordered-container) -- memo cache, keyed lookup only
     mutable SlaMemoStats memoStats_;
-    std::unordered_map<int, util::Amperes> commanded_;
-    std::unordered_map<int, util::Amperes> slaCurrent_;
-    std::unordered_map<int, bool> held_;
+    std::unordered_map<int, util::Amperes> commanded_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+    std::unordered_map<int, util::Amperes> slaCurrent_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+    std::unordered_map<int, bool> held_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
 };
 
 } // namespace dcbatt::core

@@ -14,7 +14,7 @@
 #ifndef DCBATT_DYNAMO_CAPPING_H_
 #define DCBATT_DYNAMO_CAPPING_H_
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "dynamo/agent.h"
@@ -64,7 +64,13 @@ class CappingEngine
   private:
     double maxCapFraction_;
     /** Watts of cap this engine holds per rack id. */
-    std::unordered_map<int, double> ledger_;
+    /**
+     * Ordered by rack id: totalCap() folds these doubles in rack-id
+     * order, so the sum's rounding is a stable function of the ledger
+     * contents, never of hash-bucket layout (determinism contract,
+     * DESIGN.md §13).
+     */
+    std::map<int, double> ledger_;
 };
 
 } // namespace dcbatt::dynamo

@@ -23,6 +23,7 @@
 #ifndef DCBATT_DYNAMO_CONTROLLER_H_
 #define DCBATT_DYNAMO_CONTROLLER_H_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -105,7 +106,7 @@ class BreakerController
 
     power::PowerNode *node_;
     std::vector<RackAgent *> agents_;
-    std::unordered_map<int, RackAgent *> agentById_;
+    std::unordered_map<int, RackAgent *> agentById_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
     sim::EventQueue *queue_;
     ChargingCoordinator *coordinator_;
     ControllerConfig config_;
@@ -121,7 +122,11 @@ class BreakerController
      * controllers before their first estimate).
      */
     std::vector<double> initialDod_;
-    std::unordered_map<int, sim::Tick> lastCommandTick_;
+    /**
+     * Ordered by rack id: overridesInFlight() walks it, and walks in
+     * deterministic modules must never follow hash-bucket order.
+     */
+    std::map<int, sim::Tick> lastCommandTick_;
     util::Watts maxCapObserved_{0.0};
     /** Reused snapshot buffer (see snapshotRacks). */
     mutable std::vector<RackChargeInfo> snapshotBuf_;
@@ -172,7 +177,7 @@ class ControlPlane
     sim::EventQueue *queue_;
     ControllerConfig config_;
     std::vector<std::unique_ptr<RackAgent>> agents_;
-    std::unordered_map<int, RackAgent *> agentById_;
+    std::unordered_map<int, RackAgent *> agentById_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
     std::vector<std::unique_ptr<BreakerController>> controllers_;
     std::unique_ptr<sim::PeriodicTask> task_;
 };

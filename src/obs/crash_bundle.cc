@@ -7,10 +7,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "util/logging.h"
 
 namespace dcbatt::obs {
@@ -19,10 +19,11 @@ namespace {
 
 struct CrashState
 {
-    std::mutex mutex;
-    std::string dir;
-    size_t eventTail = 256;
-    std::map<std::string, std::string> context;
+    util::Mutex mutex;
+    std::string dir DCBATT_GUARDED_BY(mutex);
+    size_t eventTail DCBATT_GUARDED_BY(mutex) = 256;
+    std::map<std::string, std::string> context
+        DCBATT_GUARDED_BY(mutex);
 };
 
 CrashState &
@@ -114,7 +115,7 @@ setCrashBundleDir(std::string dir)
 {
     CrashState &s = state();
     {
-        std::lock_guard<std::mutex> lock(s.mutex);
+        util::MutexLock lock(s.mutex);
         s.dir = std::move(dir);
     }
     if (crashBundleArmed()) {
@@ -131,7 +132,7 @@ std::string
 crashBundleDir()
 {
     CrashState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     return s.dir;
 }
 
@@ -145,7 +146,7 @@ void
 setCrashBundleEventTail(size_t n)
 {
     CrashState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.eventTail = n;
 }
 
@@ -153,7 +154,7 @@ void
 setCrashContext(const std::string &key, const std::string &value)
 {
     CrashState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.context[key] = value;
 }
 
@@ -161,7 +162,7 @@ void
 clearCrashContext()
 {
     CrashState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.context.clear();
 }
 
@@ -184,7 +185,7 @@ writeCrashBundle(const util::CheckFailure &failure)
     std::map<std::string, std::string> context;
     {
         CrashState &s = state();
-        std::lock_guard<std::mutex> lock(s.mutex);
+        util::MutexLock lock(s.mutex);
         dir = s.dir;
         tail = s.eventTail;
         context = s.context;

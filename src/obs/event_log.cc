@@ -5,8 +5,8 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "util/annotations.h"
 #include "util/logging.h"
 
 namespace dcbatt::obs {
@@ -22,12 +22,13 @@ std::atomic<bool> g_event_logging{false};
  */
 struct ScopeBuffer
 {
+    /** Immutable after registration (set under the registry lock). */
     std::string name;
     size_t capacity = 0;
-    std::mutex mutex;
-    std::deque<EventRecord> events;
-    uint64_t nextSeq = 0;
-    uint64_t dropped = 0;
+    util::Mutex mutex;
+    std::deque<EventRecord> events DCBATT_GUARDED_BY(mutex);
+    uint64_t nextSeq DCBATT_GUARDED_BY(mutex) = 0;
+    uint64_t dropped DCBATT_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace detail
@@ -36,12 +37,12 @@ namespace {
 
 struct EventLogState
 {
-    std::mutex mutex;
+    util::Mutex mutex;
     /** Ordered by name: snapshots iterate in merge order for free. */
     std::map<std::string, std::unique_ptr<detail::ScopeBuffer>,
              std::less<>>
-        scopes;
-    size_t capacityPerScope = 65536;
+        scopes DCBATT_GUARDED_BY(mutex);
+    size_t capacityPerScope DCBATT_GUARDED_BY(mutex) = 65536;
 };
 
 EventLogState &
@@ -57,7 +58,7 @@ detail::ScopeBuffer &
 scopeBuffer(std::string_view name)
 {
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     auto it = s.scopes.find(name);
     if (it == s.scopes.end()) {
         auto buffer = std::make_unique<detail::ScopeBuffer>();
@@ -131,7 +132,7 @@ setEventCapacityPerScope(size_t capacity)
     if (capacity < 1)
         util::fatal("obs: event capacity per scope must be >= 1");
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.capacityPerScope = capacity;
 }
 
@@ -159,7 +160,7 @@ logEvent(double t_seconds, std::string_view type,
         record.labels.emplace_back(field.key,
                                    std::string(field.value));
 
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    util::MutexLock lock(buffer.mutex);
     record.seq = buffer.nextSeq++;
     buffer.events.push_back(std::move(record));
     // Per-scope ring: the drop point depends only on this scope's own
@@ -190,11 +191,12 @@ size_t
 eventCount()
 {
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     size_t total = 0;
-    for (const auto &[name, buffer] : s.scopes) {
-        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-        total += buffer->events.size();
+    for (const auto &entry : s.scopes) {
+        detail::ScopeBuffer &buffer = *entry.second;
+        util::MutexLock buffer_lock(buffer.mutex);
+        total += buffer.events.size();
     }
     return total;
 }
@@ -203,11 +205,12 @@ size_t
 droppedEventCount()
 {
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     size_t total = 0;
-    for (const auto &[name, buffer] : s.scopes) {
-        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-        total += buffer->dropped;
+    for (const auto &entry : s.scopes) {
+        detail::ScopeBuffer &buffer = *entry.second;
+        util::MutexLock buffer_lock(buffer.mutex);
+        total += buffer.dropped;
     }
     return total;
 }
@@ -216,14 +219,15 @@ std::vector<EventRecord>
 snapshotEvents()
 {
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     std::vector<EventRecord> merged;
     // The scope map is name-ordered and each deque is seq-ordered, so
     // concatenation *is* the (scope, seq) sort.
-    for (const auto &[name, buffer] : s.scopes) {
-        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-        merged.insert(merged.end(), buffer->events.begin(),
-                      buffer->events.end());
+    for (const auto &entry : s.scopes) {
+        detail::ScopeBuffer &buffer = *entry.second;
+        util::MutexLock buffer_lock(buffer.mutex);
+        merged.insert(merged.end(), buffer.events.begin(),
+                      buffer.events.end());
     }
     return merged;
 }
@@ -295,14 +299,15 @@ void
 clearEvents()
 {
     EventLogState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     // Buffers stay registered (thread-local frames cache pointers to
     // them); only their contents reset.
-    for (auto &[name, buffer] : s.scopes) {
-        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
-        buffer->events.clear();
-        buffer->nextSeq = 0;
-        buffer->dropped = 0;
+    for (auto &entry : s.scopes) {
+        detail::ScopeBuffer &buffer = *entry.second;
+        util::MutexLock buffer_lock(buffer.mutex);
+        buffer.events.clear();
+        buffer.nextSeq = 0;
+        buffer.dropped = 0;
     }
 }
 

@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "util/annotations.h"
 #include "util/logging.h"
 
 namespace dcbatt::obs {
@@ -69,15 +69,32 @@ struct MetricsRegistry::Impl
         std::unique_ptr<Histogram> histogram;
     };
 
-    mutable std::mutex mutex;
+    mutable util::Mutex mutex;
     /** Ordered by name so snapshots iterate deterministically. */
-    std::map<std::string, Entry, std::less<>> entries;
-    size_t nextSlot = 0;
+    std::map<std::string, Entry, std::less<>> entries
+        DCBATT_GUARDED_BY(mutex);
+    size_t nextSlot DCBATT_GUARDED_BY(mutex) = 0;
     /** Shards of live threads. */
-    std::vector<detail::Shard *> live;
+    std::vector<detail::Shard *> live DCBATT_GUARDED_BY(mutex);
     /** Accumulated totals of exited threads. */
-    detail::Shard retired;
+    detail::Shard retired DCBATT_GUARDED_BY(mutex);
 };
+
+namespace {
+
+/** Sum one slot across retired + live shards; registry lock held. */
+uint64_t
+slotTotalLocked(const MetricsRegistry::Impl &impl, size_t slot)
+    DCBATT_REQUIRES(impl.mutex)
+{
+    uint64_t total =
+        impl.retired.slots[slot].load(std::memory_order_relaxed);
+    for (const detail::Shard *shard : impl.live)
+        total += shard->slots[slot].load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace
 
 namespace {
 
@@ -122,7 +139,7 @@ detail::Shard *
 MetricsRegistry::adoptShard()
 {
     auto *shard = new detail::Shard();
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     impl_->live.push_back(shard);
     return shard;
 }
@@ -130,7 +147,7 @@ MetricsRegistry::adoptShard()
 void
 MetricsRegistry::retireShard(detail::Shard *shard)
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     for (size_t i = 0; i < kMaxSlots; ++i) {
         uint64_t v = shard->slots[i].load(std::memory_order_relaxed);
         if (v)
@@ -143,18 +160,14 @@ MetricsRegistry::retireShard(detail::Shard *shard)
 uint64_t
 MetricsRegistry::slotTotal(size_t slot) const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    uint64_t total =
-        impl_->retired.slots[slot].load(std::memory_order_relaxed);
-    for (const detail::Shard *shard : impl_->live)
-        total += shard->slots[slot].load(std::memory_order_relaxed);
-    return total;
+    util::MutexLock lock(impl_->mutex);
+    return slotTotalLocked(*impl_, slot);
 }
 
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->entries.find(name);
     if (it != impl_->entries.end()) {
         if (it->second.kind != MetricKind::Counter) {
@@ -180,7 +193,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->entries.find(name);
     if (it != impl_->entries.end()) {
         if (it->second.kind != MetricKind::Gauge) {
@@ -211,7 +224,7 @@ MetricsRegistry::histogram(std::string_view name,
                 static_cast<int>(name.size()), name.data()));
         }
     }
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->entries.find(name);
     if (it != impl_->entries.end()) {
         if (it->second.kind != MetricKind::Histogram
@@ -241,17 +254,7 @@ MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    auto slot_total = [this](size_t slot) {
-        uint64_t total =
-            impl_->retired.slots[slot].load(std::memory_order_relaxed);
-        for (const detail::Shard *shard : impl_->live) {
-            total +=
-                shard->slots[slot].load(std::memory_order_relaxed);
-        }
-        return total;
-    };
-
+    util::MutexLock lock(impl_->mutex);
     MetricsSnapshot snap;
     snap.metrics.reserve(impl_->entries.size());
     for (const auto &[name, entry] : impl_->entries) {
@@ -260,7 +263,7 @@ MetricsRegistry::snapshot() const
         value.kind = entry.kind;
         switch (entry.kind) {
           case MetricKind::Counter:
-            value.count = slot_total(entry.slot);
+            value.count = slotTotalLocked(*impl_, entry.slot);
             break;
           case MetricKind::Gauge:
             value.gauge = entry.gauge->value();
@@ -270,7 +273,8 @@ MetricsRegistry::snapshot() const
             size_t buckets = value.bucketEdges.size() + 1;
             value.bucketCounts.resize(buckets);
             for (size_t b = 0; b < buckets; ++b) {
-                value.bucketCounts[b] = slot_total(entry.slot + b);
+                value.bucketCounts[b] =
+                    slotTotalLocked(*impl_, entry.slot + b);
                 value.count += value.bucketCounts[b];
             }
             break;
@@ -284,7 +288,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     for (size_t i = 0; i < kMaxSlots; ++i) {
         impl_->retired.slots[i].store(0, std::memory_order_relaxed);
         for (detail::Shard *shard : impl_->live)

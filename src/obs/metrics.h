@@ -162,14 +162,16 @@ class MetricsRegistry
      */
     void reset();
 
-    // Internal (Counter/Histogram/thread plumbing).
+    // Internal (Counter/Histogram/thread plumbing). Impl is named
+    // here so metrics.cc helpers can carry thread-safety annotations
+    // against its mutex.
+    struct Impl;
     detail::Shard *adoptShard();
     void retireShard(detail::Shard *shard);
     uint64_t slotTotal(size_t slot) const;
 
   private:
     MetricsRegistry();
-    struct Impl;
     Impl *impl_;
 };
 

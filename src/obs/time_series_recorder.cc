@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "obs/event_log.h"
+#include "util/annotations.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -101,12 +101,14 @@ struct PublishedSeries
 
 struct TimeSeriesState
 {
-    std::mutex mutex;
-    TimeSeriesOptions armedOptions;
+    util::Mutex mutex;
+    TimeSeriesOptions armedOptions DCBATT_GUARDED_BY(mutex);
     /** Ordered by scope: exports iterate deterministically. */
-    std::map<std::string, PublishedSeries> published;
+    std::map<std::string, PublishedSeries> published
+        DCBATT_GUARDED_BY(mutex);
     /** Publish count per base scope, for the #n suffixing. */
-    std::map<std::string, unsigned> publishCounts;
+    std::map<std::string, unsigned> publishCounts
+        DCBATT_GUARDED_BY(mutex);
 };
 
 std::atomic<bool> g_armed{false};
@@ -124,7 +126,7 @@ void
 armTimeSeries(TimeSeriesOptions options)
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.armedOptions = options;
     g_armed.store(true, std::memory_order_relaxed);
 }
@@ -145,7 +147,7 @@ TimeSeriesOptions
 armedTimeSeriesOptions()
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     return s.armedOptions;
 }
 
@@ -167,7 +169,7 @@ publishTimeSeries(TimeSeriesRecorder recorder)
 
     std::string scope = currentRunScope();
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     unsigned n = ++s.publishCounts[scope];
     std::string key =
         n == 1 ? scope : scope + util::strf("#%u", n);
@@ -178,7 +180,7 @@ size_t
 publishedTimeSeriesCount()
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     return s.published.size();
 }
 
@@ -186,7 +188,7 @@ std::string
 timeSeriesToCsv()
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
 
     // Union of probe names across tapes, sorted: one stable header
     // even when different engines record different probe sets.
@@ -231,7 +233,7 @@ std::string
 timeSeriesToJson()
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
 
     std::string out = util::strf(
         "{\n  \"schema\": \"%s\",\n  \"runs\": [", kTimeSeriesSchema);
@@ -283,7 +285,7 @@ void
 clearTimeSeries()
 {
     TimeSeriesState &s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.published.clear();
     s.publishCounts.clear();
 }

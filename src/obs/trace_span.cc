@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
+
+#include "util/annotations.h"
 
 namespace dcbatt::obs {
 
@@ -13,8 +14,8 @@ std::atomic<bool> g_tracing{false};
 /** Buffer of completed spans; leaked so late thread exits stay safe. */
 struct SpanBuffer
 {
-    std::mutex mutex;
-    std::vector<SpanEvent> events;
+    util::Mutex mutex;
+    std::vector<SpanEvent> events DCBATT_GUARDED_BY(mutex);
 };
 
 SpanBuffer &
@@ -28,7 +29,9 @@ buffer()
 uint64_t
 nowNs()
 {
-    using clock = std::chrono::steady_clock;
+    // Span timing is the one sanctioned wall-clock consumer: span
+    // output is opt-in and never reaches an artifact (DESIGN.md §11).
+    using clock = std::chrono::steady_clock;  // detlint: allow(wall-clock) -- span-only timing, kept out of every artifact
     static const clock::time_point epoch = clock::now();
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -63,7 +66,7 @@ std::vector<SpanEvent>
 drainSpans()
 {
     SpanBuffer &buf = buffer();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    util::MutexLock lock(buf.mutex);
     std::vector<SpanEvent> out = std::move(buf.events);
     buf.events.clear();
     return out;
@@ -73,7 +76,7 @@ void
 clearSpans()
 {
     SpanBuffer &buf = buffer();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    util::MutexLock lock(buf.mutex);
     buf.events.clear();
 }
 
@@ -96,7 +99,7 @@ TraceSpan::~TraceSpan()
     event.durNs = nowNs() - startNs_;
     event.args = std::move(args_);
     SpanBuffer &buf = buffer();
-    std::lock_guard<std::mutex> lock(buf.mutex);
+    util::MutexLock lock(buf.mutex);
     buf.events.push_back(std::move(event));
 }
 

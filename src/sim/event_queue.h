@@ -91,7 +91,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
     // Ids of scheduled-but-not-yet-executed events. Cancellation just
     // removes the id; the queue entry is skipped when it surfaces.
-    std::unordered_set<EventId> pending_;
+    std::unordered_set<EventId> pending_;  // detlint: allow(unordered-container) -- membership test only, never iterated
     Tick now_ = 0;
     uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;

@@ -1,10 +1,10 @@
 #include "trace/trace_cache.h"
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "util/logging.h"
 
 namespace dcbatt::trace {
@@ -51,12 +51,13 @@ specKey(const TraceGenSpec &spec)
  */
 struct CacheState
 {
-    std::mutex mutex;
-    std::map<std::string, std::shared_ptr<const TraceSet>> entries;
-    uint64_t hitsBase = 0;
-    uint64_t missesBase = 0;
+    util::Mutex mutex;
+    std::map<std::string, std::shared_ptr<const TraceSet>> entries
+        DCBATT_GUARDED_BY(mutex);
+    uint64_t hitsBase DCBATT_GUARDED_BY(mutex) = 0;
+    uint64_t missesBase DCBATT_GUARDED_BY(mutex) = 0;
     /** Running sum of entry footprints (feeds trace.cache_bytes). */
-    uint64_t bytes = 0;
+    uint64_t bytes DCBATT_GUARDED_BY(mutex) = 0;
 };
 
 CacheState &
@@ -102,7 +103,7 @@ sharedTraces(const TraceGenSpec &spec)
     std::string key = specKey(spec);
     CacheState &state = cache();
     {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        util::MutexLock lock(state.mutex);
         auto it = state.entries.find(key);
         if (it != state.entries.end()) {
             hitCounter().add(1);
@@ -125,7 +126,7 @@ sharedTraces(const TraceGenSpec &spec)
     // thread that receives the shared set only ever reads it.
     auto traces = std::make_shared<const TraceSet>(generateTraces(spec));
     traces->warmCaches();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     auto [it, inserted] = state.entries.emplace(key, std::move(traces));
     if (inserted) {
         missCounter().add(1);
@@ -142,7 +143,7 @@ TraceCacheStats
 traceCacheStats()
 {
     CacheState &state = cache();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     return TraceCacheStats{hitCounter().value() - state.hitsBase,
                            missCounter().value() - state.missesBase};
 }
@@ -151,7 +152,7 @@ void
 clearTraceCache()
 {
     CacheState &state = cache();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    util::MutexLock lock(state.mutex);
     state.entries.clear();
     state.hitsBase = hitCounter().value();
     state.missesBase = missCounter().value();

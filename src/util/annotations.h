@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Clang thread-safety annotations and the capability-annotated mutex.
+ *
+ * The determinism contract (DESIGN.md §9/§11/§13) is only as strong
+ * as the lock discipline of the shared-state plumbing underneath it:
+ * the thread pool's queue, the metrics registry's shard list, the
+ * flight recorder's scope buffers. This header moves that discipline
+ * from comments to the type system. Every mutex-guarded field in the
+ * tree is declared DCBATT_GUARDED_BY(its mutex), every lock-requiring
+ * helper DCBATT_REQUIRES(it), and Clang's -Wthread-safety analysis
+ * (enforced as an error by the lint preset and the static-analysis CI
+ * job) rejects any access that does not hold the right capability.
+ *
+ * Under GCC (which has no thread-safety analysis) every macro expands
+ * to nothing, so the annotations cost nothing in any local build; the
+ * clang legs of CI are the enforcement point.
+ *
+ * The wrapper types:
+ *  - util::Mutex      — a std::mutex carrying the `capability`
+ *                       attribute so the analysis can track it;
+ *  - util::MutexLock  — scoped acquisition (a std::scoped_lock with
+ *                       the `scoped_lockable` attribute), with an
+ *                       audited early release() for
+ *                       unlock-before-notify patterns;
+ *  - util::CondVar    — a std::condition_variable bound to MutexLock,
+ *                       with a runtime DCBATT_REQUIRE that the lock
+ *                       is actually held at wait time.
+ *
+ * Use the TSA-friendly explicit wait loop, not the predicate
+ * overload, so guarded reads stay inside the function the analysis
+ * can see:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)         // ready_ is DCBATT_GUARDED_BY(mutex_)
+ *         cv_.wait(lock);
+ */
+
+#ifndef DCBATT_UTIL_ANNOTATIONS_H_
+#define DCBATT_UTIL_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/check.h"
+
+#if defined(__clang__)
+#define DCBATT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DCBATT_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define DCBATT_CAPABILITY(x) DCBATT_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime equals a capability hold. */
+#define DCBATT_SCOPED_CAPABILITY \
+    DCBATT_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define DCBATT_GUARDED_BY(x) DCBATT_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define DCBATT_PT_GUARDED_BY(x) \
+    DCBATT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that acquires the given capabilities and holds on exit. */
+#define DCBATT_ACQUIRE(...) \
+    DCBATT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the given capabilities. */
+#define DCBATT_RELEASE(...) \
+    DCBATT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires iff it returns the given value. */
+#define DCBATT_TRY_ACQUIRE(...) \
+    DCBATT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Callable only while already holding the given capabilities. */
+#define DCBATT_REQUIRES(...) \
+    DCBATT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Callable only while NOT holding the given capabilities. */
+#define DCBATT_EXCLUDES(...) \
+    DCBATT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares that the function returns a reference to @p x. */
+#define DCBATT_RETURN_CAPABILITY(x) \
+    DCBATT_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; every use carries a written justification. */
+#define DCBATT_NO_THREAD_SAFETY_ANALYSIS \
+    DCBATT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dcbatt::util {
+
+class MutexLock;
+class CondVar;
+
+/**
+ * std::mutex with the `capability` attribute: fields declared
+ * DCBATT_GUARDED_BY(one of these) are compile-time checked under
+ * clang. Prefer MutexLock over manual lock()/unlock().
+ */
+class DCBATT_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() DCBATT_ACQUIRE() { raw_.lock(); }
+    void unlock() DCBATT_RELEASE() { raw_.unlock(); }
+    bool tryLock() DCBATT_TRY_ACQUIRE(true)
+    {
+        return raw_.try_lock();
+    }
+
+  private:
+    friend class MutexLock;
+    std::mutex raw_;
+};
+
+/**
+ * Scoped acquisition of a util::Mutex. Holds from construction to
+ * destruction unless release() gives the capability up early (the
+ * unlock-before-notify pattern in ThreadPool).
+ */
+class DCBATT_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) DCBATT_ACQUIRE(mutex)
+        : lock_(mutex.raw_)
+    {
+    }
+
+    ~MutexLock() DCBATT_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /**
+     * Release before end of scope. Fatal if already released: a
+     * double release is a lock-discipline bug, not a recoverable
+     * condition.
+     */
+    void release() DCBATT_RELEASE()
+    {
+        DCBATT_REQUIRE(lock_.owns_lock(),
+                       "MutexLock::release() without the lock held");
+        lock_.unlock();
+    }
+
+    /** Whether this guard still holds its mutex. */
+    bool ownsLock() const { return lock_.owns_lock(); }
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable bound to MutexLock. Only the explicit wait form
+ * is offered (no predicate overload): the caller's wait loop keeps
+ * guarded-field reads inside the annotated function, where the
+ * thread-safety analysis can verify them.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically release @p lock and sleep; the lock is reacquired
+     * before returning. Fatal if @p lock does not hold its mutex.
+     */
+    void wait(MutexLock &lock)
+    {
+        DCBATT_REQUIRE(lock.ownsLock(),
+                       "CondVar::wait on a released MutexLock");
+        cv_.wait(lock.lock_);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_ANNOTATIONS_H_

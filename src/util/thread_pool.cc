@@ -10,7 +10,7 @@ namespace dcbatt::util {
 unsigned
 ThreadPool::hardwareThreads()
 {
-    unsigned hc = std::thread::hardware_concurrency();
+    unsigned hc = std::thread::hardware_concurrency();  // detlint: allow(raw-thread) -- capacity probe inside the sanctioned pool
     return hc == 0 ? 1 : hc;
 }
 
@@ -26,11 +26,11 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    cv_.notify_all();
-    for (std::thread &worker : workers_)
+    cv_.notifyAll();
+    for (std::thread &worker : workers_)  // detlint: allow(raw-thread) -- joining the pool's own workers
         worker.join();
 }
 
@@ -38,12 +38,12 @@ void
 ThreadPool::enqueue(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         DCBATT_REQUIRE(!stopping_,
                        "submit on a ThreadPool being destroyed");
         queue_.push_back(std::move(job));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 void
@@ -52,9 +52,12 @@ ThreadPool::workerLoop()
     while (true) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            // Explicit wait loop (not the predicate overload) so the
+            // guarded reads sit where -Wthread-safety can see the
+            // lock held.
+            while (!stopping_ && queue_.empty())
+                cv_.wait(lock);
             if (queue_.empty())
                 return;  // stopping_ and drained
             job = std::move(queue_.front());
@@ -74,8 +77,8 @@ struct ForState
 {
     std::atomic<size_t> next{0};
     std::atomic<bool> abort{false};
-    std::mutex mutex;
-    std::exception_ptr error;
+    Mutex mutex;
+    std::exception_ptr error DCBATT_GUARDED_BY(mutex);
 };
 
 void
@@ -90,7 +93,7 @@ drainRange(ForState &state, size_t n,
             fn(i);
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(state.mutex);
+                MutexLock lock(state.mutex);
                 if (!state.error)
                     state.error = std::current_exception();
             }
@@ -121,6 +124,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     drainRange(*state, n, fn);
     for (std::future<void> &future : futures)
         future.get();
+    // Every drainer has returned; the lock is uncontended and keeps
+    // the guarded read visible to the thread-safety analysis.
+    MutexLock lock(state->mutex);
     if (state->error)
         std::rethrow_exception(state->error);
 }

@@ -26,16 +26,19 @@
 #ifndef DCBATT_UTIL_THREAD_POOL_H_
 #define DCBATT_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
+// The pool is the one sanctioned owner of raw threads in the tree;
+// everything else fans out through it so worker count stays a
+// non-semantic knob (DESIGN.md §9).
+#include <thread>  // detlint: allow(raw-thread) -- ThreadPool is the sanctioned std::thread owner
 #include <type_traits>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace dcbatt::util {
 
@@ -89,11 +92,12 @@ class ThreadPool
     void enqueue(std::function<void()> job);
     void workerLoop();
 
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ DCBATT_GUARDED_BY(mutex_);
+    /** Written only by the constructor; joined by the destructor. */
+    std::vector<std::thread> workers_;  // detlint: allow(raw-thread) -- the pool's own workers
+    bool stopping_ DCBATT_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace dcbatt::util

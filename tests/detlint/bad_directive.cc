@@ -1,0 +1,25 @@
+// detlint fixture: malformed and dead directives are findings too.
+// A reason-less allow() is rejected (and therefore does NOT suppress
+// — the underlying finding still fires); an allow() that matches
+// nothing is flagged as unused so stale suppressions cannot linger.
+
+#include <cstdlib>
+
+namespace fixture {
+
+int reasonlessAllow()
+{
+    return std::rand();  // detlint: allow(entropy)  // detlint: expect(entropy)  // detlint: expect(bad-directive)
+}
+
+int unknownVerb()
+{
+    return 1;  // detlint: forbid(entropy)  // detlint: expect(bad-directive)
+}
+
+int deadSuppression()
+{
+    return 2;  // detlint: allow(wall-clock) -- nothing on this line reads a clock  // detlint: expect(unused-suppression)
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// detlint fixture: entropy sources in deterministic-module code.
+// All randomness flows through util::Rng, seeded from the scenario
+// config, so that any run replays bit-identically.
+
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned hardwareSeed()
+{
+    std::random_device rd;  // detlint: expect(entropy)
+    return rd();
+}
+
+int diceRoll()
+{
+    return rand() % 6;  // detlint: expect(entropy)
+}
+
+void reseed(unsigned seed)
+{
+    srand(seed);  // detlint: expect(entropy)
+}
+
+int stdDiceRoll()
+{
+    return std::rand() % 6;  // detlint: expect(entropy)
+}
+
+} // namespace fixture

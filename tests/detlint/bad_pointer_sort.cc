@@ -1,0 +1,30 @@
+// detlint fixture: pointer-valued sort keys.
+// Ordering by a raw pointer value sorts by allocation address, which
+// varies run to run (ASLR, allocator state); any downstream tie-break
+// or truncation then becomes nondeterministic.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Rack
+{
+    int id = 0;
+    double load = 0.0;
+};
+
+void sortByAddress(std::vector<Rack *> &racks)
+{
+    std::sort(racks.begin(), racks.end(),
+              [](const Rack *a, const Rack *b) {
+                  return a < b;  // detlint: expect(pointer-sort-key)
+              });
+}
+
+using AddressOrdered =
+    std::map<Rack *, double, std::less<Rack *>>;  // detlint: expect(pointer-sort-key)
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// detlint fixture: raw threads bypassing util::ThreadPool.
+// The pool is the tree's one sanctioned thread owner; ad-hoc threads
+// (worse: detached ones) sidestep its deterministic sharding and its
+// exception propagation.
+
+#include <thread>  // detlint: expect(raw-thread)
+
+namespace fixture {
+
+void fireAndForget(void (*job)())
+{
+    std::thread worker(job);  // detlint: expect(raw-thread)
+    worker.detach();  // detlint: expect(raw-thread)
+}
+
+} // namespace fixture

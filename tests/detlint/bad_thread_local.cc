@@ -1,0 +1,16 @@
+// detlint fixture: thread_local state in deterministic-module code.
+// A thread_local accumulator makes values a function of which worker
+// happened to run which shard — exactly what the --threads knob must
+// never influence.
+
+namespace fixture {
+
+double shardSum(const double *values, int n)
+{
+    thread_local double accumulator = 0.0;  // detlint: expect(thread-local)
+    for (int i = 0; i < n; ++i)
+        accumulator += values[i];
+    return accumulator;
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// detlint fixture: unordered containers in deterministic-module code.
+// Iterating an unordered_map folds values in hash-bucket order; with
+// double-valued payloads the sum's rounding then depends on bucket
+// layout, which is exactly the CappingEngine::totalCap bug this rule
+// exists to keep out of the tree.
+//
+// Fixtures are scanned by `detlint.py --selftest` only; they are not
+// compiled, so includes are minimal.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Ledger
+{
+    std::unordered_map<int, double> caps;  // detlint: expect(unordered-container)
+
+    double total() const
+    {
+        double sum = 0.0;
+        for (const auto &entry : caps)
+            sum += entry.second;
+        return sum;
+    }
+};
+
+std::unordered_set<int> makeSet();  // detlint: expect(unordered-container)
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// detlint fixture: wall-clock reads in deterministic-module code.
+// Simulation results must be a function of the event queue's virtual
+// time only; any host-clock read makes output vary run to run.
+
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long nowMs()
+{
+    auto now = std::chrono::system_clock::now();  // detlint: expect(wall-clock)
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now.time_since_epoch())
+        .count();
+}
+
+long monotonicNs()
+{
+    return std::chrono::steady_clock::now()  // detlint: expect(wall-clock)
+        .time_since_epoch()
+        .count();
+}
+
+long epochSeconds()
+{
+    return static_cast<long>(time(nullptr));  // detlint: expect(wall-clock)
+}
+
+long epochSecondsStd()
+{
+    return static_cast<long>(std::time(nullptr));  // detlint: expect(wall-clock)
+}
+
+} // namespace fixture

@@ -1,0 +1,61 @@
+// detlint fixture: false-positive guards.
+// Everything in this file skirts close to a rule without violating
+// it; the selftest asserts zero findings here.  Each guard names the
+// near-miss it protects.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// Guard: identifiers containing "rand" (grantOrder, operand) must not
+// trip the entropy rule.
+int grantOrder(int a, int b);
+
+int useOperand(int operand)
+{
+    return grantOrder(operand, 2 * operand);
+}
+
+// Guard: banned names inside comments are not findings — never call
+// rand() or std::unordered_map iteration here, as this comment does.
+const char *kDocstring =
+    "strings mentioning std::unordered_map, rand(), steady_clock and "
+    "std::thread are data, not code";
+
+// Guard: ordered containers are the sanctioned alternative.
+std::map<int, double> ledger;
+
+// Guard: member access spelled `.time(...)` (a sim-time getter with
+// arguments) is not a wall-clock read.
+struct Clocked
+{
+    double time(int tick) const { return tick * 3.0; }
+};
+
+double probe(const Clocked &c)
+{
+    return c.time(7);
+}
+
+// Guard: a comparator over pointers that orders by the pointees'
+// fields (with a stable id tie-break) is the sanctioned pattern.
+struct Rack
+{
+    int id = 0;
+    double load = 0.0;
+};
+
+void sortByLoad(std::vector<Rack *> &racks)
+{
+    std::sort(racks.begin(), racks.end(),
+              [](const Rack *a, const Rack *b) {
+                  if (a->load != b->load)
+                      return a->load > b->load;
+                  return a->id < b->id;
+              });
+}
+
+} // namespace fixture

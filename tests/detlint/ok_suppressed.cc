@@ -1,0 +1,29 @@
+// detlint fixture: audited suppressions.
+// Every allow() here carries a reason, sits on (or directly above)
+// the offending line, and suppresses a real finding — so this file
+// must scan clean.  Selftest counts these toward rule coverage.
+
+#include <chrono>
+#include <thread>  // detlint: allow(raw-thread) -- fixture: sanctioned owner include
+#include <unordered_map>
+
+namespace fixture {
+
+struct Cache
+{
+    // Keyed lookups only; no iteration anywhere in this file.
+    std::unordered_map<int, double> byId;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+};
+
+long spanOnlyNowNs()
+{
+    // detlint: allow(wall-clock) -- fixture: preceding-line suppression form
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void joinHelper(std::thread &worker)  // detlint: allow(raw-thread) -- fixture: joins a pool-owned worker
+{
+    worker.join();
+}
+
+} // namespace fixture

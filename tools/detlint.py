@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""detlint — determinism-contract linter for the dcbatt tree.
+
+Scans the deterministic modules (src/battery, src/power, src/core,
+src/dynamo, src/sim, src/reliability, src/trace) and the concurrency
+infrastructure (src/util, src/obs) for constructs that can make
+simulation output depend on hash order, wall clock, entropy, address
+layout, or unmanaged threads.  See DESIGN.md §13 for the rule
+catalogue and the suppression policy.
+
+Typical invocations:
+
+    # scan the tree against the committed baseline (what CI runs)
+    python3 tools/detlint.py --compile-commands build/compile_commands.json \
+        --check-baseline --json detlint_report.json
+
+    # run the fixture corpus (wired into ctest as `detlint_selftest`)
+    python3 tools/detlint.py --selftest
+
+Exit codes: 0 clean, 1 findings/baseline mismatch/selftest failure,
+2 usage or environment error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from detlint import engine, report as report_mod  # noqa: E402
+from detlint.rules import RULES  # noqa: E402
+
+DEFAULT_BASELINE = "tools/detlint_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="detlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root (default: parent of this script's directory)")
+    parser.add_argument(
+        "--compile-commands", default=None, metavar="JSON",
+        help="compile_commands.json to derive the file list from "
+             "(default: <root>/build/compile_commands.json when present; "
+             "src/ is always globbed for headers)")
+    parser.add_argument(
+        "--engine", choices=("lex", "ast"), default="lex",
+        help="lex: self-contained lexical engine (default); ast: add the "
+             "libclang refinement pass (requires python3 clang bindings)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable report to PATH")
+    parser.add_argument(
+        "--check-baseline", nargs="?", const=DEFAULT_BASELINE,
+        default=None, metavar="PATH",
+        help=f"fail unless findings are zero and suppressions match the "
+             f"baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--update-baseline", nargs="?", const=DEFAULT_BASELINE,
+        default=None, metavar="PATH",
+        help="rewrite the baseline from the current (clean) tree")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the fixture corpus under tests/detlint/ and exit")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print audited suppressions")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"detlint: {root} does not look like the repo root "
+              "(no src/)", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule in RULES:
+            classes = ",".join(rule.classes)
+            print(f"{rule.name:20} [{classes}] {rule.summary}")
+        return 0
+
+    if args.selftest:
+        failures = engine.selftest(root)
+        for failure in failures:
+            print(f"detlint selftest: {failure}", file=sys.stderr)
+        print(f"detlint selftest: "
+              f"{'FAIL' if failures else 'PASS'}")
+        return 1 if failures else 0
+
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        candidate = os.path.join(root, "build", "compile_commands.json")
+        if os.path.exists(candidate):
+            compile_commands = candidate
+    elif not os.path.exists(compile_commands):
+        print(f"detlint: no such compile_commands: {compile_commands}",
+              file=sys.stderr)
+        return 2
+
+    use_ast = args.engine == "ast"
+    if use_ast:
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            print("detlint: --engine=ast needs the python3 clang bindings "
+                  "(apt: python3-clang); falling back is deliberate NOT "
+                  "done — rerun with --engine=lex", file=sys.stderr)
+            return 2
+
+    results, notes = engine.scan_tree(root, compile_commands,
+                                      use_ast=use_ast)
+    report = report_mod.build_report(results, notes, args.engine)
+    print(report_mod.render_text(report, verbose=args.verbose))
+
+    if args.json:
+        report_mod.write_json(report, args.json)
+
+    if args.update_baseline:
+        if report["finding_count"] != 0:
+            print("detlint: refusing to pin a baseline over a tree with "
+                  "findings — fix or suppress them first", file=sys.stderr)
+            return 1
+        baseline = report_mod.baseline_from_report(report)
+        path = os.path.join(root, args.update_baseline) \
+            if not os.path.isabs(args.update_baseline) else args.update_baseline
+        report_mod.write_json(baseline, path)
+        print(f"detlint: baseline written to {args.update_baseline}")
+        return 0
+
+    if args.check_baseline:
+        path = os.path.join(root, args.check_baseline) \
+            if not os.path.isabs(args.check_baseline) else args.check_baseline
+        if not os.path.exists(path):
+            print(f"detlint: baseline missing: {args.check_baseline}",
+                  file=sys.stderr)
+            return 2
+        with open(path, encoding="utf-8") as f:
+            baseline = json.load(f)
+        problems = report_mod.check_baseline(report, baseline)
+        for problem in problems:
+            print(f"detlint baseline: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+
+    return 0 if report["finding_count"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

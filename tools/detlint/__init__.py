@@ -1,0 +1,24 @@
+"""Determinism-contract linter for the dcbatt tree.
+
+The paper's evaluation artifacts are required to be bit-identical at
+any ``--threads`` value (DESIGN.md paragraphs 9/11/13).  detlint moves
+that contract from runtime diff tests to analysis time: it scans the
+deterministic modules for constructs whose behavior depends on hash
+order, wall clock, entropy, address layout, or unmanaged threads, and
+fails the build unless each occurrence carries an audited suppression
+comment:
+
+    // detlint: allow(<rule>) -- <reason>
+
+Package layout:
+    source.py   comment/string-aware source model + suppressions
+    rules.py    the rule catalogue (regex/structural checks)
+    engine.py   file discovery, classification, scanning, selftest
+    report.py   machine-readable JSON report + baseline check
+    astcheck.py optional libclang AST refinement (gated on the
+                python3 clang bindings being installed)
+"""
+
+SCHEMA = "dcbatt-detlint-v1"
+
+__all__ = ["SCHEMA"]

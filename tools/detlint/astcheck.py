@@ -1,0 +1,98 @@
+"""Optional libclang refinement pass (``--engine=ast``).
+
+Importing this module requires the python3 clang bindings
+(``python3-clang`` / ``pip: libclang``); the CLI gates on that import
+and reports a clear error instead of crashing when they are absent —
+the container this repo builds in deliberately ships no clang, so the
+lexical engine is the default everywhere and this pass is CI-optional.
+
+The refinement keeps the lexical finding set intact (the baseline is
+defined over it) and *adds* one higher-precision diagnostic the lexer
+cannot express: a range-for statement whose range expression has an
+``unordered_`` type, reported as ``unordered-iteration``.  A plain
+unordered member that is only ever indexed never trips this rule, so
+the AST engine tells audited keyed-lookup suppressions apart from real
+iteration sites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import clang.cindex as cindex  # noqa: F401  (import is the gate)
+
+
+def _args_for(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])[1:]
+    else:
+        args = entry.get("command", "").split()[1:]
+    # Strip output/input operands; keep -I/-D/-std and friends.
+    out: list[str] = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        if a.endswith((".cc", ".cpp", ".cxx", ".o")):
+            continue
+        out.append(a)
+    return out
+
+
+def refine(root: str, compile_commands: str | None, results) -> list[str]:
+    """Append ``unordered-iteration`` findings to *results* in place;
+    return notes for the report."""
+    notes: list[str] = []
+    if not compile_commands or not os.path.exists(compile_commands):
+        return ["ast engine: no compile_commands.json — AST pass skipped"]
+    with open(compile_commands, encoding="utf-8") as f:
+        entries = json.load(f)
+    by_path = {r.path: r for r in results}
+    index = cindex.Index.create()
+    parsed = 0
+    for entry in entries:
+        path = entry.get("file", "")
+        if not os.path.isabs(path):
+            path = os.path.join(entry.get("directory", ""), path)
+        rel = os.path.relpath(os.path.realpath(path),
+                              os.path.realpath(root)).replace(os.sep, "/")
+        result = by_path.get(rel)
+        if result is None or result.module_class != "deterministic":
+            continue
+        try:
+            tu = index.parse(path, args=_args_for(entry))
+        except cindex.TranslationUnitLoadError:
+            notes.append(f"ast engine: failed to parse {rel}")
+            continue
+        parsed += 1
+        for node in tu.cursor.walk_preorder():
+            if node.kind != cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                continue
+            if not node.location.file:
+                continue
+            loc_rel = os.path.relpath(
+                os.path.realpath(node.location.file.name),
+                os.path.realpath(root)).replace(os.sep, "/")
+            target = by_path.get(loc_rel)
+            if target is None or target.module_class != "deterministic":
+                continue
+            children = list(node.get_children())
+            if not children:
+                continue
+            range_type = children[0].type.get_canonical().spelling
+            if "unordered_" in range_type:
+                target.findings.append({
+                    "rule": "unordered-iteration",
+                    "file": loc_rel,
+                    "line": node.location.line,
+                    "message": "range-for over an unordered container: "
+                               "iteration follows hash-bucket order",
+                    "snippet": range_type,
+                })
+    notes.append(f"ast engine: parsed {parsed} translation unit(s)")
+    return notes

@@ -1,0 +1,159 @@
+"""File discovery, classification, and scanning for detlint.
+
+Translation units come from ``compile_commands.json`` when one exists
+(the canonical view of what actually builds), widened with every
+header under ``src/`` — headers hold most of the container and
+comparator declarations but never appear in the compilation database.
+Without a database the engine falls back to globbing ``src/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .rules import (DETERMINISTIC, DETERMINISTIC_MODULES, INFRA,
+                    INFRA_MODULES, RULES_BY_NAME, rules_for_class)
+from .source import SourceFile
+
+_CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp", ".hh")
+
+
+@dataclass
+class FileResult:
+    path: str           # repo-relative, '/'-separated
+    module: str
+    module_class: str
+    findings: list = field(default_factory=list)
+    suppressions: list = field(default_factory=list)
+
+
+def module_of(rel_path: str) -> str | None:
+    parts = rel_path.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def class_of(module: str | None) -> str | None:
+    if module in DETERMINISTIC_MODULES:
+        return DETERMINISTIC
+    if module in INFRA_MODULES:
+        return INFRA
+    return None
+
+
+def discover(root: str, compile_commands: str | None) -> list[str]:
+    """Return repo-relative paths of the files to scan, sorted."""
+    paths: set[str] = set()
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands, encoding="utf-8") as f:
+            entries = json.load(f)
+        for entry in entries:
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(entry.get("directory", ""), path)
+            path = os.path.realpath(path)
+            rel = os.path.relpath(path, os.path.realpath(root))
+            paths.add(rel.replace(os.sep, "/"))
+    src_dir = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_dir):
+        for name in filenames:
+            if name.endswith(_CXX_EXTENSIONS):
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                paths.add(rel.replace(os.sep, "/"))
+    return sorted(p for p in paths
+                  if p.startswith("src/") and class_of(module_of(p)))
+
+
+def scan_file(root: str, rel_path: str,
+              module_class: str | None = None) -> FileResult:
+    """Scan one file; *module_class* overrides path-based gating (the
+    selftest treats every fixture as deterministic-module code)."""
+    module = module_of(rel_path) or "<fixture>"
+    cls = module_class or class_of(module)
+    assert cls is not None, rel_path
+    src = SourceFile.load(os.path.join(root, rel_path))
+    result = FileResult(path=rel_path, module=module, module_class=cls)
+
+    raw = []
+    for rule in rules_for_class(cls):
+        raw.extend(rule.check(src))
+    for line, msg in src.bad_directives:
+        result.findings.append({
+            "rule": "bad-directive", "file": rel_path, "line": line,
+            "message": msg,
+            "snippet": src.lines[line - 1].strip(),
+        })
+    for finding in sorted(raw, key=lambda f: (f.line, f.rule)):
+        sup = src.suppression_for(finding.rule, finding.line)
+        if sup is not None:
+            sup.used = True
+            result.suppressions.append({
+                "rule": finding.rule, "file": rel_path,
+                "line": finding.line, "reason": sup.reason,
+            })
+            continue
+        result.findings.append({
+            "rule": finding.rule, "file": rel_path, "line": finding.line,
+            "message": finding.message, "snippet": finding.snippet,
+        })
+    for sup in src.unused_suppressions():
+        result.findings.append({
+            "rule": "unused-suppression", "file": rel_path,
+            "line": sup.comment_line,
+            "message": f"allow({sup.rule}) suppresses nothing — delete "
+                       "it or fix the rule name",
+            "snippet": src.lines[sup.comment_line - 1].strip(),
+        })
+    return result
+
+
+def scan_tree(root: str, compile_commands: str | None,
+              use_ast: bool = False) -> tuple[list[FileResult], list[str]]:
+    """Scan the whole tree. Returns (results, notes)."""
+    notes: list[str] = []
+    results = [scan_file(root, rel) for rel in
+               discover(root, compile_commands)]
+    if use_ast:
+        from . import astcheck  # raises if clang bindings are absent
+        notes.extend(astcheck.refine(root, compile_commands, results))
+    return results, notes
+
+
+# -- selftest ---------------------------------------------------------
+
+def selftest(root: str, fixture_dir: str = "tests/detlint") -> list[str]:
+    """Run the fixture corpus; return a list of failure strings (empty
+    on success).  Fixtures declare expected findings with
+    ``// detlint: expect(<rule>)`` on the offending line."""
+    failures: list[str] = []
+    fdir = os.path.join(root, fixture_dir)
+    if not os.path.isdir(fdir):
+        return [f"fixture directory missing: {fixture_dir}"]
+    names = sorted(n for n in os.listdir(fdir)
+                   if n.endswith(_CXX_EXTENSIONS))
+    if not names:
+        return [f"no fixtures found under {fixture_dir}"]
+    exercised: set[str] = set()
+    for name in names:
+        rel = f"{fixture_dir}/{name}"
+        src = SourceFile.load(os.path.join(root, rel))
+        result = scan_file(root, rel, module_class=DETERMINISTIC)
+        expected = {(line, rule) for line, rule in src.expects}
+        actual = {(f["line"], f["rule"]) for f in result.findings}
+        for line, rule in sorted(expected - actual):
+            failures.append(
+                f"{rel}:{line}: expected a {rule} finding, got none")
+        for line, rule in sorted(actual - expected):
+            failures.append(
+                f"{rel}:{line}: unexpected {rule} finding")
+        exercised |= {rule for _line, rule in expected}
+        exercised |= {s["rule"] for s in result.suppressions}
+    missing = set(RULES_BY_NAME) - exercised
+    if missing:
+        failures.append(
+            "fixture corpus exercises no finding for rule(s): "
+            + ", ".join(sorted(missing)))
+    return failures

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Correctness gauntlet: build and test the default, asan-ubsan and tsan
-# presets, plus a clang-tidy lint pass when clang-tidy is available.
+# presets, run the determinism-contract linter (tools/detlint.py), and
+# finish with a clang-tidy lint pass when clang-tidy is available.
 #
 # Usage: tools/run_checks.sh [--quick] [--jobs N]
 #   --quick   skip the tsan preset (the slowest leg)
@@ -51,6 +52,19 @@ if [ "$QUICK" -eq 0 ]; then
     run_leg tsan
 else
     echo "=== [tsan] skipped (--quick) ==="
+fi
+
+echo
+echo "=== [detlint] fixture selftest + tree scan vs baseline ==="
+# Reuses the default preset's compile_commands.json (exported by the
+# configure that just ran), so this leg adds only a few seconds.
+if ! python3 tools/detlint.py --selftest; then
+    FAILURES+=("detlint: selftest")
+fi
+if ! python3 tools/detlint.py \
+        --compile-commands build/compile_commands.json \
+        --check-baseline; then
+    FAILURES+=("detlint: tree scan")
 fi
 
 echo
