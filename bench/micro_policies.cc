@@ -260,6 +260,13 @@ BM_RunChargingEvent(benchmark::State &state)
         }
     }
     state.SetItemsProcessed(state.iterations() * 64);
+    // Staging-arena footprints (gauges max-merged across events, like
+    // trace.cache_bytes): makes the allocate-per-event memory budget
+    // visible next to the time-per-event number.
+    state.counters["arena_high_water_bytes"] =
+        obs::gauge("core.arena_high_water_bytes").value();
+    state.counters["trace_arena_high_water_bytes"] =
+        obs::gauge("trace.arena_high_water_bytes").value();
 }
 BENCHMARK(BM_RunChargingEvent)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,180 @@
+#include "battery/batch_charge_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "battery/batch_charge_kernel_internal.h"
+#include "util/logging.h"
+
+namespace dcbatt::battery {
+
+namespace internal {
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+} // namespace internal
+
+bool
+batchChargingEnabled()
+{
+    // Read per call (once per Topology::stepRacks, not per rack): the
+    // differential tests flip the variable within one process.
+    const char *env = std::getenv("DCBATT_BATCH");
+    return !(env != nullptr && std::string_view(env) == "off");
+}
+
+SimdMode
+activeSimdMode()
+{
+    static const SimdMode mode = [] {
+        const char *env = std::getenv("DCBATT_SIMD");
+        std::string_view v = env != nullptr ? env : "auto";
+        if (v == "off" || v == "scalar")
+            return SimdMode::Scalar;
+#ifdef DCBATT_HAVE_AVX2_TU
+        bool has = internal::cpuHasAvx2();
+        if (v == "avx2" && !has) {
+            util::warn("DCBATT_SIMD=avx2 requested but this CPU lacks "
+                       "AVX2; using scalar lanes");
+            return SimdMode::Scalar;
+        }
+        if (v != "auto" && v != "avx2")
+            util::warn("unknown DCBATT_SIMD value; using auto");
+        return has ? SimdMode::Avx2 : SimdMode::Scalar;
+#else
+        if (v == "avx2")
+            util::warn("DCBATT_SIMD=avx2 requested but this build has "
+                       "no AVX2 lanes; using scalar");
+        return SimdMode::Scalar;
+#endif
+    }();
+    return mode;
+}
+
+BatchChargeKernel::BatchChargeKernel(const BbuParams &params)
+    : refillC_(params.refillCharge.value()),
+      effic_(params.chargeEfficiency),
+      emptyV_(params.emptyVoltage.value()),
+      cvV_(params.cvVoltage.value()),
+      tauS_(params.cvTimeConstant.value())
+{
+    // The OCV line constants, with exactly the expressions the
+    // BbuModel constructor evaluates (cvCharge(originalCurrent) /
+    // refillCharge), so both sides hold bit-equal spans.
+    double ref_threshold = ((params.originalCurrent
+                             - params.cutoffCurrent)
+                            * params.cvTimeConstant)
+        / params.refillCharge;
+    ocvSocSpan_ = 1.0 - ref_threshold;
+    ocvVoltSpan_ = params.ccEndVoltage.value()
+        - params.emptyVoltage.value();
+}
+
+void
+BatchChargeKernel::ccLanesScalar(BatchChargeStage &stage, double dt,
+                                 std::size_t begin) const
+{
+    const std::size_t n = stage.ccLanes();
+    const double *dod = stage.ccDod.data();
+    const double *sp = stage.ccSetpointA.data();
+    double *dod_out = stage.ccDodOut.data();
+    double *input_w = stage.ccInputW.data();
+    for (std::size_t i = begin; i < n; ++i) {
+        // applyCharge(dod, setpoint * dt): the whole step stays inside
+        // the CC segment (the exporter checked the handover).
+        double nd = std::max(0.0, dod[i] - (sp[i] * dt) / refillC_);
+        dod_out[i] = nd;
+        // refreshDerived(): current == setpoint; input power from the
+        // linear OCV line at the new DOD.
+        double t = std::clamp((1.0 - nd) / ocvSocSpan_, 0.0, 1.0);
+        double v = emptyV_ + ocvVoltSpan_ * t;
+        input_w[i] = (v * sp[i]) / effic_;
+    }
+}
+
+void
+BatchChargeKernel::cvLanesScalar(BatchChargeStage &stage, double dt,
+                                 double factor, std::size_t begin) const
+{
+    const std::size_t n = stage.cvLanes();
+    const double *dod = stage.cvDod.data();
+    const double *i0 = stage.cvI0A.data();
+    const double *elapsed = stage.cvElapsedS.data();
+    double *dod_out = stage.cvDodOut.data();
+    double *elapsed_out = stage.cvElapsedOutS.data();
+    for (std::size_t i = begin; i < n; ++i) {
+        // applyCharge(dod, cvDeliveredCoulombs(i0, i0 * factor)).
+        double i1 = i0[i] * factor;
+        double nd =
+            std::max(0.0, dod[i] - (tauS_ * (i0[i] - i1)) / refillC_);
+        dod_out[i] = nd;
+        elapsed_out[i] = elapsed[i] + dt;
+    }
+}
+
+void
+BatchChargeKernel::advanceWithMode(BatchChargeStage &stage, double dt,
+                                   SimdMode mode) const
+{
+    stage.ccDodOut.resize(stage.ccLanes());
+    stage.ccInputW.resize(stage.ccLanes());
+    stage.cvDodOut.resize(stage.cvLanes());
+    stage.cvElapsedOutS.resize(stage.cvLanes());
+    stage.cvCurrentA.resize(stage.cvLanes());
+    stage.cvInputW.resize(stage.cvLanes());
+
+    // One cvDecayFactor(dt) shared by every CV lane — the same double
+    // the per-pack memo would return, since all lanes advance by dt.
+    const double factor = std::exp(-dt / tauS_);
+
+    std::size_t cc_done = 0;
+    std::size_t cv_done = 0;
+#ifdef DCBATT_HAVE_AVX2_TU
+    if (mode == SimdMode::Avx2) {
+        internal::BatchChargeConsts c{refillC_, effic_,      emptyV_,
+                                      cvV_,     tauS_,       ocvSocSpan_,
+                                      ocvVoltSpan_};
+        cc_done = internal::ccLanesAvx2(
+            c, dt, stage.ccLanes(), stage.ccDod.data(),
+            stage.ccSetpointA.data(), stage.ccDodOut.data(),
+            stage.ccInputW.data());
+        cv_done = internal::cvLanesAvx2(
+            c, dt, factor, stage.cvLanes(), stage.cvDod.data(),
+            stage.cvI0A.data(), stage.cvElapsedS.data(),
+            stage.cvDodOut.data(), stage.cvElapsedOutS.data());
+    }
+#else
+    (void)mode;
+#endif
+    ccLanesScalar(stage, dt, cc_done);
+    cvLanesScalar(stage, dt, factor, cv_done);
+
+    // Per-lane CV current and input power. The decay stays a scalar
+    // libm std::exp in both modes: refreshDerived() recomputes
+    // e^{-elapsed/tau} from scratch (not i0 * factor — the floats
+    // differ), and vectorized exp implementations are not bit-equal
+    // to libm's.
+    const std::size_t n = stage.cvLanes();
+    const double *sp = stage.cvSetpointA.data();
+    const double *elapsed_out = stage.cvElapsedOutS.data();
+    double *current = stage.cvCurrentA.data();
+    double *input_w = stage.cvInputW.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        double decay = std::exp(-elapsed_out[i] / tauS_);
+        double cur = sp[i] * decay;
+        current[i] = cur;
+        input_w[i] = (cvV_ * cur) / effic_;
+    }
+}
+
+} // namespace dcbatt::battery

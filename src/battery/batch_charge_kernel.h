@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Struct-of-arrays batch advance for lockstep CC-CV charging.
+ *
+ * During a fleet-wide recharge, most racks are in lockstep mode: one
+ * representative pack per shelf integrates and its twins ride along.
+ * Those representatives all run the same closed-form CC-CV update with
+ * the same dt and the same calibration — only their (dod, setpoint,
+ * cvElapsed) state differs. This kernel hoists that update out of the
+ * per-rack object walk into two dense lanes (one CC, one CV) so the
+ * arithmetic runs over contiguous arrays, auto-vectorized in the
+ * scalar build and hand-vectorized under AVX2 when the CPU has it.
+ *
+ * Bit-exactness contract: both lane implementations evaluate exactly
+ * the expressions BbuModel::stepAnalytic() + refreshDerived() evaluate
+ * for a strictly interior segment (no phase boundary inside dt), in
+ * the same order, with no FMA contraction (the AVX2 translation unit
+ * is compiled with -mavx2 -ffp-contract=off and never uses fused
+ * intrinsics). The per-lane CV current decay keeps its scalar
+ * std::exp — transcendentals are the one place vector math libraries
+ * diverge from libm, and the golden artifacts are byte-compared.
+ * battery_batch_kernel_test pins both parities (batch vs. BbuModel
+ * step, AVX2 vs. scalar).
+ *
+ * Runtime switches (read from the environment):
+ *  - DCBATT_BATCH=off      disable batch staging entirely (Topology
+ *                          falls back to the per-rack step walk);
+ *  - DCBATT_SIMD=off       force the scalar lanes;
+ *  - DCBATT_SIMD=avx2      require the AVX2 lanes (scalar fallback
+ *                          with a warning if the CPU lacks them);
+ *  - DCBATT_SIMD=auto      (default) AVX2 when the CPU supports it.
+ */
+
+#ifndef DCBATT_BATTERY_BATCH_CHARGE_KERNEL_H_
+#define DCBATT_BATTERY_BATCH_CHARGE_KERNEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "battery/bbu_params.h"
+
+namespace dcbatt::battery {
+
+/** Which instruction set the batch lanes run on. */
+enum class SimdMode
+{
+    Scalar,
+    Avx2,
+};
+
+/** The resolved DCBATT_SIMD mode (env + CPU probe, cached). */
+SimdMode activeSimdMode();
+
+/** Whether Topology should stage batch lanes at all (DCBATT_BATCH). */
+bool batchChargingEnabled();
+
+/**
+ * Staging arrays for one batched step: one row per exported lockstep
+ * representative, split into a CC lane set and a CV lane set (their
+ * update expressions differ). Inputs are filled by
+ * BbuModel::tryExportBatchLane() in rack order; outputs by
+ * BatchChargeKernel::advance(). The vectors are reused across steps —
+ * clear() keeps capacity.
+ */
+struct BatchChargeStage
+{
+    /** CC lane inputs. */
+    std::vector<double> ccDod;
+    std::vector<double> ccSetpointA;
+    /** CC lane outputs (current stays at the setpoint). */
+    std::vector<double> ccDodOut;
+    std::vector<double> ccInputW;
+
+    /** CV lane inputs. */
+    std::vector<double> cvDod;
+    std::vector<double> cvI0A;       ///< segment start current
+    std::vector<double> cvSetpointA;
+    std::vector<double> cvElapsedS;
+    /** CV lane outputs. */
+    std::vector<double> cvDodOut;
+    std::vector<double> cvElapsedOutS;
+    std::vector<double> cvCurrentA;
+    std::vector<double> cvInputW;
+
+    std::size_t ccLanes() const { return ccDod.size(); }
+    std::size_t cvLanes() const { return cvDod.size(); }
+
+    void
+    clear()
+    {
+        ccDod.clear();
+        ccSetpointA.clear();
+        ccDodOut.clear();
+        ccInputW.clear();
+        cvDod.clear();
+        cvI0A.clear();
+        cvSetpointA.clear();
+        cvElapsedS.clear();
+        cvDodOut.clear();
+        cvElapsedOutS.clear();
+        cvCurrentA.clear();
+        cvInputW.clear();
+    }
+};
+
+/** Batched CC-CV advance for one calibration (all racks share it). */
+class BatchChargeKernel
+{
+  public:
+    explicit BatchChargeKernel(const BbuParams &params);
+
+    /** Advance every staged lane by @p dt under the resolved mode. */
+    void
+    advance(BatchChargeStage &stage, double dt) const
+    {
+        advanceWithMode(stage, dt, activeSimdMode());
+    }
+
+    /** Advance with an explicit mode (the parity test's hook). */
+    void advanceWithMode(BatchChargeStage &stage, double dt,
+                         SimdMode mode) const;
+
+  private:
+    void ccLanesScalar(BatchChargeStage &stage, double dt,
+                       std::size_t begin) const;
+    void cvLanesScalar(BatchChargeStage &stage, double dt, double factor,
+                       std::size_t begin) const;
+
+    /** Derived constants, bit-equal to BbuModel's (same expressions). */
+    double refillC_;
+    double effic_;
+    double emptyV_;
+    double cvV_;
+    double tauS_;
+    double ocvSocSpan_;
+    double ocvVoltSpan_;
+};
+
+} // namespace dcbatt::battery
+
+#endif // DCBATT_BATTERY_BATCH_CHARGE_KERNEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "battery/batch_charge_kernel.h"
 #include "util/check.h"
 
 namespace dcbatt::battery {
@@ -161,16 +162,6 @@ BbuModel::step(Seconds dt)
         stepNumeric(dt);
     else
         stepAnalytic(dt);
-}
-
-double
-BbuModel::totalCvMemo()
-{
-    if (setpoint_.value() != totalCvKey_) {
-        totalCvKey_ = setpoint_.value();
-        totalCvCache_ = kernel_.totalCvSeconds(totalCvKey_);
-    }
-    return totalCvCache_;
 }
 
 double

@@ -269,24 +269,31 @@ PowerShelf::refreshAggregates() const
     double dod_max = 0.0;
     double dod_sum = 0.0;
     if (lockstep_) {
-        // Every healthy pack bit-equals the representative, so walk
-        // the representative healthyTotal_ times: repeated
-        // accumulation of bit-equal values is the same sum the
-        // per-pack walk would produce, without touching the replicas.
+        // Every healthy pack bit-equals the representative. The
+        // counting aggregates are healthyTotal_ copies of one
+        // predicate, evaluated once; the continuous sums keep the
+        // repeated-addition fold so they stay bit-equal to the
+        // per-pack walk (n additions of x, not n * x).
         const BbuModel &rep = bbus_[repIdx_];
+        const double input_w = rep.inputPower().value();
+        const double rep_dod = rep.dod();
+        double recharge_w = 0.0;
         for (int k = 0; k < healthyTotal_; ++k) {
-            ++healthy;
-            recharge += rep.inputPower();
-            dod_max = std::max(dod_max, rep.dod());
-            dod_sum += rep.dod();
+            recharge_w += input_w;
+            dod_sum += rep_dod;
+        }
+        healthy = healthyTotal_;
+        recharge = Watts(recharge_w);
+        if (healthyTotal_ > 0) {
+            dod_max = std::max(dod_max, rep_dod);
             if (rep.charging()) {
-                ++charging;
+                charging = healthyTotal_;
                 if (rep.inCvPhase())
-                    ++cv;
+                    cv = healthyTotal_;
                 if (!rep.paused())
                     setpoint = util::max(setpoint, rep.setpoint());
             } else if (!rep.fullyCharged()) {
-                ++discharged;
+                discharged = healthyTotal_;
             }
         }
     } else {

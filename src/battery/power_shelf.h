@@ -18,6 +18,7 @@
 #ifndef DCBATT_BATTERY_POWER_SHELF_H_
 #define DCBATT_BATTERY_POWER_SHELF_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -64,6 +65,28 @@ class PowerShelf
      *          batteries run out — a rack power outage).
      */
     util::Watts step(util::Seconds dt, util::Watts it_load);
+
+    /**
+     * Batched stepping, part 1 (see batch_charge_kernel.h): when this
+     * step would be a lockstep integration of the representative pack
+     * over one interior CC/CV segment, stage the representative's lane
+     * and return its kind; the caller must then complete the step with
+     * applyBatchLane() instead of step(). Returns None whenever the
+     * shelf would take any other path (input off, quiescent, not in
+     * lockstep, boundary inside dt), in which case nothing is staged
+     * and step() must run as usual.
+     */
+    BatchLaneKind tryExportBatchLane(util::Seconds dt,
+                                     BatchChargeStage &stage);  // inline below
+
+    /**
+     * Batched stepping, part 2: adopt the representative pack's lane
+     * outputs, with the same bookkeeping the lockstep branch of
+     * step() performs. Only valid right after a tryExportBatchLane()
+     * that returned @p kind.
+     */
+    void applyBatchLane(BatchLaneKind kind, std::size_t lane,
+                        const BatchChargeStage &stage);
 
     /**
      * Manual override: set all charging BBUs' CC setpoint (clamped to
@@ -295,6 +318,58 @@ class PowerShelf
     /** Last: keeps the hot aggregate block's layout unchanged. */
     mutable StepStats stepStats_;
 };
+
+// Defined here (not power_shelf.cc) so Topology::stepRacks()'s
+// once-per-rack-per-step staging loop inlines the whole batch-lane
+// protocol — the build has no LTO to do it across translation units.
+
+inline BatchLaneKind
+PowerShelf::tryExportBatchLane(util::Seconds dt, BatchChargeStage &stage)
+{
+    // Export only the one configuration step() handles in lockstep
+    // mode: input power on, something charging, every healthy pack a
+    // bit-equal twin of the representative. Everything else (quiescent
+    // shelves, twin-compare walks, discharge) stays on step().
+    if (dt.value() <= 0.0 || !inputOn_)
+        return BatchLaneKind::None;
+    ensureAggregates();
+    if (chargingN_ == 0 || !lockstep_)
+        return BatchLaneKind::None;
+    return bbus_[repIdx_].tryExportBatchLane(dt.value(), stage);
+}
+
+inline void
+PowerShelf::applyBatchLane(BatchLaneKind kind, std::size_t lane,
+                           const BatchChargeStage &stage)
+{
+    // The bookkeeping of step()'s lockstep branch, with the
+    // representative's integration replaced by the staged result.
+    ++stepStats_.lockstepSteps;
+    // tryExportBatchLane() refreshed the aggregates this step and
+    // nothing ran on this shelf in between.
+    DCBATT_ASSERT(aggValid_,
+                  "applyBatchLane without fresh aggregates");
+    bbus_[repIdx_].applyBatchLane(kind, lane, stage);
+    // An interior CC/CV step moves only the continuous quantities:
+    // the pack stays Charging, in the same phase, unpaused, at the
+    // same setpoint, so every counting aggregate (and the setpoint)
+    // is already correct. Fold the three continuous ones exactly as
+    // refreshAggregates() would — healthyTotal_ repeated additions
+    // of bit-equal values — instead of invalidating, which would
+    // re-run the branchy per-pack fold once per rack per step.
+    const BbuModel &rep = bbus_[repIdx_];
+    const double input_w = rep.inputPower().value();
+    const double rep_dod = rep.dod();
+    double recharge_w = 0.0;
+    double dod_sum = 0.0;
+    for (int k = 0; k < healthyTotal_; ++k) {
+        recharge_w += input_w;
+        dod_sum += rep_dod;
+    }
+    rechargeSumW_ = recharge_w;
+    dodSum_ = dod_sum;
+    maxDodCache_ = std::max(0.0, rep_dod);
+}
 
 } // namespace dcbatt::battery
 

@@ -1,6 +1,7 @@
 #include "core/charging_event_sim.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <memory>
 
@@ -16,6 +17,7 @@
 #include "power/topology.h"
 #include "sim/event_queue.h"
 #include "sim/invariant_auditor.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -94,6 +96,17 @@ runChargingEvent(const ChargingEventConfig &config,
                        && config.targetMeanDod <= 1.0,
                    "target mean DOD %g outside (0, 1]",
                    config.targetMeanDod);
+
+    // Per-event staging arena (util/arena.h): every scratch buffer
+    // below is bump-allocated and rewound wholesale here, so after the
+    // first event on a thread the hot loop does zero heap traffic.
+    // The buffers are (re)initialized before any read, so results are
+    // a function of the config alone, never of thread assignment.
+    // detlint: allow(thread-local) -- per-thread scratch, fully
+    // reinitialized per event; reported only through a max-merged
+    // gauge, which is order-independent.
+    static thread_local util::Arena event_arena;
+    event_arena.reset();
 
     // --- topology ---------------------------------------------------
     power::TopologySpec spec;
@@ -174,7 +187,9 @@ runChargingEvent(const ChargingEventConfig &config,
     const bool events_on = obs::eventLoggingEnabled();
 
     std::unique_ptr<obs::TimeSeriesRecorder> recorder;
-    std::vector<double> dod_scratch;
+    util::ArenaVector<double> dod_scratch{
+        util::ArenaAllocator<double>(event_arena)};
+    dod_scratch.reserve(static_cast<size_t>(n_racks));
     if (obs::timeSeriesArmed()) {
         recorder = std::make_unique<obs::TimeSeriesRecorder>(
             obs::armedTimeSeriesOptions());
@@ -340,11 +355,12 @@ runChargingEvent(const ChargingEventConfig &config,
     }
 
     // --- physics loop -------------------------------------------------
-    std::vector<bool> done(static_cast<size_t>(n_racks), false);
+    uint8_t *done =
+        event_arena.allocateArray<uint8_t>(static_cast<size_t>(n_racks));
     /** Per-rack "was any BBU in CV" flags for CC→CV transition events. */
-    std::vector<bool> was_cv;
-    if (events_on)
-        was_cv.assign(static_cast<size_t>(n_racks), false);
+    uint8_t *was_cv = events_on
+        ? event_arena.allocateArray<uint8_t>(static_cast<size_t>(n_racks))
+        : nullptr;
     size_t last_trace_idx = std::numeric_limits<size_t>::max();
     const Seconds dt = config.physicsStep;
     sim::PeriodicTask physics(queue, sim::toTicks(dt),
@@ -366,49 +382,45 @@ runChargingEvent(const ChargingEventConfig &config,
         topo.stepRacks(dt);
         topo.observeBreakers(dt);
 
-        // Sample fleet-level series from the struct-of-arrays rows
-        // stepRacks just refreshed (no rack mutates between the step
-        // and this read, so the rows equal the object walk exactly).
+        // Sample fleet-level series from the power sums stepRacks
+        // folded over the struct-of-arrays rows it just refreshed (no
+        // rack mutates between the step and this read, so the sums
+        // equal the object walk exactly).
         const battery::FleetState &fleet = topo.fleet();
-        Watts it(0.0), recharge(0.0), cap(0.0);
+        const power::Topology::StepPowerTotals &totals =
+            topo.stepPowerTotals();
+        Watts msb = topo.root().inputPower();
+        result.msbPower.append(msb.value());
+        result.itPower.append(totals.itW);
+        result.rechargePower.append(totals.rechargeW);
+        result.capPower.append(totals.capW);
+        if (msb > config.msbLimit)
+            ++result.overloadSteps;
+
+        // One pass over the rows: sticky cap/hold flags plus
+        // charge-completion detection (the latter armed only once
+        // charging has begun).
+        Seconds sim_now = sim::toSeconds(now);
+        const bool after_start = sim_now > result.chargeStart;
         for (int i = 0; i < n_racks; ++i) {
             auto idx = static_cast<size_t>(i);
-            if (fleet.inputOn[idx])
-                it += Watts(fleet.itLoadW[idx]);
-            recharge += Watts(fleet.rechargeW[idx]);
-            cap += Watts(fleet.capW[idx]);
             if (fleet.capW[idx] > 0.0)
                 result.racks[idx].everCapped = true;
             if (fleet.held[idx])
                 result.racks[idx].everHeld = true;
-        }
-        Watts msb = topo.root().inputPower();
-        result.msbPower.append(msb.value());
-        result.itPower.append(it.value());
-        result.rechargePower.append(recharge.value());
-        result.capPower.append(cap.value());
-        if (msb > config.msbLimit)
-            ++result.overloadSteps;
-
-        // Charge-completion detection.
-        Seconds sim_now = sim::toSeconds(now);
-        if (sim_now > result.chargeStart) {
-            for (int i = 0; i < n_racks; ++i) {
-                auto idx = static_cast<size_t>(i);
-                if (done[idx])
-                    continue;
-                if (fleet.fullyCharged[idx]) {
-                    done[idx] = true;
-                    result.racks[idx].chargeDuration =
-                        sim_now - result.chargeStart;
-                    if (events_on) {
-                        obs::logEvent(
-                            sim_now.value(), "charge_finish",
-                            {{"rack", static_cast<double>(i)},
-                             {"duration_s",
-                              result.racks[idx]
-                                  .chargeDuration->value()}});
-                    }
+            if (!after_start || done[idx])
+                continue;
+            if (fleet.fullyCharged[idx]) {
+                done[idx] = true;
+                result.racks[idx].chargeDuration =
+                    sim_now - result.chargeStart;
+                if (events_on) {
+                    obs::logEvent(
+                        sim_now.value(), "charge_finish",
+                        {{"rack", static_cast<double>(i)},
+                         {"duration_s",
+                          result.racks[idx]
+                              .chargeDuration->value()}});
                 }
             }
         }
@@ -515,6 +527,16 @@ runChargingEvent(const ChargingEventConfig &config,
             "core.event_window_s",
             {600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0});
         window_hist.observe((t_end - t0).value());
+    }
+    {
+        // Staging-arena footprint for this event. Nothing is freed
+        // until the reset at the top, so usedBytes() here is the
+        // event's high-water mark; the gauge max-merges so the
+        // snapshot is identical at any thread count.
+        static obs::Gauge &arena_gauge =
+            obs::gauge("core.arena_high_water_bytes");
+        arena_gauge.setMax(
+            static_cast<double>(event_arena.usedBytes()));
     }
     {
         static obs::Histogram &memo_hist = obs::histogram(

@@ -194,32 +194,31 @@ checkPriorityOrder(sim::AuditContext &context, const Topology &topology,
     // ordering against the racks it still plans to charge.
     if (!coordinator)
         return;
+    const auto &plan = coordinator->planStates();
     int planned_held = 3;
-    for (const auto &[rack_id, held] : coordinator->held()) {
-        if (held) {
+    for (size_t rack_id = 0; rack_id < plan.size(); ++rack_id) {
+        if (plan[rack_id].held) {
             planned_held = std::min(
                 planned_held,
                 power::priorityIndex(
-                    topology.racks()[static_cast<size_t>(rack_id)]
-                        ->priority()));
+                    topology.racks()[rack_id]->priority()));
         }
     }
     if (planned_held >= 3)
         return;
-    for (const auto &[rack_id, current] : coordinator->commanded()) {
-        const Rack *rack =
-            topology.racks()[static_cast<size_t>(rack_id)];
-        auto held_it = coordinator->held().find(rack_id);
-        bool held = held_it != coordinator->held().end()
-            && held_it->second;
-        if (held || !rack->shelf().anyCharging())
+    for (size_t rack_id = 0; rack_id < plan.size(); ++rack_id) {
+        const auto &st = plan[rack_id];
+        if (!st.hasCommand)
+            continue;
+        const Rack *rack = topology.racks()[rack_id];
+        if (st.held || !rack->shelf().anyCharging())
             continue;
         context.expect(
             power::priorityIndex(rack->priority()) <= planned_held,
-            util::strf("coordinator plans rack %d (%s) charging at "
+            util::strf("coordinator plans rack %zu (%s) charging at "
                        "%.2f A while a P%d rack is planned held",
                        rack_id, power::toString(rack->priority()),
-                       current.value(), planned_held + 1));
+                       st.commanded.value(), planned_held + 1));
     }
 }
 

@@ -18,11 +18,13 @@ PriorityAwareCoordinator::PriorityAwareCoordinator(
 {
 }
 
-std::vector<const RackChargeInfo *>
+const std::vector<const RackChargeInfo *> &
 PriorityAwareCoordinator::grantOrder(
     const std::vector<RackChargeInfo> &racks) const
 {
-    std::vector<const RackChargeInfo *> order;
+    std::vector<const RackChargeInfo *> &order = orderBuf_;
+    order.clear();
+    order.reserve(racks.size());
     for (const RackChargeInfo &info : racks) {
         if (info.charging)
             order.push_back(&info);
@@ -41,6 +43,22 @@ PriorityAwareCoordinator::grantOrder(
                   return a->rackId < b->rackId;
               });
     return order;
+}
+
+PriorityAwareCoordinator::RackPlanState &
+PriorityAwareCoordinator::stateFor(int rack_id)
+{
+    auto idx = static_cast<size_t>(rack_id);
+    if (idx >= plan_.size())
+        plan_.resize(idx + 1);
+    return plan_[idx];
+}
+
+const PriorityAwareCoordinator::RackPlanState *
+PriorityAwareCoordinator::stateAt(int rack_id) const
+{
+    auto idx = static_cast<size_t>(rack_id);
+    return idx < plan_.size() ? &plan_[idx] : nullptr;
 }
 
 Amperes
@@ -79,20 +97,20 @@ std::vector<OverrideCommand>
 PriorityAwareCoordinator::planInitial(
     const std::vector<RackChargeInfo> &racks, Watts available_power)
 {
-    commanded_.clear();
-    slaCurrent_.clear();
-    held_.clear();
+    plan_.clear();
 
     Amperes floor = bbuParams().minCurrent;
     Watts per_amp = battery::rackWattsPerAmpere(bbuParams());
-    auto order = grantOrder(racks);
+    const auto &order = grantOrder(racks);
 
     // Algorithm 1, lines 1-4: initialize everything to the 1 A floor
     // and compute each rack's SLA current from (DOD, priority).
     for (const RackChargeInfo *info : order) {
-        commanded_[info->rackId] = floor;
-        slaCurrent_[info->rackId] =
-            slaCurrentFor(info->initialDod, info->priority);
+        RackPlanState &st = stateFor(info->rackId);
+        st.commanded = floor;
+        st.hasCommand = true;
+        st.sla = slaCurrentFor(info->initialDod, info->priority);
+        st.hasSla = true;
     }
 
     // Postponement extension: if even the 1 A floors exceed the
@@ -107,13 +125,13 @@ PriorityAwareCoordinator::planInitial(
         Watts need = floor_total - plan_budget;
         for (auto it = order.rbegin();
              it != order.rend() && need.value() > 0.0; ++it) {
-            held_[(*it)->rackId] = true;
+            stateFor((*it)->rackId).held = true;
             need -= per_amp * floor.value();
         }
     }
     auto is_held = [this](int rack_id) {
-        auto it = held_.find(rack_id);
-        return it != held_.end() && it->second;
+        const RackPlanState *st = stateAt(rack_id);
+        return st != nullptr && st->held;
     };
     double floored = 0.0;
     for (const RackChargeInfo *info : order) {
@@ -130,14 +148,14 @@ PriorityAwareCoordinator::planInitial(
     for (const RackChargeInfo *info : order) {
         if (is_held(info->rackId))
             continue;
-        Amperes sla = slaCurrent_[info->rackId];
+        Amperes sla = stateFor(info->rackId).sla;
         DCBATT_ASSERT(sla >= floor && sla <= bbuParams().maxCurrent,
                       "SLA current %g A for rack %d outside [%g, %g] A",
                       sla.value(), info->rackId, floor.value(),
                       bbuParams().maxCurrent.value());
         Watts extra = per_amp * (sla - floor).value();
         if (extra <= budget) {
-            commanded_[info->rackId] = sla;
+            stateFor(info->rackId).commanded = sla;
             budget -= extra;
         } else if (options_.strictGreedy) {
             break;
@@ -145,14 +163,14 @@ PriorityAwareCoordinator::planInitial(
     }
 
     std::vector<OverrideCommand> commands;
-    commands.reserve(commanded_.size());
+    commands.reserve(order.size());
     for (const RackChargeInfo *info : order) {
         if (is_held(info->rackId)) {
             commands.push_back({info->rackId, floor,
                                 OverrideCommand::Kind::Hold});
         } else {
             commands.push_back({info->rackId,
-                                commanded_[info->rackId]});
+                                stateFor(info->rackId).commanded});
         }
     }
     return commands;
@@ -165,10 +183,10 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
     std::vector<OverrideCommand> commands;
     Amperes floor = bbuParams().minCurrent;
     Watts per_amp = battery::rackWattsPerAmpere(bbuParams());
-    auto order = grantOrder(racks);
+    const auto &order = grantOrder(racks);
     auto is_held = [this](int rack_id) {
-        auto it = held_.find(rack_id);
-        return it != held_.end() && it->second;
+        const RackPlanState *st = stateAt(rack_id);
+        return st != nullptr && st->held;
     };
 
     // Power change still in flight through the actuation pipeline
@@ -178,15 +196,15 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
     // another slice of the fleet.
     Watts pending(0.0);
     for (const RackChargeInfo *info : order) {
-        if (is_held(info->rackId)) {
+        const RackPlanState *st = stateAt(info->rackId);
+        if (st != nullptr && st->held) {
             // A held rack's power is heading to zero.
             pending -= per_amp * info->setpoint.value();
             continue;
         }
-        auto cmd = commanded_.find(info->rackId);
-        if (cmd == commanded_.end())
+        if (st == nullptr || !st->hasCommand)
             continue;
-        pending += per_amp * (cmd->second - info->setpoint).value();
+        pending += per_amp * (st->commanded - info->setpoint).value();
     }
 
     // Servers come first: while any rack is power-capped, all spare
@@ -220,15 +238,15 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
             const RackChargeInfo *info = *it;
             if (is_held(info->rackId))
                 continue;
-            auto cmd = commanded_.find(info->rackId);
-            Amperes present = cmd != commanded_.end()
-                ? cmd->second
+            const RackPlanState *cmd = stateAt(info->rackId);
+            Amperes present = cmd != nullptr && cmd->hasCommand
+                ? cmd->commanded
                 : info->setpoint;
             if (present <= floor + Amperes(1e-9)) {
                 if (options_.allowPostponement) {
                     // Already at the floor: postpone entirely rather
                     // than let the controller cap servers.
-                    held_[info->rackId] = true;
+                    stateFor(info->rackId).held = true;
                     commands.push_back({info->rackId, floor,
                                         OverrideCommand::Kind::Hold});
                     need -= per_amp * floor.value();
@@ -236,7 +254,9 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
                 continue;
             }
             Watts relief = per_amp * (present - floor).value();
-            commanded_[info->rackId] = floor;
+            RackPlanState &st = stateFor(info->rackId);
+            st.commanded = floor;
+            st.hasCommand = true;
             commands.push_back({info->rackId, floor});
             need -= relief;
         }
@@ -254,11 +274,12 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
         for (const RackChargeInfo *info : order) {
             if (budget < per_amp_floor)
                 break;
-            auto it = held_.find(info->rackId);
-            if (it == held_.end() || !it->second || !info->charging)
+            if (!is_held(info->rackId) || !info->charging)
                 continue;
-            it->second = false;
-            commanded_[info->rackId] = floor;
+            RackPlanState &st = stateFor(info->rackId);
+            st.held = false;
+            st.commanded = floor;
+            st.hasCommand = true;
             commands.push_back({info->rackId, floor,
                                 OverrideCommand::Kind::Resume});
             budget -= per_amp_floor;
@@ -273,16 +294,16 @@ PriorityAwareCoordinator::onTick(const std::vector<RackChargeInfo> &racks,
         if (budget.value() <= 0.0)
             return commands;
         for (const RackChargeInfo *info : order) {
-            auto cmd = commanded_.find(info->rackId);
-            auto sla = slaCurrent_.find(info->rackId);
-            if (cmd == commanded_.end() || sla == slaCurrent_.end())
+            const RackPlanState *st = stateAt(info->rackId);
+            if (st == nullptr || !st->hasCommand || !st->hasSla)
                 continue;
-            if (cmd->second >= sla->second)
+            if (st->commanded >= st->sla)
                 continue;
-            Watts extra = per_amp * (sla->second - cmd->second).value();
+            Watts extra = per_amp * (st->sla - st->commanded).value();
             if (extra <= budget) {
-                commanded_[info->rackId] = sla->second;
-                commands.push_back({info->rackId, sla->second});
+                Amperes sla = st->sla;
+                stateFor(info->rackId).commanded = sla;
+                commands.push_back({info->rackId, sla});
                 budget -= extra;
             }
         }

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/sla_current.h"
 #include "dynamo/coordinator.h"
@@ -104,21 +105,42 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
 
     const SlaCurrentCalculator &calculator() const { return calc_; }
 
-    /** Current commanded per rack (after the last plan/tick). */
-    const std::unordered_map<int, util::Amperes> &commanded() const  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+    /** Per-rack plan state (see planStates()). */
+    struct RackPlanState
     {
-        return commanded_;
-    }
+        /** Last commanded current (valid when hasCommand). */
+        util::Amperes commanded{0.0};
+        /** SLA current computed by planInitial (valid when hasSla). */
+        util::Amperes sla{0.0};
+        bool hasCommand = false;
+        bool hasSla = false;
+        /** Postponed (held at zero) by the coordinator. */
+        bool held = false;
+    };
 
-    /** Postponement (hold) state per rack (after the last plan/tick). */
-    const std::unordered_map<int, bool> &held() const { return held_; }  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+    /**
+     * Plan state after the last plan/tick, indexed by rack id (rack
+     * ids are dense fleet row indices). Racks past the largest id the
+     * coordinator has seen have no entry; entries with neither
+     * hasCommand nor held set are untouched racks.
+     */
+    const std::vector<RackPlanState> &planStates() const
+    {
+        return plan_;
+    }
 
     /** SLA-current memo counters since construction. */
     const SlaMemoStats &slaMemoStats() const { return memoStats_; }
 
   private:
-    /** Sort (priority asc, DOD asc, id) honoring the ablation knobs. */
-    std::vector<const dynamo::RackChargeInfo *>
+    /**
+     * Sort (priority asc, DOD asc, id) honoring the ablation knobs.
+     * Returns a reference to orderBuf_, rebuilt on every call (the
+     * coordinator ticks every few seconds for every rack in the
+     * fleet; reusing the buffer keeps the plan hot path free of
+     * per-tick allocation). Invalidated by the next grantOrder call.
+     */
+    const std::vector<const dynamo::RackChargeInfo *> &
     grantOrder(const std::vector<dynamo::RackChargeInfo> &racks) const;
 
     /**
@@ -142,14 +164,24 @@ class PriorityAwareCoordinator : public dynamo::ChargingCoordinator
         return calc_.model().params();
     }
 
+    /** Grow-on-demand access to a rack's plan entry. */
+    RackPlanState &stateFor(int rack_id);
+    /** Read access; null when the rack has no entry yet. */
+    const RackPlanState *stateAt(int rack_id) const;
+
     SlaCurrentCalculator calc_;
     PriorityAwareOptions options_;
+    /** Reused grant-order buffer (see grantOrder). */
+    mutable std::vector<const dynamo::RackChargeInfo *> orderBuf_;
     /** Memo for slaCurrentFor: (priority, DOD bucket) -> current. */
     mutable std::unordered_map<uint64_t, util::Amperes> slaMemo_;  // detlint: allow(unordered-container) -- memo cache, keyed lookup only
     mutable SlaMemoStats memoStats_;
-    std::unordered_map<int, util::Amperes> commanded_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
-    std::unordered_map<int, util::Amperes> slaCurrent_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
-    std::unordered_map<int, bool> held_;  // detlint: allow(unordered-container) -- keyed lookup only, never iterated
+    /**
+     * Plan state indexed by rack id. A dense vector, not a map: the
+     * tick path probes commanded/held several times per rack per
+     * control tick, and rack ids are fleet row indices anyway.
+     */
+    std::vector<RackPlanState> plan_;
 };
 
 } // namespace dcbatt::core

@@ -57,7 +57,7 @@ BreakerController::snapshotRacks() const
     snapshotBuf_.reserve(agents_.size());
     for (size_t i = 0; i < agents_.size(); ++i) {
         const RackAgent *agent = agents_[i];
-        RackChargeInfo info;
+        RackChargeInfo &info = snapshotBuf_.emplace_back();
         info.rackId = agent->rackId();
         info.priority = agent->rack().priority();
         info.initialDod = i < initialDod_.size() ? initialDod_[i] : 0.0;
@@ -67,7 +67,6 @@ BreakerController::snapshotRacks() const
         info.capAmount = agent->rack().capAmount();
         info.charging = agent->charging();
         info.held = agent->holdCommanded();
-        snapshotBuf_.push_back(info);
     }
     return snapshotBuf_;
 }

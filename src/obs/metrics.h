@@ -103,6 +103,22 @@ class Gauge
 {
   public:
     void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    /**
+     * Monotonic raise: keep the larger of the current value and @p v.
+     * Max is commutative and associative, so concurrent raisers
+     * converge to the same final value under any thread interleaving —
+     * use this (never set()) when several threads report the same
+     * gauge, or the snapshot would depend on write order.
+     */
+    void
+    setMax(double v)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (cur < v
+               && !value_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
+    }
     double value() const
     {
         return value_.load(std::memory_order_relaxed);

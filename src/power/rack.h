@@ -13,6 +13,7 @@
 #ifndef DCBATT_POWER_RACK_H_
 #define DCBATT_POWER_RACK_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -110,6 +111,33 @@ class Rack
      * charging dynamics while on.
      */
     void step(util::Seconds dt);
+
+    /**
+     * Batched stepping, part 1: stage this rack's lockstep charge lane
+     * if the shelf's next step qualifies (see PowerShelf). A rack that
+     * stages a lane must complete the step with applyBatchLane()
+     * instead of step().
+     */
+    battery::BatchLaneKind
+    tryExportBatchLane(util::Seconds dt,
+                       battery::BatchChargeStage &stage)
+    {
+        return shelf_.tryExportBatchLane(dt, stage);
+    }
+
+    /**
+     * Batched stepping, part 2: adopt the lane outputs and perform
+     * step()'s bookkeeping for that path. Eligibility implies input
+     * power is on (no outage check) and charging was active (the
+     * cached power aggregates above this rack go stale).
+     */
+    void
+    applyBatchLane(battery::BatchLaneKind kind, std::size_t lane,
+                   const battery::BatchChargeStage &stage)
+    {
+        shelf_.applyBatchLane(kind, lane, stage);
+        markPowerDirty();
+    }
 
     /**
      * Whether the servers lost power at any point (batteries ran out

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -321,8 +322,42 @@ Topology::stepRacks(Seconds dt)
     DCBATT_ASSERT(fleet.size() == rackPtrs_.size(),
                   "fleet rows %zu != racks %zu", fleet.size(),
                   rackPtrs_.size());
+    // Phase 1: stage every rack whose step is a lockstep integration
+    // over one interior CC/CV segment; step the rest in place. Racks
+    // are independent within a step, so reordering the staged racks'
+    // integration after the stragglers' changes nothing.
+    batchStage_.clear();
+    batchLanes_.clear();
+    const bool batching = battery::batchChargingEnabled();
     for (Rack *rack : rackPtrs_) {
-        rack->step(dt);
+        battery::BatchLaneKind kind = batching
+            ? rack->tryExportBatchLane(dt, batchStage_)
+            : battery::BatchLaneKind::None;
+        if (kind == battery::BatchLaneKind::None)
+            rack->step(dt);
+        else
+            batchLanes_.push_back({rack, kind});
+    }
+    // Phase 2: one dense sweep over all staged lanes, then write the
+    // results back in staging order (lane index = per-kind ordinal).
+    if (!batchLanes_.empty()) {
+        DCBATT_COUNT_N("battery.batch_lanes", batchLanes_.size());
+        if (!batchKernel_) {
+            batchKernel_ = std::make_unique<battery::BatchChargeKernel>(
+                rackPtrs_.front()->shelf().params());
+        }
+        batchKernel_->advance(batchStage_, dt.value());
+        size_t cc = 0;
+        size_t cv = 0;
+        for (const BatchLaneRef &lane : batchLanes_) {
+            size_t idx = lane.kind == battery::BatchLaneKind::Cc
+                ? cc++
+                : cv++;
+            lane.rack->applyBatchLane(lane.kind, idx, batchStage_);
+        }
+    }
+    // Phase 3: refresh the fleet rows from the post-step state.
+    for (Rack *rack : rackPtrs_) {
         const Rack &r = *rack;
         auto i = static_cast<size_t>(r.id());
         fleet.itLoadW[i] = r.itLoad().value();
@@ -334,6 +369,18 @@ Topology::stepRacks(Seconds dt)
         fleet.chargingBbus[i] = r.shelf().chargingCount();
         fleet.cvBbus[i] = r.shelf().cvCount();
     }
+    // Fold the fleet power sums while the rows are in cache, in row
+    // order — bit-identical to the per-step walk the consumers
+    // (charging_event_sim's sampler) used to run themselves.
+    StepPowerTotals totals;
+    const size_t n = fleet.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (fleet.inputOn[i])
+            totals.itW += fleet.itLoadW[i];
+        totals.rechargeW += fleet.rechargeW[i];
+        totals.capW += fleet.capW[i];
+    }
+    stepTotals_ = totals;
 }
 
 void

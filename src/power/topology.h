@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "battery/batch_charge_kernel.h"
 #include "battery/charger_policy.h"
 #include "battery/fleet_state.h"
 #include "power/breaker.h"
@@ -174,6 +175,22 @@ class Topology
      */
     const battery::FleetState &fleet() const { return *fleet_; }
 
+    /**
+     * Fleet-wide power sums of the last stepRacks() call, folded in
+     * row order over the rows it just refreshed (the rows are hot in
+     * cache there; per-step consumers would otherwise re-walk the
+     * fleet every physics tick). itW counts powered racks only,
+     * matching the per-row predicate `inputOn`.
+     */
+    struct StepPowerTotals
+    {
+        double itW = 0.0;
+        double rechargeW = 0.0;
+        double capW = 0.0;
+    };
+
+    const StepPowerTotals &stepPowerTotals() const { return stepTotals_; }
+
     /** Update breaker thermal state for every node with a breaker. */
     void observeBreakers(util::Seconds dt);
 
@@ -194,11 +211,28 @@ class Topology
 
     PowerNode *newNode(std::string name, NodeKind kind);
 
+    /** One rack staged for the batched lockstep charge sweep. */
+    struct BatchLaneRef
+    {
+        Rack *rack;
+        battery::BatchLaneKind kind;
+    };
+
     std::vector<std::unique_ptr<PowerNode>> nodes_;
     std::vector<std::unique_ptr<Rack>> racks_;
     std::vector<Rack *> rackPtrs_;
     /** Owned via pointer so the rows stay put across Topology moves. */
     std::unique_ptr<battery::FleetState> fleet_;
+    /**
+     * Batched-charging scratch, reused across stepRacks() calls (the
+     * vectors keep their capacity). The kernel is built lazily on the
+     * first step — every rack shares one BbuParams by construction,
+     * so the first rack's calibration covers the fleet.
+     */
+    std::unique_ptr<battery::BatchChargeKernel> batchKernel_;
+    battery::BatchChargeStage batchStage_;
+    std::vector<BatchLaneRef> batchLanes_;
+    StepPowerTotals stepTotals_;
     PowerNode *root_ = nullptr;
 };
 

@@ -7,6 +7,33 @@
  * deterministic. Events can be cancelled through the handle returned
  * at scheduling time. Periodic activity (controller polling, physics
  * integration steps) is built on top via PeriodicTask.
+ *
+ * Two interchangeable backends implement the pending set (see
+ * DESIGN.md §14 for the policy discussion):
+ *
+ *  - Calendar (default): a calendar queue — a power-of-two ring of
+ *    buckets, each one bucket-width of ticks wide, with the width
+ *    adapted to the observed inter-event gap at resize points.
+ *    schedule() is an O(1) append into the target bucket; dequeue
+ *    scans forward from now's bucket one window at a time and falls
+ *    back to a direct whole-table search after a fruitless
+ *    revolution. Amortized O(1) per event for the simulator's
+ *    workloads (a handful of periodic streams).
+ *  - Heap: the original binary-heap ordering, kept as an escape hatch
+ *    and as the reference for the differential tests.
+ *
+ * Both backends execute events in exactly the same (when, seq) order —
+ * the calendar layout changes where entries are stored, never which
+ * entry is next — which the randomized differential fuzz test pins.
+ * Select with DCBATT_EVENT_QUEUE=calendar|heap (backend choice only
+ * affects speed, never event order, so the env read is not a
+ * determinism hazard).
+ *
+ * Cancellation is lazy: cancel() clears the event's pending flag and
+ * the stored entry becomes residue that is dropped when it surfaces.
+ * So that long-lived PeriodicTask churn stays memory-bounded, the
+ * queue compacts its storage whenever cancelled residue outnumbers
+ * live entries (over half the stored entries are dead).
  */
 
 #ifndef DCBATT_SIM_EVENT_QUEUE_H_
@@ -14,8 +41,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/sim_time.h"
@@ -30,6 +55,21 @@ class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+
+    /** Pending-set implementation (see file comment). */
+    enum class Backend
+    {
+        Calendar,
+        Heap,
+    };
+
+    /** Backend selected by $DCBATT_EVENT_QUEUE (default Calendar). */
+    static Backend defaultBackend();
+
+    EventQueue() : EventQueue(defaultBackend()) {}
+    explicit EventQueue(Backend backend);
+
+    Backend backend() const { return backend_; }
 
     /** Current simulation time. */
     Tick now() const { return now_; }
@@ -50,10 +90,18 @@ class EventQueue
     bool cancel(EventId id);
 
     /** Whether any events remain pending. */
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return pendingCount_ == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    size_t pendingCount() const { return pending_.size(); }
+    size_t pendingCount() const { return pendingCount_; }
+
+    /**
+     * Entries physically stored, including cancelled residue awaiting
+     * compaction. Tests assert internalEntryCount() stays within a
+     * small factor of pendingCount() (the lazy-cancellation leak
+     * gate); it is never needed for scheduling decisions.
+     */
+    size_t internalEntryCount() const { return storedCount_; }
 
     /**
      * Run all events scheduled at or before @p until, then advance the
@@ -77,6 +125,7 @@ class EventQueue
         EventId id;
         Callback callback;
 
+        /** Strict (when, seq) event order shared by both backends. */
         bool
         operator>(const Entry &other) const
         {
@@ -88,10 +137,62 @@ class EventQueue
 
     size_t execute(Tick until);
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    // Ids of scheduled-but-not-yet-executed events. Cancellation just
-    // removes the id; the queue entry is skipped when it surfaces.
-    std::unordered_set<EventId> pending_;  // detlint: allow(unordered-container) -- membership test only, never iterated
+    /** Locate the next live entry; false when none. Does not pop. */
+    bool findNext(size_t &bucket, size_t &slot);
+
+    // --- id flag window (pending/cancelled state per event id) ------
+    bool
+    idPending(EventId id) const
+    {
+        return id >= idBase_ && id - idBase_ < idFlags_.size()
+            && idFlags_[id - idBase_] != 0;
+    }
+    void
+    clearId(EventId id)
+    {
+        idFlags_[id - idBase_] = 0;
+    }
+    void compactIdWindow();
+
+    // --- storage maintenance ----------------------------------------
+    void maybeCompact();
+    void compactStorage();
+    void resizeCalendar(size_t buckets);
+    void placeEntry(Entry &&entry);
+
+    Backend backend_;
+
+    /**
+     * Calendar backend: bucket b stores entries whose
+     * (when >> widthShift_) ≡ b (mod bucket count). Buckets are
+     * unsorted; the dequeue scan takes the (when, seq) minimum within
+     * the bucket's current window. Also used (bucket 0 only, heap
+     * ordered) by the Heap backend.
+     */
+    std::vector<std::vector<Entry>> buckets_;
+    size_t bucketMask_ = 0;
+    int widthShift_ = 0;
+    bool widthSeeded_ = false;
+
+    /** Dequeue scan cursor (valid while cacheNow_ == now_). */
+    bool scanCacheValid_ = false;
+    Tick scanCacheNow_ = 0;
+    size_t scanBucket_ = 0;
+    Tick scanWindowEnd_ = 0;
+
+    /**
+     * Pending flags for ids in [idBase_, idBase_ + size): 1 while the
+     * event is scheduled-but-not-executed. Compacted alongside the
+     * entry storage so the window stays proportional to the pending
+     * count, not the total ids ever issued.
+     */
+    std::vector<uint8_t> idFlags_;
+    EventId idBase_ = 1;
+
+    size_t pendingCount_ = 0;
+    size_t storedCount_ = 0;      // live + cancelled residue
+    size_t cancelledResidue_ = 0; // stored entries already cancelled
+
     Tick now_ = 0;
     uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;

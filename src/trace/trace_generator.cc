@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 
+#include "obs/metrics.h"
 #include "power/topology.h"
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -55,13 +58,22 @@ generateTraces(const TraceGenSpec &spec)
     auto samples = static_cast<size_t>(spec.duration / spec.step);
     auto racks = static_cast<size_t>(spec.rackCount);
 
-    // Per-rack static parameters.
-    std::vector<double> base(racks);
-    std::vector<double> amplitude(racks);
-    std::vector<double> phase(racks);
-    std::vector<double> noise_sigma(racks);
-    std::vector<double> noise_rho(racks);
-    std::vector<double> ar_state(racks, 0.0);
+    // Per-rack static parameters, staged in a bump arena that is
+    // rewound per call (allocate-per-event / reset-per-event,
+    // util/arena.h): repeated generation reuses the same blocks with
+    // zero heap traffic. The buffers are fully written below before
+    // any read, so results cannot depend on which thread's arena
+    // served them.
+    // detlint: allow(thread-local) -- per-thread scratch, fully
+    // reinitialized per call; outputs are a function of spec alone.
+    static thread_local util::Arena arena;
+    arena.reset();
+    double *base = arena.allocateArray<double>(racks);
+    double *amplitude = arena.allocateArray<double>(racks);
+    double *phase = arena.allocateArray<double>(racks);
+    double *noise_sigma = arena.allocateArray<double>(racks);
+    double *noise_rho = arena.allocateArray<double>(racks);
+    double *ar_state = arena.allocateArray<double>(racks);
     for (size_t i = 0; i < racks; ++i) {
         Priority p = spec.priorities.empty()
             ? Priority::P2
@@ -81,7 +93,7 @@ generateTraces(const TraceGenSpec &spec)
 
     TraceSet set(spec.startTime, spec.step, spec.rackCount);
     double peak_s = spec.peakTimeOfDay.value();
-    std::vector<double> row(racks);
+    double *row = arena.allocateArray<double>(racks);
     for (size_t s = 0; s < samples; ++s) {
         double t = spec.startTime.value()
             + static_cast<double>(s) * spec.step.value();
@@ -115,7 +127,13 @@ generateTraces(const TraceGenSpec &spec)
                                 spec.rackMinPower.value(),
                                 spec.rackMaxPower.value());
         }
-        set.appendSample(row);
+        set.appendSample(std::span<const double>(row, racks));
+    }
+    {
+        // Max-merged so the snapshot is thread-count-independent.
+        static obs::Gauge &arena_gauge =
+            obs::gauge("trace.arena_high_water_bytes");
+        arena_gauge.setMax(static_cast<double>(arena.usedBytes()));
     }
     return set;
 }

@@ -73,7 +73,7 @@ TraceSet::firstPeakIndex() const
 }
 
 void
-TraceSet::appendSample(const std::vector<double> &rack_watts)
+TraceSet::appendSample(std::span<const double> rack_watts)
 {
     if (rack_watts.size() != racks_.size())
         util::panic("TraceSet::appendSample: wrong rack count");
@@ -117,13 +117,13 @@ TraceSet::load(const std::string &path)
     double t1 = std::atof(rows[2][0].c_str());
     TraceSet set(Seconds(t0), Seconds(t1 - t0),
                  static_cast<int>(cols - 1));
+    std::vector<double> sample(cols - 1);
     for (size_t r = 1; r < rows.size(); ++r) {
         if (rows[r].size() != cols) {
             util::fatal(util::strf("trace row %zu has %zu fields, "
                                    "expected %zu",
                                    r, rows[r].size(), cols));
         }
-        std::vector<double> sample(cols - 1);
         for (size_t c = 1; c < cols; ++c)
             sample[c - 1] = std::atof(rows[r][c].c_str());
         set.appendSample(sample);

@@ -11,6 +11,8 @@
 #ifndef DCBATT_TRACE_TRACE_SET_H_
 #define DCBATT_TRACE_TRACE_SET_H_
 
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -95,8 +97,19 @@ class TraceSet
         return samples * sizeof(double);
     }
 
-    /** Append one sample per rack (values in watts). */
-    void appendSample(const std::vector<double> &rack_watts);
+    /**
+     * Append one sample per rack (values in watts). Takes a span so
+     * callers can stage rows in arena-backed buffers (util/arena.h)
+     * without copying into a std::vector first.
+     */
+    void appendSample(std::span<const double> rack_watts);
+    void
+    appendSample(std::initializer_list<double> rack_watts)
+    {
+        appendSample(
+            std::span<const double>(rack_watts.begin(),
+                                    rack_watts.size()));
+    }
 
     /** CSV persistence: header row, then time + one column per rack. */
     void save(const std::string &path) const;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Monotonic bump allocator for hot-loop staging buffers.
+ *
+ * An Arena hands out pointer-bumped slices of a few large blocks and
+ * frees everything at once on reset(). The intended pattern — used by
+ * the charging-event inner loops and trace assembly — is
+ * allocate-per-event / reset-per-event: after the first event every
+ * allocation is served from already-owned blocks, so steady-state hot
+ * loops do zero heap traffic.
+ *
+ * Lifetime rules (DESIGN.md §14):
+ *  - Allocations live until the next reset(); no individual frees.
+ *  - Destructors are never run, so payloads must be trivially
+ *    destructible (the typed helpers enforce this at compile time).
+ *  - reset() retains the blocks for reuse; memory is returned to the
+ *    system only when the Arena itself is destroyed.
+ *
+ * Not thread-safe: one Arena per thread of execution, like the
+ * simulators that own them.
+ */
+
+#ifndef DCBATT_UTIL_ARENA_H_
+#define DCBATT_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcbatt::util {
+
+/** Bump allocator; see file comment for the lifetime contract. */
+class Arena
+{
+  public:
+    static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+    explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+        : blockBytes_(block_bytes)
+    {
+        DCBATT_REQUIRE(block_bytes > 0,
+                       "arena block size must be positive");
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes aligned to @p alignment (a power of two).
+     * Requests larger than the block size fall back to a dedicated
+     * block, which is retained and reused like any other.
+     */
+    void *
+    allocate(size_t bytes, size_t alignment = alignof(std::max_align_t))
+    {
+        DCBATT_ASSERT(alignment > 0
+                          && (alignment & (alignment - 1)) == 0,
+                      "alignment %zu is not a power of two", alignment);
+        if (bytes == 0)
+            bytes = 1;
+        for (;;) {
+            if (blockIdx_ < blocks_.size()) {
+                Block &block = blocks_[blockIdx_];
+                auto base =
+                    reinterpret_cast<uintptr_t>(block.data.get());
+                uintptr_t cursor = base + offset_;
+                uintptr_t aligned = (cursor + alignment - 1)
+                    & ~static_cast<uintptr_t>(alignment - 1);
+                if (aligned + bytes <= base + block.size) {
+                    offset_ = aligned + bytes - base;
+                    used_ += bytes + (aligned - cursor);
+                    highWater_ = std::max(highWater_, used_);
+                    return reinterpret_cast<void *>(aligned);
+                }
+                // Doesn't fit; move on (retained blocks keep their
+                // earlier allocations until reset).
+                ++blockIdx_;
+                offset_ = 0;
+                continue;
+            }
+            size_t size = std::max(blockBytes_, bytes + alignment);
+            blocks_.push_back(
+                Block{std::make_unique<std::byte[]>(size), size});
+            footprint_ += size;
+            offset_ = 0;
+        }
+    }
+
+    /**
+     * Allocate a value-initialized array of a trivially destructible
+     * type (zeroed for arithmetic types, matching the std::vector
+     * staging buffers this replaces).
+     */
+    template <typename T>
+    T *
+    allocateArray(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        T *data = static_cast<T *>(
+            allocate(count * sizeof(T), alignof(T)));
+        std::fill_n(data, count, T{});
+        return data;
+    }
+
+    /** Rewind to empty, retaining all blocks for reuse. */
+    void
+    reset()
+    {
+        blockIdx_ = 0;
+        offset_ = 0;
+        used_ = 0;
+    }
+
+    /** Bytes handed out (incl. alignment padding) since last reset. */
+    size_t usedBytes() const { return used_; }
+
+    /** Maximum usedBytes() ever reached (across resets). */
+    size_t highWaterBytes() const { return highWater_; }
+
+    /** Total bytes owned by the arena's blocks. */
+    size_t footprintBytes() const { return footprint_; }
+
+    size_t blockBytes() const { return blockBytes_; }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size;
+    };
+
+    size_t blockBytes_;
+    std::vector<Block> blocks_;
+    size_t blockIdx_ = 0;
+    size_t offset_ = 0; // bump offset within blocks_[blockIdx_]
+    size_t used_ = 0;
+    size_t highWater_ = 0;
+    size_t footprint_ = 0;
+};
+
+/**
+ * std::allocator adapter so standard containers can stage in an
+ * Arena. deallocate() is a no-op — storage is reclaimed wholesale by
+ * Arena::reset() — so reserve() up front to avoid growth waste.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena &arena) : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other)
+        : arena_(other.arena())
+    {
+    }
+
+    T *
+    allocate(size_t count)
+    {
+        return static_cast<T *>(
+            arena_->allocate(count * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *, size_t) {}
+
+    Arena *arena() const { return arena_; }
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &other) const
+    {
+        return arena_ == other.arena();
+    }
+
+  private:
+    Arena *arena_;
+};
+
+/** Arena-backed std::vector alias for staging buffers. */
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+} // namespace dcbatt::util
+
+#endif // DCBATT_UTIL_ARENA_H_

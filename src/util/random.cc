@@ -1,21 +1,140 @@
 #include "util/random.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/logging.h"
 
 namespace dcbatt::util {
 
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared distribution bodies. Rng and SeededStream must produce the
+// same doubles from the same underlying uint64 stream, so both call
+// through these templates — the expressions (and therefore the draw
+// counts and rounding) cannot drift apart.
+// ---------------------------------------------------------------------
+
+template <typename Engine>
+double
+drawUniform(Engine &engine, double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine);
+}
+
+template <typename Engine>
+double
+drawExponential(Engine &engine, double mean)
+{
+    if (mean <= 0.0)
+        panic(strf("Rng::exponential: nonpositive mean %g", mean));
+    return std::exponential_distribution<double>(1.0 / mean)(engine);
+}
+
+template <typename Engine>
+double
+drawNormal(Engine &engine, double mean, double stddev)
+{
+    // A fresh distribution per draw: no carried Box-Muller state, so
+    // the result is a pure function of the engine stream.
+    return std::normal_distribution<double>(mean, stddev)(engine);
+}
+
+template <typename Engine>
+double
+drawTruncatedNormal(Engine &engine, double mean, double stddev,
+                    double lo, double hi)
+{
+    if (lo > hi)
+        panic("Rng::truncatedNormal: lo > hi");
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        double x = drawNormal(engine, mean, stddev);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    return std::clamp(mean, lo, hi);
+}
+
+// ---------------------------------------------------------------------
+// MT19937-64 core (matches std::mt19937_64's parameters; the
+// CachedSeedEngine differential test pins equality). Only the seeding
+// and twist live here — tempering is inline in the header.
+// ---------------------------------------------------------------------
+
+constexpr size_t kMtN = 312;
+constexpr size_t kMtM = 156;
+constexpr uint64_t kMtMatrixA = 0xB5026F5AA96619E9ULL;
+constexpr uint64_t kMtUpperMask = 0xFFFFFFFF80000000ULL;
+constexpr uint64_t kMtLowerMask = 0x7FFFFFFFULL;
+
+void
+mtSeedState(uint64_t seed, std::array<uint64_t, kMtN> &mt)
+{
+    mt[0] = seed;
+    for (size_t i = 1; i < kMtN; ++i)
+        mt[i] = 6364136223846793005ULL * (mt[i - 1] ^ (mt[i - 1] >> 62))
+            + i;
+}
+
+void
+mtTwistState(std::array<uint64_t, kMtN> &mt)
+{
+    for (size_t i = 0; i < kMtN; ++i) {
+        uint64_t y = (mt[i] & kMtUpperMask)
+            | (mt[(i + 1) % kMtN] & kMtLowerMask);
+        mt[i] = mt[(i + kMtM) % kMtN] ^ (y >> 1)
+            ^ ((y & 1) ? kMtMatrixA : 0);
+    }
+}
+
+} // namespace
+
+std::shared_ptr<const CachedSeedEngine::Block>
+CachedSeedEngine::blockForSeed(uint64_t seed)
+{
+    // Pure memoization of seed -> first output block. Thread-local so
+    // pool workers never contend; shard results stay a function of the
+    // seed alone, never of which thread computed them.
+    thread_local std::unordered_map<uint64_t,
+                                    std::shared_ptr<const Block>>
+        cache;
+    // detlint note: the map is lookup-only memoization, never
+    // iterated, so its ordering cannot leak into results.
+    if (auto it = cache.find(seed); it != cache.end())
+        return it->second;
+    if (cache.size() >= 1024)
+        cache.clear(); // engines hold shared_ptrs; eviction is safe
+    auto block = std::make_shared<Block>();
+    mtSeedState(seed, block->state);
+    mtTwistState(block->state);
+    for (size_t i = 0; i < kStateWords; ++i)
+        block->out[i] = temper(block->state[i]);
+    cache.emplace(seed, block);
+    return block;
+}
+
+void
+CachedSeedEngine::advanceBlock()
+{
+    if (!materialized_) {
+        mt_ = block_->state;
+        materialized_ = true;
+    }
+    mtTwistState(mt_);
+    idx_ = 0;
+}
+
 double
 Rng::uniform()
 {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    return drawUniform(engine_, 0.0, 1.0);
 }
 
 double
 Rng::uniform(double lo, double hi)
 {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    return drawUniform(engine_, lo, hi);
 }
 
 int64_t
@@ -27,28 +146,19 @@ Rng::uniformInt(int64_t lo, int64_t hi)
 double
 Rng::exponential(double mean)
 {
-    if (mean <= 0.0)
-        panic(strf("Rng::exponential: nonpositive mean %g", mean));
-    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    return drawExponential(engine_, mean);
 }
 
 double
 Rng::normal(double mean, double stddev)
 {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    return drawNormal(engine_, mean, stddev);
 }
 
 double
 Rng::truncatedNormal(double mean, double stddev, double lo, double hi)
 {
-    if (lo > hi)
-        panic("Rng::truncatedNormal: lo > hi");
-    for (int attempt = 0; attempt < 64; ++attempt) {
-        double x = normal(mean, stddev);
-        if (x >= lo && x <= hi)
-            return x;
-    }
-    return std::clamp(mean, lo, hi);
+    return drawTruncatedNormal(engine_, mean, stddev, lo, hi);
 }
 
 bool
@@ -80,13 +190,45 @@ splitmix64(uint64_t x)
 
 } // namespace
 
+uint64_t
+Rng::substreamSeed(uint64_t seed, uint64_t index)
+{
+    // Two SplitMix64 rounds keyed on (seed, index); a pure function of
+    // the construction seed and the counter.
+    return splitmix64(splitmix64(seed) ^ splitmix64(index));
+}
+
 Rng
 Rng::substream(uint64_t index) const
 {
-    // Two SplitMix64 rounds keyed on (seed, index); never touches
-    // engine_, so the mapping is a pure function of the construction
-    // seed and the counter.
-    return Rng(splitmix64(splitmix64(seed_) ^ splitmix64(index)));
+    // Never touches engine_, so the mapping is independent of how many
+    // draws the parent has made.
+    return Rng(substreamSeed(seed_, index));
+}
+
+double
+SeededStream::uniform(double lo, double hi)
+{
+    return drawUniform(engine_, lo, hi);
+}
+
+double
+SeededStream::exponential(double mean)
+{
+    return drawExponential(engine_, mean);
+}
+
+double
+SeededStream::normal(double mean, double stddev)
+{
+    return drawNormal(engine_, mean, stddev);
+}
+
+double
+SeededStream::truncatedNormal(double mean, double stddev, double lo,
+                              double hi)
+{
+    return drawTruncatedNormal(engine_, mean, stddev, lo, hi);
 }
 
 } // namespace dcbatt::util

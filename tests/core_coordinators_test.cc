@@ -277,7 +277,7 @@ TEST(PriorityAware, RestoreOnHeadroomRegrants)
     auto pa = makePa(options);
     std::vector<RackChargeInfo> racks{rack(0, Priority::P1, 0.5, 1.0)};
     pa.planInitial(racks, Watts(0.0));  // floored
-    ASSERT_DOUBLE_EQ(pa.commanded().at(0).value(), 1.0);
+    ASSERT_DOUBLE_EQ(pa.planStates().at(0).commanded.value(), 1.0);
     auto commands = pa.onTick(racks, kilowatts(50.0));
     ASSERT_EQ(commands.size(), 1u);
     EXPECT_GT(commands[0].current.value(), 2.0);

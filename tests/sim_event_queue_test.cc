@@ -3,6 +3,9 @@
  * Unit tests for the discrete-event kernel.
  */
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -179,6 +182,200 @@ TEST(PeriodicTaskDeathTest, RejectsNonpositivePeriod)
 {
     EventQueue q;
     EXPECT_DEATH(PeriodicTask(q, 0, [](Tick) {}), "positive");
+}
+
+// ---------------------------------------------------------------------
+// Backend-parameterized coverage: every behavior below must hold for
+// both the calendar queue and the heap escape hatch.
+// ---------------------------------------------------------------------
+
+class EventQueueBackendTest
+    : public ::testing::TestWithParam<EventQueue::Backend>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventQueueBackendTest,
+    ::testing::Values(EventQueue::Backend::Calendar,
+                      EventQueue::Backend::Heap),
+    [](const auto &param_info) {
+        return param_info.param == EventQueue::Backend::Calendar
+            ? "Calendar"
+            : "Heap";
+    });
+
+TEST_P(EventQueueBackendTest, OrderAndFifoTieBreak)
+{
+    EventQueue q(GetParam());
+    EXPECT_EQ(q.backend(), GetParam());
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(10, [&] { order.push_back(2); });  // FIFO at same tick
+    q.schedule(40, [&] { order.push_back(4); });
+    EXPECT_EQ(q.run(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 40);
+}
+
+TEST_P(EventQueueBackendTest, MixedScaleGapsAndGrowth)
+{
+    // Dense same-tick bursts, sparse multi-second jumps, and enough
+    // population to force the calendar through grow + shrink resizes.
+    EventQueue q(GetParam());
+    std::vector<Tick> fired;
+    for (int burst = 0; burst < 8; ++burst) {
+        Tick base = static_cast<Tick>(burst) * 5'000'000;
+        for (int i = 0; i < 200; ++i)
+            q.schedule(base + i, [&q, &fired] {
+                fired.push_back(q.now());
+            });
+    }
+    EXPECT_EQ(q.pendingCount(), 1600u);
+    EXPECT_EQ(q.run(), 1600u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.size(), 1600u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_P(EventQueueBackendTest, SparseFarFutureEvents)
+{
+    // First delay seeds a tiny bucket width; the far-future events
+    // then exercise the calendar's direct-search fallback.
+    EventQueue q(GetParam());
+    std::vector<Tick> fired;
+    q.schedule(1, [&] { fired.push_back(q.now()); });
+    q.schedule(10'000'000, [&] { fired.push_back(q.now()); });
+    q.schedule(50'000'000, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(fired,
+              (std::vector<Tick>{1, 10'000'000, 50'000'000}));
+}
+
+TEST_P(EventQueueBackendTest, CancellationResidueIsCompacted)
+{
+    EventQueue q(GetParam());
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(q.schedule(1000 + i, [] {}));
+    EXPECT_EQ(q.internalEntryCount(), 1000u);
+    for (int i = 0; i < 999; ++i) {
+        EXPECT_TRUE(q.cancel(ids[static_cast<size_t>(i)]));
+        // Leak gate: dead entries never outnumber live ones beyond
+        // the small compaction floor.
+        EXPECT_LE(q.internalEntryCount(),
+                  2 * q.pendingCount() + 16);
+    }
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_LE(q.internalEntryCount(), 16u);
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.internalEntryCount(), 0u);
+}
+
+TEST_P(EventQueueBackendTest, PeriodicRestartChurnStaysBounded)
+{
+    // Each start() cancels the previous pending event; without
+    // compaction this leaks one heap/bucket entry per restart.
+    EventQueue q(GetParam());
+    PeriodicTask task(q, 10, [](Tick) {});
+    for (int i = 0; i < 10'000; ++i)
+        task.start();
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_LE(q.internalEntryCount(), 16u);
+    task.stop();
+}
+
+// ---------------------------------------------------------------------
+// Differential fuzz: the calendar queue must execute the exact same
+// event sequence (ticks, labels, clock) as the heap reference under
+// interleaved schedule / scheduleAfter / cancel / runUntil traffic,
+// including callbacks that schedule more work.
+// ---------------------------------------------------------------------
+
+struct FuzzTrace
+{
+    std::vector<std::pair<Tick, int>> fired;
+    Tick finalNow = 0;
+    size_t executed = 0;
+    size_t leftPending = 0;
+};
+
+FuzzTrace
+runFuzz(EventQueue::Backend backend, uint64_t seed)
+{
+    EventQueue q(backend);
+    FuzzTrace trace;
+    uint64_t state = seed;
+    auto rnd = [&state](uint64_t bound) {
+        state = state * 6364136223846793005ULL
+            + 1442695040888963407ULL;
+        return (state >> 33) % bound;
+    };
+    int next_label = 0;
+    std::function<EventQueue::Callback(int)> make_cb =
+        [&](int label) -> EventQueue::Callback {
+        return [&, label] {
+            trace.fired.emplace_back(q.now(), label);
+            // A slice of callbacks schedules follow-up work, with the
+            // delay a pure function of the label so both backends see
+            // identical traffic.
+            if (label % 5 == 0 && next_label < 6000)
+                q.scheduleAfter((label % 47) + 1,
+                                make_cb(next_label++));
+        };
+    };
+    std::vector<EventId> outstanding;
+    for (int op = 0; op < 2500; ++op) {
+        switch (rnd(5)) {
+          case 0:
+            outstanding.push_back(q.schedule(
+                q.now() + static_cast<Tick>(rnd(1000)),
+                make_cb(next_label++)));
+            break;
+          case 1:
+          case 2:
+            outstanding.push_back(
+                q.scheduleAfter(static_cast<Tick>(rnd(5000)),
+                                make_cb(next_label++)));
+            break;
+          case 3:
+            if (!outstanding.empty()) {
+                size_t pick = rnd(outstanding.size());
+                q.cancel(outstanding[pick]);
+                outstanding[pick] = outstanding.back();
+                outstanding.pop_back();
+            }
+            break;
+          case 4:
+            trace.executed +=
+                q.runUntil(q.now() + static_cast<Tick>(rnd(3000)));
+            break;
+        }
+        // Internal-size invariant must hold mid-churn too.
+        EXPECT_LE(q.internalEntryCount(),
+                  2 * q.pendingCount() + 16);
+    }
+    trace.leftPending = q.pendingCount();
+    trace.executed += q.run();
+    trace.finalNow = q.now();
+    return trace;
+}
+
+TEST(EventQueueDifferential, CalendarMatchesHeapReference)
+{
+    for (uint64_t seed : {1ULL, 42ULL, 0xfeedULL, 987654321ULL}) {
+        FuzzTrace calendar =
+            runFuzz(EventQueue::Backend::Calendar, seed);
+        FuzzTrace heap = runFuzz(EventQueue::Backend::Heap, seed);
+        EXPECT_EQ(calendar.fired, heap.fired) << "seed " << seed;
+        EXPECT_EQ(calendar.finalNow, heap.finalNow) << "seed " << seed;
+        EXPECT_EQ(calendar.executed, heap.executed) << "seed " << seed;
+        EXPECT_EQ(calendar.leftPending, heap.leftPending)
+            << "seed " << seed;
+        EXPECT_FALSE(calendar.fired.empty()) << "fuzz did no work";
+    }
 }
 
 } // namespace

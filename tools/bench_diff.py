@@ -2,30 +2,48 @@
 """Compare a fresh bench_to_json.sh capture against the committed
 baseline and fail on large microbenchmark regressions.
 
-Usage: tools/bench_diff.py BASELINE.json CURRENT.json [--max-slowdown X]
+Usage: tools/bench_diff.py BASELINE.json CURRENT.json
+           [--max-slowdown X] [--fail-on-missing]
+           [--ratio KEY_NUM:KEY_DEN<=X ...]
 
 Every op present in both files' ``micro_ns_per_op`` maps is compared;
 an op slower than ``--max-slowdown`` (default 2.0) times its baseline
-fails the check. Ops present on only one side are reported but never
-fatal (benchmarks get added and retired), and the artifact wall times
-are printed for context only — CI runner wall clocks are too noisy to
-gate on. The generous 2x gate is deliberate for the same reason: it
-catches algorithmic regressions (the kind this repo's caching layers
-could silently lose), not scheduling jitter.
+fails the check. Ops present on only one side are reported distinctly:
+*missing* ops (in the baseline, gone from the capture — retired or a
+build that silently dropped a benchmark) versus *new* ops (in the
+capture, absent from the baseline — the baseline wants regenerating).
+Neither is fatal by default, but ``--fail-on-missing`` turns missing
+ops into exit 3 so CI can catch a benchmark binary that lost coverage.
 
-Exit status: 0 clean, 1 regression, 2 usage/parse error, 3 when a
-capture is missing the ``micro_ns_per_op`` map (e.g. a stale or
-hand-edited baseline) — distinct so CI can tell "baseline needs
-regenerating" from "the code got slower".
+``--ratio`` gates a *relative* cost within the current capture alone:
+``--ratio 'BM_AorSharded/1:BM_AorSerial/1000<=1.15'`` fails (exit 1)
+when the first op costs more than 1.15x the second. This is how CI
+pins constant-factor contracts ("sharding at one shard is free")
+without depending on the absolute speed of the runner. Repeatable.
+
+The artifact wall times are printed for context only — CI runner wall
+clocks are too noisy to gate on. The generous 2x slowdown gate is
+deliberate for the same reason: it catches algorithmic regressions
+(the kind this repo's caching layers could silently lose), not
+scheduling jitter.
+
+Exit status: 0 clean, 1 regression (slowdown or ratio gate), 2
+usage/parse error, 3 when a capture is missing the
+``micro_ns_per_op`` map, a ratio key, or (with ``--fail-on-missing``)
+a baseline op — distinct so CI can tell "baseline needs regenerating"
+from "the code got slower".
 """
 
 import argparse
 import json
+import re
 import sys
 
 EXIT_REGRESSION = 1
 EXIT_USAGE = 2
 EXIT_MISSING_KEY = 3
+
+_RATIO_RE = re.compile(r"^(?P<num>[^:]+):(?P<den>[^:]+)<=(?P<max>.+)$")
 
 
 def load(path):
@@ -43,6 +61,21 @@ def load(path):
     return doc
 
 
+def parse_ratio(spec):
+    m = _RATIO_RE.match(spec)
+    if not m:
+        print(f"bench_diff: bad --ratio '{spec}' — expected "
+              f"KEY_NUM:KEY_DEN<=MAX", file=sys.stderr)
+        sys.exit(EXIT_USAGE)
+    try:
+        limit = float(m.group("max"))
+    except ValueError:
+        print(f"bench_diff: bad --ratio limit in '{spec}'",
+              file=sys.stderr)
+        sys.exit(EXIT_USAGE)
+    return m.group("num").strip(), m.group("den").strip(), limit
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="diff two bench_to_json.sh captures")
@@ -51,7 +84,17 @@ def main():
     parser.add_argument("--max-slowdown", type=float, default=2.0,
                         help="fail when current/baseline exceeds this "
                              "ratio for any shared op (default 2.0)")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="exit 3 when a baseline op is absent from "
+                             "the current capture (default: note only)")
+    parser.add_argument("--ratio", action="append", default=[],
+                        metavar="KEY_NUM:KEY_DEN<=MAX",
+                        help="fail when current[KEY_NUM]/current[KEY_DEN]"
+                             " exceeds MAX (repeatable; compares within "
+                             "the current capture only)")
     args = parser.parse_args()
+
+    ratio_gates = [parse_ratio(spec) for spec in args.ratio]
 
     base = load(args.baseline)
     curr = load(args.current)
@@ -81,9 +124,29 @@ def main():
               f"{ratio:>5.2f}x{flag}")
 
     for op in only_base:
-        print(f"note: {op} only in baseline (retired?)")
+        print(f"missing: {op} in baseline but absent from current "
+              f"(retired, or the benchmark binary lost it)")
     for op in only_curr:
-        print(f"note: {op} only in current (new benchmark)")
+        print(f"new: {op} in current but absent from baseline "
+              f"(regenerate the baseline to start gating it)")
+    if only_base or only_curr:
+        print(f"bench_diff: {len(only_base)} missing op(s), "
+              f"{len(only_curr)} new op(s)")
+
+    ratio_failures = []
+    for num, den, limit in ratio_gates:
+        absent = [k for k in (num, den) if k not in curr_ops]
+        if absent:
+            print(f"bench_diff: ratio gate {num}:{den} — current "
+                  f"capture lacks {', '.join(absent)}", file=sys.stderr)
+            sys.exit(EXIT_MISSING_KEY)
+        den_ns = curr_ops[den]
+        ratio = curr_ops[num] / den_ns if den_ns > 0 else float("inf")
+        ok = ratio <= limit
+        print(f"ratio: {num} / {den} = {ratio:.3f} "
+              f"(limit {limit}){'' if ok else '  <-- FAIL'}")
+        if not ok:
+            ratio_failures.append((num, den, ratio, limit))
 
     for doc, label in ((base, "baseline"), (curr, "current")):
         walls = doc.get("artifact_wall_seconds", {})
@@ -92,14 +155,30 @@ def main():
                                for k, v in sorted(times.items()))
             print(f"wall ({label}): {artifact}: {timing}")
 
+    if args.fail_on_missing and only_base:
+        print(f"\nbench_diff: {len(only_base)} baseline op(s) missing "
+              f"from the current capture", file=sys.stderr)
+        sys.exit(EXIT_MISSING_KEY)
+    failed = False
     if regressions:
+        failed = True
         print(f"\nbench_diff: {len(regressions)} op(s) regressed "
               f"beyond {args.max_slowdown}x:", file=sys.stderr)
         for op, ratio in regressions:
             print(f"  {op}: {ratio:.2f}x", file=sys.stderr)
+    if ratio_failures:
+        failed = True
+        print(f"\nbench_diff: {len(ratio_failures)} ratio gate(s) "
+              f"exceeded:", file=sys.stderr)
+        for num, den, ratio, limit in ratio_failures:
+            print(f"  {num}:{den} = {ratio:.3f} > {limit}",
+                  file=sys.stderr)
+    if failed:
         sys.exit(EXIT_REGRESSION)
     print(f"\nbench_diff: all {len(shared)} shared ops within "
-          f"{args.max_slowdown}x of baseline")
+          f"{args.max_slowdown}x of baseline"
+          + (f"; {len(ratio_gates)} ratio gate(s) ok"
+             if ratio_gates else ""))
 
 
 if __name__ == "__main__":
