@@ -16,12 +16,14 @@
 #include "core/charging_event_sim.h"
 #include "core/global_coordinator.h"
 #include "core/priority_aware_coordinator.h"
+#include "core/region_budget.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/time_series_recorder.h"
 #include "power/topology.h"
 #include "reliability/aor_simulator.h"
 #include "sim/event_queue.h"
+#include "trace/streaming_trace_source.h"
 #include "trace/trace_cache.h"
 #include "trace/trace_generator.h"
 #include "util/random.h"
@@ -307,6 +309,59 @@ BM_TraceGeneration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64 * 1200);
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_StreamingTraceWindow(benchmark::State &state)
+{
+    // One full forward walk over the windows of an hour-long trace
+    // through the paging path (generation + eviction), the per-shard
+    // hot loop of the region engine.
+    trace::StreamingTraceSpec spec;
+    spec.base.rackCount = 64;
+    spec.base.duration = util::hours(1.0);
+    spec.base.step = util::Seconds(3.0);
+    spec.windowSamples = 300;
+    spec.maxResidentWindows = 2;
+    for (auto _ : state) {
+        trace::StreamingTraceSource source(spec);
+        double sink = 0.0;
+        for (size_t w = 0; w < source.windowCount(); ++w)
+            sink += source.windowFor(w * spec.windowSamples).at(
+                w * spec.windowSamples, 0);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 1200);
+}
+BENCHMARK(BM_StreamingTraceWindow);
+
+void
+BM_RegionBudgetSplit(benchmark::State &state)
+{
+    // The cross-MSB coordination tick at region scale: split + audit
+    // for n MSBs. Runs once per coordination period (default 60 s),
+    // on the driving thread, so it must stay far below a physics step.
+    const auto n = static_cast<size_t>(state.range(0));
+    core::RegionBudgetConfig config;
+    config.regionBudgetW = 0.85 * 2.5e6 * static_cast<double>(n);
+    config.suiteLimitW.assign(4, 40e6);
+    std::vector<core::MsbBudgetReport> reports(n);
+    for (size_t i = 0; i < n; ++i) {
+        core::MsbBudgetReport &r = reports[i];
+        r.msbIndex = static_cast<int>(i);
+        r.suite = static_cast<int>(i % 4);
+        r.itW = 1.8e6 + 1e4 * static_cast<double>(i % 7);
+        r.demandW = {120e3, 180e3, 90e3};
+        r.breakerLimitW = 2.5e6;
+    }
+    for (auto _ : state) {
+        core::RegionBudgetOutcome out =
+            core::splitRegionBudget(config, reports);
+        core::auditRegionBudget(config, reports, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegionBudgetSplit)->Arg(50);
 
 } // namespace
 

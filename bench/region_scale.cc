@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Region-scale benchmark: wall time, peak RSS, and thread scaling of
+ * sim::runRegion.
+ *
+ * Runs one region spec twice — single worker, then --threads workers —
+ * and verifies the results are identical (the determinism contract is
+ * exercised on every bench run, not only in tests). The *simulation*
+ * summary goes to stdout and is byte-identical regardless of thread
+ * count or machine; the *performance* numbers (walls, RSS, scaling
+ * efficiency) are nondeterministic by nature and therefore go to
+ * stderr and, when --perf-json is given, a JSON side file that
+ * tools/bench_to_json.sh merges into BENCH_perf.json and
+ * tools/check_region_scaling.py gates in CI.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "power/region_spec.h"
+#include "sim/region_engine.h"
+#include "util/logging.h"
+#include "util/text_table.h"
+#include "util/units.h"
+
+using namespace dcbatt;
+
+namespace {
+
+double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Process peak RSS in MiB (ru_maxrss is KiB on Linux). */
+double
+peakRssMib()
+{
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct Options
+{
+    int msbs = 8;
+    int racksPerMsb = 150;
+    double hours = 2.0;
+    unsigned threads = 0;  // 0: hardware concurrency
+    std::string perfJsonPath;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                util::fatal(util::strf("%s needs a value", flag));
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--msbs") == 0)
+            options.msbs = std::atoi(need("--msbs"));
+        else if (std::strcmp(argv[i], "--racks-per-msb") == 0)
+            options.racksPerMsb = std::atoi(need("--racks-per-msb"));
+        else if (std::strcmp(argv[i], "--hours") == 0)
+            options.hours = std::atof(need("--hours"));
+        else if (std::strcmp(argv[i], "--threads") == 0)
+            options.threads = static_cast<unsigned>(
+                std::atoi(need("--threads")));
+        else if (std::strcmp(argv[i], "--perf-json") == 0)
+            options.perfJsonPath = need("--perf-json");
+        else
+            util::fatal(util::strf("unknown flag %s", argv[i]));
+    }
+    if (options.threads == 0) {
+        options.threads =
+            std::max(1u, std::thread::hardware_concurrency());
+    }
+    return options;
+}
+
+power::RegionSpec
+makeSpec(const Options &options)
+{
+    power::RegionSpec spec;
+    spec.msbs = options.msbs;
+    spec.racksPerMsb = options.racksPerMsb;
+    spec.suitesPerBuilding = std::min(4, options.msbs);
+    spec.duration = util::hours(options.hours);
+    // Scale the per-MSB load model with the rack count so the fleet
+    // stays at the paper's ~6.7 kW/rack operating point.
+    double rack_share = static_cast<double>(options.racksPerMsb) / 300.0;
+    spec.msbAggregateMean = util::Watts(2.0e6 * rack_share);
+    spec.msbAggregateAmplitude = util::Watts(0.15e6 * rack_share);
+    spec.msbLimit = util::Watts(2.5e6 * rack_share);
+    spec.firstOutage = util::minutes(20.0);
+    spec.outageStagger =
+        util::Seconds(options.hours * 3600.0 * 0.25
+                      / std::max(1, options.msbs));
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = parseOptions(argc, argv);
+    power::RegionSpec spec = makeSpec(options);
+
+    bench::banner(
+        "region scale",
+        "wall time / peak RSS / thread scaling of sim::runRegion");
+
+    sim::RegionRunOptions run_one;
+    run_one.threads = 1;
+    auto start = std::chrono::steady_clock::now();
+    sim::RegionResult base = sim::runRegion(spec, run_one);
+    double wall_one = wallSeconds(start);
+    double rss_one = peakRssMib();
+
+    sim::RegionRunOptions run_many;
+    run_many.threads = options.threads;
+    start = std::chrono::steady_clock::now();
+    sim::RegionResult threaded = sim::runRegion(spec, run_many);
+    double wall_many = wallSeconds(start);
+    double rss_many = peakRssMib();
+
+    // The determinism contract, checked on every bench run.
+    if (base.peakRegionMw != threaded.peakRegionMw
+        || base.grantMw.values() != threaded.grantMw.values()
+        || base.regionPowerMw.values()
+            != threaded.regionPowerMw.values()) {
+        std::fprintf(stderr,
+                     "FATAL: threads=1 and threads=%u disagree\n",
+                     options.threads);
+        return 1;
+    }
+
+    int sla_met = 0;
+    int outages = 0;
+    for (const sim::RegionMsbOutcome &msb : base.msbs) {
+        sla_met += msb.slaMetTotal();
+        outages += msb.outages;
+    }
+
+    // Deterministic artifact: simulation results only.
+    util::TextTable table({"metric", "value"});
+    table.addRow({"MSBs", util::strf("%d", options.msbs)});
+    table.addRow({"racks", util::strf("%d", base.racksTotal())});
+    table.addRow({"simulated hours",
+                  util::strf("%.1f", options.hours)});
+    table.addRow({"peak region power",
+                  util::strf("%.3f MW", base.peakRegionMw)});
+    table.addRow(
+        {"coordination ticks",
+         util::strf("%llu",
+                    (unsigned long long)base.coordinationTicks)});
+    table.addRow({"SLA met (racks)", util::strf("%d", sla_met)});
+    table.addRow({"battery-exhausted racks",
+                  util::strf("%d", outages)});
+    table.addRow({"trace peak resident",
+                  util::strf("%.1f MiB",
+                             static_cast<double>(
+                                 base.tracePeakResidentBytes)
+                                 / (1024.0 * 1024.0))});
+    std::printf("%s", table.render().c_str());
+
+    // Nondeterministic performance numbers: stderr + JSON side file.
+    double speedup = wall_many > 0.0 ? wall_one / wall_many : 0.0;
+    unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    double efficiency =
+        speedup / static_cast<double>(
+            std::min(options.threads, cores));
+    double rss_mib = std::max(rss_one, rss_many);
+    std::fprintf(stderr,
+                 "[region_scale] threads 1: %.2fs  threads %u: %.2fs  "
+                 "speedup %.2fx  efficiency %.2f  peak RSS %.1f MiB\n",
+                 wall_one, options.threads, wall_many, speedup,
+                 efficiency, rss_mib);
+
+    if (!options.perfJsonPath.empty()) {
+        FILE *f = std::fopen(options.perfJsonPath.c_str(), "w");
+        if (f == nullptr)
+            util::fatal(util::strf("cannot write %s", options.perfJsonPath.c_str()));
+        std::string walls =
+            options.threads == 1
+                ? util::strf("{\"threads_1\": %.3f}", wall_many)
+                : util::strf("{\"threads_1\": %.3f, "
+                             "\"threads_%u\": %.3f}",
+                             wall_one, options.threads, wall_many);
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"msbs\": %d,\n"
+            "  \"racks\": %d,\n"
+            "  \"sim_hours\": %.2f,\n"
+            "  \"threads\": %u,\n"
+            "  \"hardware_threads\": %u,\n"
+            "  \"wall_seconds\": %s,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"scaling_efficiency\": %.3f,\n"
+            "  \"peak_rss_mib\": %.1f,\n"
+            "  \"trace_peak_resident_mib\": %.2f\n"
+            "}\n",
+            options.msbs, base.racksTotal(), options.hours,
+            options.threads, cores, walls.c_str(), speedup,
+            efficiency, rss_mib,
+            static_cast<double>(base.tracePeakResidentBytes)
+                / (1024.0 * 1024.0));
+        std::fclose(f);
+    }
+    return 0;
+}

@@ -1,0 +1,292 @@
+#include "core/region_budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dcbatt::core {
+
+namespace {
+
+constexpr double kEpsW = 1e-3;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Cap for index @p i; vectors shorter than the fleet mean "no cap". */
+double
+capAt(const std::vector<double> &caps, size_t i)
+{
+    return i < caps.size() ? caps[i] : kInf;
+}
+
+/** Mutable remaining-capacity state threaded through the fill stages. */
+struct FillState
+{
+    double region;
+    std::vector<double> msb;
+    std::vector<double> suite;
+    std::vector<double> building;
+};
+
+/**
+ * Headroom left for MSB @p i: the min over its cap chain. The region
+ * share is handled by the caller (it is common to every MSB).
+ */
+double
+chainAvail(const FillState &state,
+           const std::vector<MsbBudgetReport> &reports, size_t i)
+{
+    const MsbBudgetReport &r = reports[i];
+    double avail = state.msb[i];
+    avail = std::min(avail,
+                     capAt(state.suite,
+                           static_cast<size_t>(r.suite)));
+    avail = std::min(avail,
+                     capAt(state.building,
+                           static_cast<size_t>(r.building)));
+    return std::max(avail, 0.0);
+}
+
+void
+applyGrant(FillState &state,
+           const std::vector<MsbBudgetReport> &reports, size_t i,
+           double w)
+{
+    const MsbBudgetReport &r = reports[i];
+    state.region -= w;
+    state.msb[i] -= w;
+    auto s = static_cast<size_t>(r.suite);
+    auto b = static_cast<size_t>(r.building);
+    if (s < state.suite.size())
+        state.suite[s] -= w;
+    if (b < state.building.size())
+        state.building[b] -= w;
+}
+
+/**
+ * Water-fill @p demand (one value per MSB) into @p grants, bounded by
+ * @p state. Proportional passes first (fairness within the class),
+ * then one greedy mop-up pass in report order, which guarantees the
+ * audit's termination property: any demand still unmet afterwards is
+ * capacity-blocked or the region budget is exhausted.
+ */
+void
+fillClass(const RegionBudgetConfig &config,
+          const std::vector<MsbBudgetReport> &reports,
+          const std::vector<double> &demand, FillState &state,
+          std::vector<double> &grants)
+{
+    const size_t n = reports.size();
+    grants.assign(n, 0.0);
+    std::vector<double> want(n, 0.0);
+    for (int pass = 0; pass < config.passes; ++pass) {
+        double total_want = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double unmet = demand[i] - grants[i];
+            want[i] = std::clamp(unmet, 0.0,
+                                 chainAvail(state, reports, i));
+            total_want += want[i];
+        }
+        if (total_want <= kEpsW || state.region <= kEpsW)
+            break;
+        double pot = std::min(state.region, total_want);
+        for (size_t i = 0; i < n; ++i) {
+            if (want[i] <= 0.0)
+                continue;
+            double share = pot * want[i] / total_want;
+            double w = std::min({demand[i] - grants[i],
+                                 chainAvail(state, reports, i),
+                                 share, state.region});
+            if (w <= 0.0)
+                continue;
+            grants[i] += w;
+            applyGrant(state, reports, i, w);
+        }
+    }
+    // Greedy mop-up: proportional rounding can strand budget when
+    // shared suite caps shrink mid-pass.
+    for (size_t i = 0; i < n && state.region > kEpsW; ++i) {
+        double w = std::min({demand[i] - grants[i],
+                             chainAvail(state, reports, i),
+                             state.region});
+        if (w <= kEpsW)
+            continue;
+        grants[i] += w;
+        applyGrant(state, reports, i, w);
+    }
+}
+
+} // namespace
+
+RegionBudgetOutcome
+splitRegionBudget(const RegionBudgetConfig &config,
+                  const std::vector<MsbBudgetReport> &reports)
+{
+    const size_t n = reports.size();
+    RegionBudgetOutcome out;
+    out.grantW.assign(n, 0.0);
+
+    FillState state;
+    state.region = std::max(config.regionBudgetW, 0.0);
+    state.msb.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        state.msb[i] = std::max(reports[i].breakerLimitW, 0.0);
+    state.suite = config.suiteLimitW;
+    state.building = config.buildingLimitW;
+
+    std::vector<double> demand(n, 0.0);
+
+    // Stage 0: IT load. Not curtailable here — if it does not fit,
+    // the shortfall shows up as itUnmetW and the per-MSB controllers
+    // do the capping.
+    for (size_t i = 0; i < n; ++i)
+        demand[i] = std::max(reports[i].itW, 0.0);
+    fillClass(config, reports, demand, state, out.itGrantW);
+    for (size_t i = 0; i < n; ++i) {
+        out.itGrantedW += out.itGrantW[i];
+        out.itUnmetW += demand[i] - out.itGrantW[i];
+        out.grantW[i] += out.itGrantW[i];
+    }
+
+    // Stages 1-3: charging demand, strictly class by class.
+    for (size_t c = 0; c < 3; ++c) {
+        for (size_t i = 0; i < n; ++i)
+            demand[i] = std::max(reports[i].demandW[c], 0.0);
+        fillClass(config, reports, demand, state, out.classGrantW[c]);
+        for (size_t i = 0; i < n; ++i) {
+            out.classGrantedW[c] += out.classGrantW[c][i];
+            out.classUnmetW[c] += demand[i] - out.classGrantW[c][i];
+            out.grantW[i] += out.classGrantW[c][i];
+        }
+    }
+
+    // Final stage: spread the residual budget as headroom, bounded
+    // by each MSB's remaining breaker/feeder capacity. Without this,
+    // IT drift between coordination ticks would immediately overrun
+    // demand-sized ceilings and cap servers while budget sits idle.
+    for (size_t i = 0; i < n; ++i)
+        demand[i] = std::max(state.msb[i], 0.0);
+    fillClass(config, reports, demand, state, out.headroomGrantW);
+    for (size_t i = 0; i < n; ++i) {
+        out.headroomGrantedW += out.headroomGrantW[i];
+        out.grantW[i] += out.headroomGrantW[i];
+    }
+
+    out.residualW = std::max(state.region, 0.0);
+    return out;
+}
+
+void
+auditRegionBudget(const RegionBudgetConfig &config,
+                  const std::vector<MsbBudgetReport> &reports,
+                  const RegionBudgetOutcome &outcome,
+                  double tolerance_w)
+{
+    const size_t n = reports.size();
+    DCBATT_REQUIRE(outcome.grantW.size() == n
+                       && outcome.itGrantW.size() == n
+                       && outcome.headroomGrantW.size() == n,
+                   "budget outcome shape mismatch: %zu MSBs, %zu/%zu "
+                   "grant rows",
+                   n, outcome.grantW.size(), outcome.itGrantW.size());
+
+    // Conservation against the region budget.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        total += outcome.grantW[i];
+    DCBATT_REQUIRE(total <= config.regionBudgetW + tolerance_w,
+                   "budget split over-commits: granted %.1f W of "
+                   "%.1f W budget",
+                   total, config.regionBudgetW);
+
+    // Per-MSB decomposition and caps; fold suite/building sums.
+    std::vector<double> suite_sum(config.suiteLimitW.size(), 0.0);
+    std::vector<double> building_sum(config.buildingLimitW.size(),
+                                     0.0);
+    for (size_t i = 0; i < n; ++i) {
+        const MsbBudgetReport &r = reports[i];
+        double parts = outcome.itGrantW[i] + outcome.headroomGrantW[i];
+        for (size_t c = 0; c < 3; ++c) {
+            DCBATT_REQUIRE(outcome.classGrantW[c].size() == n,
+                           "class %zu grant row count %zu != %zu", c,
+                           outcome.classGrantW[c].size(), n);
+            DCBATT_REQUIRE(
+                outcome.classGrantW[c][i]
+                    <= r.demandW[c] + tolerance_w,
+                "MSB %d granted %.1f W for class %zu demand %.1f W",
+                r.msbIndex, outcome.classGrantW[c][i], c,
+                r.demandW[c]);
+            parts += outcome.classGrantW[c][i];
+        }
+        DCBATT_REQUIRE(outcome.itGrantW[i] <= r.itW + tolerance_w,
+                       "MSB %d granted %.1f W for IT demand %.1f W",
+                       r.msbIndex, outcome.itGrantW[i], r.itW);
+        DCBATT_REQUIRE(
+            std::abs(parts - outcome.grantW[i]) <= tolerance_w,
+            "MSB %d grant %.1f W != stage sum %.1f W", r.msbIndex,
+            outcome.grantW[i], parts);
+        DCBATT_REQUIRE(
+            outcome.grantW[i] <= r.breakerLimitW + tolerance_w,
+            "MSB %d grant %.1f W above breaker %.1f W", r.msbIndex,
+            outcome.grantW[i], r.breakerLimitW);
+        auto s = static_cast<size_t>(r.suite);
+        auto b = static_cast<size_t>(r.building);
+        if (s < suite_sum.size())
+            suite_sum[s] += outcome.grantW[i];
+        if (b < building_sum.size())
+            building_sum[b] += outcome.grantW[i];
+    }
+    for (size_t s = 0; s < suite_sum.size(); ++s) {
+        DCBATT_REQUIRE(suite_sum[s]
+                           <= config.suiteLimitW[s] + tolerance_w,
+                       "suite %zu granted %.1f W above cap %.1f W", s,
+                       suite_sum[s], config.suiteLimitW[s]);
+    }
+    for (size_t b = 0; b < building_sum.size(); ++b) {
+        DCBATT_REQUIRE(building_sum[b]
+                           <= config.buildingLimitW[b] + tolerance_w,
+                       "building %zu granted %.1f W above cap %.1f W",
+                       b, building_sum[b], config.buildingLimitW[b]);
+    }
+
+    // Priority ordering: unmet demand in class c is only legitimate
+    // when that MSB's cap chain or the region budget is exhausted.
+    // (IT is stage 0, so the same check covers IT starvation.)
+    double region_left = config.regionBudgetW - total;
+    auto chain_left = [&](size_t i) {
+        const MsbBudgetReport &r = reports[i];
+        double left = r.breakerLimitW - outcome.grantW[i];
+        auto s = static_cast<size_t>(r.suite);
+        auto b = static_cast<size_t>(r.building);
+        if (s < suite_sum.size())
+            left = std::min(left,
+                            config.suiteLimitW[s] - suite_sum[s]);
+        if (b < building_sum.size())
+            left = std::min(left, config.buildingLimitW[b]
+                                      - building_sum[b]);
+        return left;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        double it_unmet = reports[i].itW - outcome.itGrantW[i];
+        bool blocked = region_left <= tolerance_w
+            || chain_left(i) <= tolerance_w;
+        DCBATT_REQUIRE(it_unmet <= tolerance_w || blocked,
+                       "MSB %d IT demand %.1f W unmet with headroom "
+                       "(region %.1f W, chain %.1f W)",
+                       reports[i].msbIndex, it_unmet, region_left,
+                       chain_left(i));
+        for (size_t c = 0; c < 3; ++c) {
+            double unmet = reports[i].demandW[c]
+                - outcome.classGrantW[c][i];
+            DCBATT_REQUIRE(
+                unmet <= tolerance_w || blocked,
+                "MSB %d class %zu demand %.1f W unmet with headroom "
+                "(region %.1f W, chain %.1f W)",
+                reports[i].msbIndex, c, unmet, region_left,
+                chain_left(i));
+        }
+    }
+}
+
+} // namespace dcbatt::core

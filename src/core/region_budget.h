@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cross-MSB charging-budget splitter.
+ *
+ * One region-wide power budget has to be divided across MSB
+ * coordinators every coordination tick. The splitter extends the
+ * paper's priority semantics from racks-under-one-MSB to
+ * MSBs-under-one-region:
+ *
+ *   1. IT demand is granted first (it is not curtailable by the
+ *      splitter; if the region budget cannot cover the fleet's IT
+ *      load, grants scale back and the per-MSB Dynamo controllers
+ *      eventually cap servers — the last resort, exactly as within
+ *      one MSB).
+ *   2. Remaining budget water-fills charging demand class by class
+ *      (P1, then P2, then P3). Within a class, MSBs are filled
+ *      proportionally to their demand, bounded by each MSB's breaker
+ *      headroom and its suite/building feeder caps.
+ *
+ * The outcome carries per-class per-MSB grants so the audit can check
+ * the contract mechanically (auditRegionBudget; wired into the region
+ * engine's invariant auditing):
+ *
+ *   - conservation: grants sum to at most the region budget,
+ *   - caps: no MSB/suite/building exceeds its limit,
+ *   - priority: a class sees unmet demand only when every MSB holding
+ *     that demand is capacity-blocked or the region budget is
+ *     exhausted (so a lower class can never starve a higher one).
+ *
+ * Pure functions of their inputs — deterministic regardless of thread
+ * count; the region engine calls them on the coordination thread only.
+ */
+
+#ifndef DCBATT_CORE_REGION_BUDGET_H_
+#define DCBATT_CORE_REGION_BUDGET_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace dcbatt::core {
+
+/** What one MSB reports to the splitter each coordination tick. */
+struct MsbBudgetReport
+{
+    int msbIndex = -1;
+    /** Region-global suite index of this MSB. */
+    int suite = 0;
+    int building = 0;
+    /** Uncurtailed IT demand (watts) under this MSB right now. */
+    double itW = 0.0;
+    /** Charging wall-power demand (watts) by priority class. */
+    std::array<double, 3> demandW{0.0, 0.0, 0.0};
+    /** MSB breaker rating (upper bound on any grant). */
+    double breakerLimitW = 0.0;
+};
+
+/** Static caps the splitter enforces. */
+struct RegionBudgetConfig
+{
+    /** Region-wide budget (watts). */
+    double regionBudgetW = 0.0;
+    /** Per-suite feeder caps, indexed by region-global suite id. */
+    std::vector<double> suiteLimitW;
+    /** Per-building feeder caps. */
+    std::vector<double> buildingLimitW;
+    /** Proportional-fill refinement passes per class. */
+    int passes = 8;
+};
+
+/** The split: per-MSB grants plus the class-level accounting. */
+struct RegionBudgetOutcome
+{
+    /** Total grant per MSB (watts), in report order. */
+    std::vector<double> grantW;
+    /** Per-class grant per MSB (classGrantW[c][msb]). */
+    std::array<std::vector<double>, 3> classGrantW;
+    /** IT grant per MSB. */
+    std::vector<double> itGrantW;
+    /**
+     * Residual budget distributed as headroom after every demand
+     * class is satisfied (proportional to remaining breaker
+     * capacity). Demand between coordination ticks drifts, so
+     * stranding budget would convert drift into spurious capping.
+     */
+    std::vector<double> headroomGrantW;
+
+    double itGrantedW = 0.0;
+    double itUnmetW = 0.0;
+    std::array<double, 3> classGrantedW{0.0, 0.0, 0.0};
+    std::array<double, 3> classUnmetW{0.0, 0.0, 0.0};
+    double headroomGrantedW = 0.0;
+    /** Budget left after all stages (breaker/feeder caps binding). */
+    double residualW = 0.0;
+};
+
+/**
+ * Split @p config.regionBudgetW across @p reports (see file comment).
+ * Report order is the deterministic tie-break order; callers pass
+ * MSB-index order.
+ */
+RegionBudgetOutcome
+splitRegionBudget(const RegionBudgetConfig &config,
+                  const std::vector<MsbBudgetReport> &reports);
+
+/**
+ * Validate the split contract via DCBATT_REQUIRE (aborts on
+ * violation). @p tolerance_w absorbs float folding error.
+ */
+void auditRegionBudget(const RegionBudgetConfig &config,
+                       const std::vector<MsbBudgetReport> &reports,
+                       const RegionBudgetOutcome &outcome,
+                       double tolerance_w = 1.0);
+
+} // namespace dcbatt::core
+
+#endif // DCBATT_CORE_REGION_BUDGET_H_

@@ -31,7 +31,7 @@ BreakerController::BreakerController(PowerNode &node,
 Watts
 BreakerController::limit() const
 {
-    return node_->breaker()->limit();
+    return util::min(node_->breaker()->limit(), limitCeiling_);
 }
 
 Watts

@@ -23,6 +23,7 @@
 #ifndef DCBATT_DYNAMO_CONTROLLER_H_
 #define DCBATT_DYNAMO_CONTROLLER_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -72,7 +73,23 @@ class BreakerController
                       ControllerConfig config = {});
 
     const power::PowerNode &node() const { return *node_; }
+
+    /**
+     * Effective power limit: the breaker rating, further clamped by
+     * any budget ceiling a region-level splitter has imposed.
+     */
     util::Watts limit() const;
+
+    /**
+     * Impose (or move) a budget ceiling below the breaker rating. The
+     * region budget splitter calls this on MSB root controllers each
+     * coordination tick; the controller then runs its normal
+     * escalation (throttle charging, then cap servers) against
+     * min(breaker limit, ceiling). Infinity — the default — disables
+     * the ceiling.
+     */
+    void setLimitCeiling(util::Watts ceiling) { limitCeiling_ = ceiling; }
+    util::Watts limitCeiling() const { return limitCeiling_; }
 
     /** Run one monitoring/decision cycle. */
     void tick();
@@ -128,6 +145,9 @@ class BreakerController
      */
     std::map<int, sim::Tick> lastCommandTick_;
     util::Watts maxCapObserved_{0.0};
+    /** Budget ceiling on limit(); infinity = no ceiling imposed. */
+    util::Watts limitCeiling_{
+        std::numeric_limits<double>::infinity()};
     /** Reused snapshot buffer (see snapshotRacks). */
     mutable std::vector<RackChargeInfo> snapshotBuf_;
 };

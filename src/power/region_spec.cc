@@ -1,0 +1,115 @@
+#include "power/region_spec.h"
+
+#include "util/logging.h"
+
+namespace dcbatt::power {
+
+int
+suiteCount(const RegionSpec &spec)
+{
+    return spec.buildings * spec.suitesPerBuilding;
+}
+
+int
+msbsPerSuite(const RegionSpec &spec)
+{
+    int suites = suiteCount(spec);
+    return (spec.msbs + suites - 1) / suites;
+}
+
+int
+suiteOfMsb(const RegionSpec &spec, int msb)
+{
+    return msb / msbsPerSuite(spec);
+}
+
+int
+buildingOfMsb(const RegionSpec &spec, int msb)
+{
+    return suiteOfMsb(spec, msb) / spec.suitesPerBuilding;
+}
+
+std::string
+msbName(const RegionSpec &spec, int msb)
+{
+    return util::strf("%s/b%d/s%d/msb%03d", spec.name.c_str(),
+                      buildingOfMsb(spec, msb), suiteOfMsb(spec, msb),
+                      msb);
+}
+
+util::Watts
+effectiveRegionBudget(const RegionSpec &spec)
+{
+    if (spec.regionBudget.value() > 0.0)
+        return spec.regionBudget;
+    return spec.msbLimit * (0.85 * static_cast<double>(spec.msbs));
+}
+
+std::vector<Priority>
+msbPriorityMix(const RegionSpec &spec)
+{
+    int p1 = spec.p1RacksPerMsb >= 0 ? spec.p1RacksPerMsb
+                                     : spec.racksPerMsb / 4;
+    int p3 = spec.p3RacksPerMsb >= 0 ? spec.p3RacksPerMsb
+                                     : spec.racksPerMsb / 4;
+    int p2 = spec.racksPerMsb - p1 - p3;
+    if (p1 < 0 || p3 < 0 || p2 < 0) {
+        util::fatal(util::strf(
+            "RegionSpec: priority mix %d+%d exceeds %d racks per MSB",
+            p1, p3, spec.racksPerMsb));
+    }
+    return makePriorityMix(p1, p2, p3);
+}
+
+TopologySpec
+msbTopologySpec(const RegionSpec &spec, int msb)
+{
+    TopologySpec topo;
+    topo.rootKind = NodeKind::Msb;
+    topo.rootName = msbName(spec, msb);
+    topo.sbsPerMsb = spec.sbsPerMsb;
+    topo.racksPerRpp = spec.racksPerRpp;
+    int racks_per_sb =
+        (spec.racksPerMsb + spec.sbsPerMsb - 1) / spec.sbsPerMsb;
+    topo.rppsPerSb =
+        (racks_per_sb + spec.racksPerRpp - 1) / spec.racksPerRpp;
+    topo.totalRacks = spec.racksPerMsb;
+    topo.msbLimit = spec.msbLimit;
+    // As in the paper's single-MSB experiments, intra-MSB levels are
+    // unconstrained; the binding limits are the MSB breaker and the
+    // suite/building/region budgets the splitter enforces from above.
+    topo.sbLimit = util::megawatts(50.0);
+    topo.rppLimit = util::megawatts(50.0);
+    topo.priorities = msbPriorityMix(spec);
+    topo.bbuParams = spec.bbuParams;
+    return topo;
+}
+
+void
+validateRegionSpec(const RegionSpec &spec)
+{
+    if (spec.buildings <= 0 || spec.suitesPerBuilding <= 0)
+        util::fatal("RegionSpec: need at least one building/suite");
+    if (spec.msbs <= 0 || spec.racksPerMsb <= 0)
+        util::fatal("RegionSpec: need at least one MSB and rack");
+    if (spec.sbsPerMsb <= 0 || spec.racksPerRpp <= 0)
+        util::fatal("RegionSpec: bad SB/RPP fan-out");
+    if (spec.physicsStep.value() <= 0.0
+        || spec.traceStep.value() <= 0.0)
+        util::fatal("RegionSpec: nonpositive step");
+    if (spec.coordinationPeriod.value() < spec.physicsStep.value())
+        util::fatal(
+            "RegionSpec: coordination period below physics step");
+    if (spec.duration < spec.coordinationPeriod)
+        util::fatal("RegionSpec: duration below coordination period");
+    if (spec.targetMeanDod <= 0.0 || spec.targetMeanDod > 1.0)
+        util::fatal("RegionSpec: target mean DOD outside (0, 1]");
+    if (spec.windowSamples == 0 || spec.maxResidentWindows == 0)
+        util::fatal("RegionSpec: streaming window knobs must be >= 1");
+    if (spec.firstOutage.value() < 0.0
+        || spec.outageStagger.value() < 0.0)
+        util::fatal("RegionSpec: negative outage schedule");
+    (void)msbPriorityMix(spec);  // validates the mix counts
+}
+
+} // namespace dcbatt::power

@@ -1,0 +1,604 @@
+#include "sim/region_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "battery/charger_policy.h"
+#include "core/charging_invariants.h"
+#include "core/priority_aware_coordinator.h"
+#include "core/region_budget.h"
+#include "core/sla.h"
+#include "dynamo/controller.h"
+#include "obs/metrics.h"
+#include "obs/time_series_recorder.h"
+#include "obs/trace_span.h"
+#include "sim/event_queue.h"
+#include "sim/invariant_auditor.h"
+#include "trace/streaming_trace_source.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace dcbatt::sim {
+
+using power::RegionSpec;
+using util::Seconds;
+using util::Watts;
+
+namespace {
+
+/** Tolerance separating budget overshoot from float fuzz. */
+constexpr double kBudgetSlackW = 1e3;
+
+/**
+ * One MSB shard: its own topology, control plane, streaming trace
+ * source, and (sharded mode) its own event queue. All mutable state
+ * is confined to the shard; the driver touches it only between
+ * chunks, in shard-index order.
+ */
+class MsbShard
+{
+  public:
+    /**
+     * @p shared_queue null: shard owns a queue (sharded mode);
+     * non-null: events ride the caller's queue (single-queue mode).
+     * Construction schedules everything the shard will ever schedule
+     * from the outside: control-plane ticks, the open transition, the
+     * charge-start snapshot, optional auditing, and the physics task
+     * (first firing at tick 0).
+     */
+    MsbShard(const RegionSpec &spec, int index,
+             EventQueue *shared_queue)
+        : spec_(&spec), index_(index),
+          ownQueue_(shared_queue
+                        ? nullptr
+                        : std::make_unique<EventQueue>()),
+          queue_(shared_queue ? shared_queue : ownQueue_.get()),
+          source_(streamingSpec(spec, index)),
+          topo_(power::Topology::build(
+              power::msbTopologySpec(spec, index),
+              battery::makeVariableCharger(spec.bbuParams)))
+    {
+        const int racks = spec.racksPerMsb;
+        done_.assign(static_cast<size_t>(racks), 0);
+        everCapped_.assign(static_cast<size_t>(racks), 0);
+        everHeld_.assign(static_cast<size_t>(racks), 0);
+        initialDod_.assign(static_cast<size_t>(racks), 0.0);
+        sawOutage_.assign(static_cast<size_t>(racks), 0);
+        chargeDurationS_.assign(static_cast<size_t>(racks), -1.0);
+
+        // Prefetch sample 0 so the tick-0 budget split sees real IT
+        // demand instead of an all-zero fleet (a zero grant would cap
+        // every server before the first physics step).
+        applyTraceSample(0);
+
+        // Control plane: the paper's priority-aware policy under each
+        // MSB root, monitoring/capping controllers below.
+        core::SlaCurrentCalculator calc(
+            battery::ChargeTimeModel(spec.bbuParams),
+            core::SlaTable::paperDefault());
+        coordinator_ = std::make_unique<core::PriorityAwareCoordinator>(
+            std::move(calc), core::PriorityAwareOptions{});
+        plane_ = std::make_unique<dynamo::ControlPlane>(
+            topo_, topo_.root(), *queue_, coordinator_.get());
+        plane_->start();
+
+        // Staggered open transition, then the charge-start snapshot
+        // (scheduled after the restore event, so same-tick FIFO order
+        // guarantees the batteries have flipped to charging but not
+        // yet absorbed anything — exactly like runChargingEvent).
+        otStart_ = spec.firstOutage
+            + spec.outageStagger * static_cast<double>(index);
+        util::Joules rack_energy = spec.bbuParams.fullDischargeEnergy
+            * static_cast<double>(spec.bbuParams.bbusPerRack);
+        Watts mean_rack_power = spec.msbAggregateMean
+            / static_cast<double>(spec.racksPerMsb);
+        otLength_ = spec.openTransitionLength.value_or(
+            rack_energy * spec.targetMeanDod / mean_rack_power);
+        chargeStart_ = otStart_ + otLength_;
+        if (chargeStart_ >= spec.duration) {
+            util::fatal(util::strf(
+                "runRegion: MSB %d open transition [%.0f, %.0f]s "
+                "ends outside the %.0f s run",
+                index, otStart_.value(), chargeStart_.value(),
+                spec.duration.value()));
+        }
+        topo_.scheduleOpenTransition(*queue_, topo_.root(),
+                                     toTicks(otStart_),
+                                     toTicks(otLength_));
+        queue_->schedule(toTicks(chargeStart_), [this] {
+            const int racks = spec_->racksPerMsb;
+            double dod_sum = 0.0;
+            for (int i = 0; i < racks; ++i) {
+                auto idx = static_cast<size_t>(i);
+                double dod = topo_.rack(i).shelf().meanDod();
+                initialDod_[idx] = dod;
+                sawOutage_[idx] = topo_.rack(i).sawOutage() ? 1 : 0;
+                dod_sum += dod;
+            }
+            meanInitialDod_ = dod_sum / racks;
+        });
+
+        if (spec.auditInterval) {
+            auditor_ = std::make_unique<InvariantAuditor>(
+                *queue_, toTicks(*spec.auditInterval));
+            core::registerChargingInvariants(*auditor_, topo_,
+                                             coordinator_.get());
+            auditor_->start();
+        }
+
+        physics_ = std::make_unique<PeriodicTask>(
+            *queue_, toTicks(spec.physicsStep),
+            [this](Tick now) { step(now); });
+        physics_->start(0);
+    }
+
+    EventQueue &queue() { return *queue_; }
+
+    /** Budget-splitter input; called between chunks only. */
+    core::MsbBudgetReport
+    report() const
+    {
+        core::MsbBudgetReport r;
+        r.msbIndex = index_;
+        r.suite = power::suiteOfMsb(*spec_, index_);
+        r.building = power::buildingOfMsb(*spec_, index_);
+        r.breakerLimitW = spec_->msbLimit.value();
+        // IT demand, not measured draw: during an open transition the
+        // grid sees nothing, but the grant must already cover the
+        // load for the restore instant.
+        double per_rack_charge_w =
+            battery::rackWattsPerAmpere(spec_->bbuParams).value()
+            * spec_->bbuParams.maxCurrent.value();
+        for (const power::Rack *rack : topo_.racks()) {
+            r.itW += rack->itLoad().value();
+            if (!rack->shelf().fullyCharged()) {
+                r.demandW[static_cast<size_t>(
+                    power::priorityIndex(rack->priority()))] +=
+                    per_rack_charge_w;
+            }
+        }
+        return r;
+    }
+
+    /** Impose this tick's budget ceiling; called between chunks. */
+    void
+    applyGrant(double grant_w)
+    {
+        grantW_ = grant_w;
+        plane_->rootController().setLimitCeiling(Watts(grant_w));
+        grantSumW_ += grant_w;
+        grantMinW_ = std::min(grantMinW_, grant_w);
+        grantMaxW_ = std::max(grantMaxW_, grant_w);
+        ++grantTicks_;
+    }
+
+    /** Grid draw of the shard's last physics step (W). */
+    double
+    lastItW() const
+    {
+        return topo_.stepPowerTotals().itW;
+    }
+    double
+    lastRechargeW() const
+    {
+        return topo_.stepPowerTotals().rechargeW;
+    }
+    double
+    lastCapW() const
+    {
+        return topo_.stepPowerTotals().capW;
+    }
+
+    uint64_t
+    physicalAudits() const
+    {
+        return auditor_ ? auditor_->auditCount() : 0;
+    }
+
+    /** Fold the run into the outcome row (driving thread only). */
+    RegionMsbOutcome
+    finalize()
+    {
+        physics_->stop();
+        plane_->stop();
+        if (auditor_) {
+            auditor_->stop();
+            auditor_->auditNow();
+        }
+
+        RegionMsbOutcome out;
+        out.msbIndex = index_;
+        out.name = power::msbName(*spec_, index_);
+        out.racks = spec_->racksPerMsb;
+        out.suite = power::suiteOfMsb(*spec_, index_);
+        out.building = power::buildingOfMsb(*spec_, index_);
+        out.peakMw = util::toMegawatts(Watts(peakW_));
+        out.overloadSteps = overloadSteps_;
+        out.budgetOverSteps = budgetOverSteps_;
+        out.breakerTripped = topo_.root().breaker()->tripped();
+        out.meanInitialDod = meanInitialDod_;
+
+        core::SlaTable sla_table = core::SlaTable::paperDefault();
+        for (int i = 0; i < spec_->racksPerMsb; ++i) {
+            auto idx = static_cast<size_t>(i);
+            auto pri = static_cast<size_t>(
+                power::priorityIndex(topo_.rack(i).priority()));
+            ++out.racksByPriority[pri];
+            double duration_s = chargeDurationS_[idx];
+            if (duration_s >= 0.0
+                && duration_s <= sla_table
+                                     .chargeTimeSla(
+                                         topo_.rack(i).priority())
+                                     .value())
+                ++out.slaMetByPriority[pri];
+            out.outages += sawOutage_[idx];
+            out.everCapped += everCapped_[idx];
+            out.everHeld += everHeld_[idx];
+        }
+
+        out.meanGrantMw = grantTicks_ > 0
+            ? util::toMegawatts(
+                  Watts(grantSumW_ / static_cast<double>(grantTicks_)))
+            : 0.0;
+        out.minGrantMw = grantTicks_ > 0
+            ? util::toMegawatts(Watts(grantMinW_))
+            : 0.0;
+        out.maxGrantMw = util::toMegawatts(Watts(grantMaxW_));
+        out.itEnergyMwh = itWs_ / 3.6e9;
+        out.rechargeEnergyMwh = rechargeWs_ / 3.6e9;
+
+        const trace::StreamingTraceStats &ts = source_.stats();
+        out.traceWindowsGenerated = ts.windowsGenerated;
+        out.traceRefetches = ts.refetches;
+        out.traceEvictions = ts.evictions;
+        out.tracePeakResidentBytes = ts.peakResidentBytes;
+        return out;
+    }
+
+  private:
+    static trace::StreamingTraceSpec
+    streamingSpec(const RegionSpec &spec, int index)
+    {
+        trace::StreamingTraceSpec streaming;
+        trace::TraceGenSpec &base = streaming.base;
+        base.rackCount = spec.racksPerMsb;
+        // One trailing step of margin so the zero-order hold at the
+        // final physics tick still lands inside the trace.
+        base.duration = spec.duration + spec.traceStep;
+        base.step = spec.traceStep;
+        base.startTime = Seconds(0.0);
+        // Per-MSB seed substream: shard count is part of the spec, so
+        // this is a semantic input, never a function of --threads.
+        base.seed = util::Rng::substreamSeed(
+            spec.seed, static_cast<uint64_t>(index));
+        base.aggregateMean = spec.msbAggregateMean;
+        base.aggregateAmplitude = spec.msbAggregateAmplitude;
+        base.priorities = power::msbPriorityMix(spec);
+        streaming.windowSamples = spec.windowSamples;
+        streaming.maxResidentWindows = spec.maxResidentWindows;
+        return streaming;
+    }
+
+    /** Push trace sample @p idx into every rack's IT demand. */
+    void
+    applyTraceSample(size_t idx)
+    {
+        const trace::TraceWindow &window = source_.windowFor(idx);
+        const double *row = window.row(idx);
+        const int racks = spec_->racksPerMsb;
+        for (int i = 0; i < racks; ++i)
+            topo_.rack(i).setItDemand(Watts(row[static_cast<size_t>(i)]));
+        lastTraceIdx_ = idx;
+    }
+
+    /** Per-physics-step body (runs on whichever worker owns the chunk). */
+    void
+    step(Tick now)
+    {
+        Seconds sim_now = toSeconds(now);
+        size_t idx = source_.sampleIndexAt(sim_now);
+        if (idx != lastTraceIdx_)
+            applyTraceSample(idx);
+
+        const Seconds dt = spec_->physicsStep;
+        topo_.stepRacks(dt);
+        topo_.observeBreakers(dt);
+
+        const power::Topology::StepPowerTotals &totals =
+            topo_.stepPowerTotals();
+        double msb_w = totals.itW + totals.rechargeW;
+        peakW_ = std::max(peakW_, msb_w);
+        if (msb_w > spec_->msbLimit.value())
+            ++overloadSteps_;
+        if (msb_w > grantW_ + kBudgetSlackW)
+            ++budgetOverSteps_;
+        itWs_ += totals.itW * dt.value();
+        rechargeWs_ += totals.rechargeW * dt.value();
+
+        const battery::FleetState &fleet = topo_.fleet();
+        const bool after_start = sim_now > chargeStart_;
+        const int racks = spec_->racksPerMsb;
+        for (int i = 0; i < racks; ++i) {
+            auto row = static_cast<size_t>(i);
+            if (fleet.capW[row] > 0.0)
+                everCapped_[row] = 1;
+            if (fleet.held[row])
+                everHeld_[row] = 1;
+            if (!after_start || done_[row])
+                continue;
+            if (fleet.fullyCharged[row]) {
+                done_[row] = 1;
+                chargeDurationS_[row] =
+                    (sim_now - chargeStart_).value();
+            }
+        }
+    }
+
+    const RegionSpec *spec_;
+    int index_;
+    /** Owned queue (sharded mode); destroyed after every task below. */
+    std::unique_ptr<EventQueue> ownQueue_;
+    EventQueue *queue_;
+    trace::StreamingTraceSource source_;
+    power::Topology topo_;
+    std::unique_ptr<core::PriorityAwareCoordinator> coordinator_;
+    std::unique_ptr<dynamo::ControlPlane> plane_;
+    std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<PeriodicTask> physics_;
+
+    Seconds otStart_{0.0};
+    Seconds otLength_{0.0};
+    Seconds chargeStart_{0.0};
+    size_t lastTraceIdx_ = std::numeric_limits<size_t>::max();
+
+    std::vector<uint8_t> done_;
+    std::vector<uint8_t> everCapped_;
+    std::vector<uint8_t> everHeld_;
+    std::vector<double> initialDod_;
+    std::vector<uint8_t> sawOutage_;
+    /** Seconds from charge start to fully charged; -1 = never. */
+    std::vector<double> chargeDurationS_;
+    double meanInitialDod_ = 0.0;
+
+    double peakW_ = 0.0;
+    int overloadSteps_ = 0;
+    int budgetOverSteps_ = 0;
+    double itWs_ = 0.0;
+    double rechargeWs_ = 0.0;
+
+    double grantW_ = std::numeric_limits<double>::infinity();
+    double grantSumW_ = 0.0;
+    double grantMinW_ = std::numeric_limits<double>::infinity();
+    double grantMaxW_ = 0.0;
+    uint64_t grantTicks_ = 0;
+};
+
+} // namespace
+
+RegionResult
+runRegion(const RegionSpec &spec, const RegionRunOptions &options)
+{
+    DCBATT_SPAN_NAMED(region_span, "sim.runRegion");
+    power::validateRegionSpec(spec);
+    const int n_msbs = spec.msbs;
+    region_span.arg("msbs", static_cast<double>(n_msbs));
+    region_span.arg("racks",
+                    static_cast<double>(n_msbs * spec.racksPerMsb));
+
+    const Tick horizon = toTicks(spec.duration);
+    const Tick cadence = toTicks(spec.coordinationPeriod);
+    DCBATT_REQUIRE(cadence > 0, "coordination period under one tick");
+
+    // Budget-splitter configuration (static for the whole run).
+    core::RegionBudgetConfig budget;
+    budget.regionBudgetW = power::effectiveRegionBudget(spec).value();
+    if (spec.suiteLimit.value()
+        < std::numeric_limits<double>::infinity()) {
+        budget.suiteLimitW.assign(
+            static_cast<size_t>(power::suiteCount(spec)),
+            spec.suiteLimit.value());
+    }
+    if (spec.buildingLimit.value()
+        < std::numeric_limits<double>::infinity()) {
+        budget.buildingLimitW.assign(
+            static_cast<size_t>(spec.buildings),
+            spec.buildingLimit.value());
+    }
+
+    // Single-queue mode: the shared queue must outlive the shards,
+    // and the splitter events must be scheduled BEFORE any shard is
+    // built so that, at a shared tick, the split always runs first
+    // (lowest seq). Sharded mode gets the same ordering from the
+    // chunk boundaries below.
+    std::unique_ptr<EventQueue> shared_queue;
+    if (options.singleQueue)
+        shared_queue = std::make_unique<EventQueue>();
+
+    RegionResult result;
+    result.itMw = util::TimeSeries(Seconds(0.0),
+                                   spec.coordinationPeriod);
+    result.demandItMw = result.itMw;
+    result.rechargeMw = result.itMw;
+    result.capMw = result.itMw;
+    result.grantMw = result.itMw;
+    result.unmetMw = result.itMw;
+    result.regionPowerMw = result.itMw;
+
+    std::vector<std::unique_ptr<MsbShard>> shards;
+    shards.reserve(static_cast<size_t>(n_msbs));
+
+    std::vector<core::MsbBudgetReport> reports(
+        static_cast<size_t>(n_msbs));
+
+    // Rollup snapshot of the latest coordination tick, feeding the
+    // armed time-series tape (side channel; stdout never reads it).
+    struct Rollup
+    {
+        double itW = 0.0;
+        double demandItW = 0.0;
+        double rechargeW = 0.0;
+        double capW = 0.0;
+        double grantW = 0.0;
+        double unmetW = 0.0;
+        double powerW = 0.0;
+    } rollup;
+
+    std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+    if (obs::timeSeriesArmed()) {
+        recorder = std::make_unique<obs::TimeSeriesRecorder>(
+            obs::armedTimeSeriesOptions());
+        recorder->addProbe("region_power_mw", [&rollup] {
+            return rollup.powerW / 1e6;
+        });
+        recorder->addProbe("region_it_mw", [&rollup] {
+            return rollup.itW / 1e6;
+        });
+        recorder->addProbe("region_recharge_mw", [&rollup] {
+            return rollup.rechargeW / 1e6;
+        });
+        recorder->addProbe("region_cap_mw", [&rollup] {
+            return rollup.capW / 1e6;
+        });
+        recorder->addProbe("region_grant_mw", [&rollup] {
+            return rollup.grantW / 1e6;
+        });
+        recorder->addProbe("region_unmet_mw", [&rollup] {
+            return rollup.unmetW / 1e6;
+        });
+    }
+
+    // Everything the splitter does at one coordination tick: collect
+    // reports, split, audit, apply grants, roll up — all in
+    // shard-index order on the driving thread, so the artifacts are
+    // independent of worker count.
+    auto coordinate = [&](Tick at) {
+        for (int i = 0; i < n_msbs; ++i)
+            reports[static_cast<size_t>(i)] =
+                shards[static_cast<size_t>(i)]->report();
+        core::RegionBudgetOutcome outcome =
+            core::splitRegionBudget(budget, reports);
+        core::auditRegionBudget(budget, reports, outcome);
+        ++result.budgetAudits;
+
+        rollup = Rollup{};
+        for (int i = 0; i < n_msbs; ++i) {
+            auto idx = static_cast<size_t>(i);
+            shards[idx]->applyGrant(outcome.grantW[idx]);
+            rollup.itW += shards[idx]->lastItW();
+            rollup.rechargeW += shards[idx]->lastRechargeW();
+            rollup.capW += shards[idx]->lastCapW();
+            rollup.demandItW += reports[idx].itW;
+            rollup.grantW += outcome.grantW[idx];
+        }
+        rollup.powerW = rollup.itW + rollup.rechargeW;
+        rollup.unmetW = outcome.itUnmetW + outcome.classUnmetW[0]
+            + outcome.classUnmetW[1] + outcome.classUnmetW[2];
+
+        result.itMw.append(rollup.itW / 1e6);
+        result.demandItMw.append(rollup.demandItW / 1e6);
+        result.rechargeMw.append(rollup.rechargeW / 1e6);
+        result.capMw.append(rollup.capW / 1e6);
+        result.grantMw.append(rollup.grantW / 1e6);
+        result.unmetMw.append(rollup.unmetW / 1e6);
+        result.regionPowerMw.append(rollup.powerW / 1e6);
+        ++result.coordinationTicks;
+        if (recorder)
+            recorder->sampleAt(toSeconds(at).value());
+    };
+
+    if (options.singleQueue) {
+        for (Tick t = 0; t < horizon; t += cadence)
+            shared_queue->schedule(t, [&coordinate, t] {
+                coordinate(t);
+            });
+    }
+
+    for (int i = 0; i < n_msbs; ++i) {
+        shards.push_back(std::make_unique<MsbShard>(
+            spec, i, shared_queue.get()));
+    }
+
+    if (options.singleQueue) {
+        shared_queue->runUntil(horizon - 1);
+    } else {
+        util::ThreadPool pool(std::max(options.threads, 1u));
+        for (Tick t = 0; t < horizon; t += cadence) {
+            coordinate(t);
+            Tick chunk_end = std::min(t + cadence, horizon);
+            // runUntil is inclusive: events AT the boundary tick must
+            // wait for the next split, exactly as the splitter's
+            // lower seq arranges in single-queue mode.
+            pool.parallelFor(
+                static_cast<size_t>(n_msbs), [&](size_t shard) {
+                    shards[shard]->queue().runUntil(chunk_end - 1);
+                });
+        }
+    }
+
+    // --- fold outcomes (shard-index order, driving thread) ----------
+    uint64_t sla_met = 0;
+    uint64_t racks_total = 0;
+    for (int i = 0; i < n_msbs; ++i) {
+        result.physicalAudits +=
+            shards[static_cast<size_t>(i)]->physicalAudits();
+        RegionMsbOutcome out =
+            shards[static_cast<size_t>(i)]->finalize();
+        sla_met += static_cast<uint64_t>(out.slaMetTotal());
+        racks_total += static_cast<uint64_t>(out.racks);
+        result.tracePeakResidentBytes += out.tracePeakResidentBytes;
+        result.msbs.push_back(std::move(out));
+    }
+    result.peakRegionMw = result.regionPowerMw.size() > 0
+        ? result.regionPowerMw.maxValue()
+        : 0.0;
+
+    // --- obs layer ---------------------------------------------------
+    // One registry visit after the run; every value is
+    // simulation-deterministic, so snapshots are identical at any
+    // --threads (gauges below max-merge for the same reason).
+    DCBATT_COUNT("region.runs");
+    DCBATT_COUNT_N("region.msbs_simulated",
+                   static_cast<uint64_t>(n_msbs));
+    DCBATT_COUNT_N("region.racks_simulated", racks_total);
+    DCBATT_COUNT_N("region.coordination_ticks",
+                   result.coordinationTicks);
+    DCBATT_COUNT_N("region.budget_audits", result.budgetAudits);
+    DCBATT_COUNT_N("region.sla_met", sla_met);
+    DCBATT_COUNT_N("region.sla_missed", racks_total - sla_met);
+    {
+        static obs::Gauge &peak_gauge =
+            obs::gauge("region.peak_power_mw");
+        peak_gauge.setMax(result.peakRegionMw);
+        static obs::Gauge &resident_gauge =
+            obs::gauge("region.trace_resident_bytes_peak");
+        resident_gauge.setMax(
+            static_cast<double>(result.tracePeakResidentBytes));
+    }
+    for (const RegionMsbOutcome &msb : result.msbs) {
+        obs::gauge(util::strf("region.msb%03d.peak_mw", msb.msbIndex))
+            .setMax(msb.peakMw);
+        obs::gauge(
+            util::strf("region.msb%03d.sla_met", msb.msbIndex))
+            .setMax(static_cast<double>(msb.slaMetTotal()));
+        obs::gauge(
+            util::strf("region.msb%03d.outages", msb.msbIndex))
+            .setMax(static_cast<double>(msb.outages));
+    }
+    if (recorder) {
+        recorder->sampleAt(spec.duration.value());
+        obs::publishTimeSeries(std::move(*recorder));
+    }
+
+    region_span.arg("coordination_ticks",
+                    static_cast<double>(result.coordinationTicks));
+    region_span.arg("peak_mw", result.peakRegionMw);
+    return result;
+}
+
+} // namespace dcbatt::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Region-scale simulation engine: dozens of MSBs, one deterministic
+ * run.
+ *
+ * Each MSB of a power::RegionSpec becomes an independent *shard*: its
+ * own Topology, Dynamo control plane, streaming trace source, and —
+ * in the default sharded mode — its own EventQueue. Shards only
+ * interact through the cross-MSB budget splitter
+ * (core::splitRegionBudget), which runs every coordination tick on
+ * the driving thread and imposes per-MSB power ceilings via
+ * dynamo::BreakerController::setLimitCeiling.
+ *
+ * Determinism contract (DESIGN.md §15; pinned by
+ * sim_region_engine_test):
+ *
+ *  - Shard count equals the MSB count and is part of the spec, never
+ *    derived from --threads. Shard i's trace seed is substream i of
+ *    the region seed.
+ *  - Sharded mode advances every shard queue in lockstep chunks of
+ *    one coordination period on a util::ThreadPool; all cross-shard
+ *    reads (budget reports, rollups) happen between chunks, on the
+ *    driving thread, in shard-index order. Results are therefore
+ *    bit-identical at any --threads.
+ *  - Single-queue mode (RegionRunOptions::singleQueue) runs the same
+ *    spec through ONE EventQueue carrying every shard's events plus
+ *    the splitter as highest-priority same-tick events. It is the
+ *    reference implementation for the differential test: both modes
+ *    must produce byte-identical artifacts. The chunked runUntil
+ *    boundary sits at (tick - 1) precisely so that boundary-tick
+ *    physics runs after the splitter in both modes.
+ *
+ * Artifacts: a per-MSB outcome table and a region rollup tape sampled
+ * at the coordination cadence, plus obs-layer per-MSB gauges and the
+ * region time-series tape when armed.
+ */
+
+#ifndef DCBATT_SIM_REGION_ENGINE_H_
+#define DCBATT_SIM_REGION_ENGINE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/region_spec.h"
+#include "util/time_series.h"
+
+namespace dcbatt::sim {
+
+/** Execution knobs (never simulation semantics). */
+struct RegionRunOptions
+{
+    /** Worker threads for the sharded mode (>= 1). */
+    unsigned threads = 1;
+    /**
+     * Run every shard through one shared EventQueue instead of
+     * per-shard queues (the differential-test reference; forces
+     * single-threaded execution).
+     */
+    bool singleQueue = false;
+};
+
+/** Outcome of one MSB shard. */
+struct RegionMsbOutcome
+{
+    int msbIndex = -1;
+    std::string name;
+    int racks = 0;
+    int suite = 0;
+    int building = 0;
+
+    double peakMw = 0.0;
+    /** Physics steps above the MSB breaker rating. */
+    int overloadSteps = 0;
+    /** Physics steps above the granted budget ceiling (+1 kW). */
+    int budgetOverSteps = 0;
+    bool breakerTripped = false;
+
+    double meanInitialDod = 0.0;
+    std::array<int, 3> racksByPriority{0, 0, 0};
+    std::array<int, 3> slaMetByPriority{0, 0, 0};
+    /** Racks whose batteries emptied during the open transition. */
+    int outages = 0;
+    int everCapped = 0;
+    int everHeld = 0;
+
+    double meanGrantMw = 0.0;
+    double minGrantMw = 0.0;
+    double maxGrantMw = 0.0;
+
+    double itEnergyMwh = 0.0;
+    double rechargeEnergyMwh = 0.0;
+
+    uint64_t traceWindowsGenerated = 0;
+    uint64_t traceRefetches = 0;
+    uint64_t traceEvictions = 0;
+    size_t tracePeakResidentBytes = 0;
+
+    int slaMetTotal() const
+    {
+        return slaMetByPriority[0] + slaMetByPriority[1]
+            + slaMetByPriority[2];
+    }
+};
+
+/** Region-level result: per-MSB outcomes plus the rollup tape. */
+struct RegionResult
+{
+    std::vector<RegionMsbOutcome> msbs;
+
+    /**
+     * Rollup series sampled once per coordination tick (start 0,
+     * step = coordinationPeriod). Power values are MW. "it"/"recharge"
+     * are grid draw folded from the shards' last physics step;
+     * "demand" is the uncurtailed IT demand the splitter saw;
+     * "grant"/"unmet" come from the budget split of that tick.
+     */
+    util::TimeSeries itMw;
+    util::TimeSeries demandItMw;
+    util::TimeSeries rechargeMw;
+    util::TimeSeries capMw;
+    util::TimeSeries grantMw;
+    util::TimeSeries unmetMw;
+    util::TimeSeries regionPowerMw;
+
+    double peakRegionMw = 0.0;
+    uint64_t coordinationTicks = 0;
+    /** Splitter audits run (one per coordination tick). */
+    uint64_t budgetAudits = 0;
+    /** Per-shard physical-invariant audit passes (if enabled). */
+    uint64_t physicalAudits = 0;
+    /** Sum over shards of each trace source's peak resident bytes. */
+    size_t tracePeakResidentBytes = 0;
+
+    int racksTotal() const
+    {
+        int n = 0;
+        for (const RegionMsbOutcome &msb : msbs)
+            n += msb.racks;
+        return n;
+    }
+};
+
+/**
+ * Run the region described by @p spec for its full duration.
+ * Byte-identical output for any options.threads; singleQueue selects
+ * the reference execution mode (same artifacts, one queue).
+ */
+RegionResult runRegion(const power::RegionSpec &spec,
+                       const RegionRunOptions &options = {});
+
+} // namespace dcbatt::sim
+
+#endif // DCBATT_SIM_REGION_ENGINE_H_

@@ -1,0 +1,234 @@
+#include "trace/streaming_trace_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <span>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dcbatt::trace {
+
+using power::Priority;
+using util::Seconds;
+
+namespace {
+
+/** Diurnal shape: cosine peaking at the configured time of day. */
+double
+diurnalShape(double t_s, double peak_s, double phase_shift_h)
+{
+    constexpr double day = 24.0 * 3600.0;
+    double shifted = t_s - peak_s - phase_shift_h * 3600.0;
+    return std::cos(2.0 * std::numbers::pi * shifted / day);
+}
+
+/** Weekly modulation: weekends run flatter/lower. */
+double
+weeklyScale(double t_s, double weekend_dip)
+{
+    constexpr double day = 24.0 * 3600.0;
+    int day_index = static_cast<int>(t_s / day) % 7;
+    bool weekend = day_index >= 5;
+    return weekend ? 1.0 - weekend_dip : 1.0;
+}
+
+} // namespace
+
+StreamingTraceSource::StreamingTraceSource(StreamingTraceSpec spec)
+    : spec_(std::move(spec))
+{
+    const TraceGenSpec &base = spec_.base;
+    if (base.rackCount <= 0)
+        util::fatal("StreamingTraceSource: rack count must be positive");
+    if (base.step.value() <= 0.0 || base.duration < base.step)
+        util::fatal("StreamingTraceSource: bad step/duration");
+    if (spec_.windowSamples == 0)
+        util::fatal("StreamingTraceSource: windowSamples must be >= 1");
+    if (spec_.maxResidentWindows == 0)
+        util::fatal(
+            "StreamingTraceSource: maxResidentWindows must be >= 1");
+
+    totalSamples_ = static_cast<size_t>(base.duration / base.step);
+    windowCount_ =
+        (totalSamples_ + spec_.windowSamples - 1) / spec_.windowSamples;
+
+    // Per-rack static parameters and the initial AR(1) state, drawn
+    // from substream 0 in the exact order generateTraces uses for its
+    // setup loop. Kept for the source's lifetime: the fleet shape is
+    // O(racks), not O(samples).
+    auto racks = static_cast<size_t>(base.rackCount);
+    params_.base.resize(racks);
+    params_.amplitude.resize(racks);
+    params_.phase.resize(racks);
+    params_.noiseSigma.resize(racks);
+    params_.noiseRho.resize(racks);
+    std::vector<double> ar(racks);
+    util::Rng rng(util::Rng::substreamSeed(base.seed, 0));
+    for (size_t i = 0; i < racks; ++i) {
+        Priority p = base.priorities.empty()
+            ? Priority::P2
+            : base.priorities[i % base.priorities.size()];
+        const RackProfile &prof =
+            base.profiles[power::priorityIndex(p)];
+        params_.base[i] = prof.baseMean.value()
+            + rng.uniform(-prof.baseSpread.value(),
+                          prof.baseSpread.value());
+        params_.amplitude[i] =
+            prof.diurnalAmplitude * rng.uniform(0.7, 1.3);
+        params_.phase[i] =
+            prof.diurnalPhaseShift + rng.uniform(-1.0, 1.0);
+        params_.noiseSigma[i] = prof.noiseSigma;
+        params_.noiseRho[i] = prof.noisePersistence;
+        ar[i] = rng.normal(0.0, prof.noiseSigma);
+    }
+    checkpoints_.push_back(std::move(ar));
+    generated_.assign(windowCount_, 0);
+}
+
+std::unique_ptr<TraceWindow>
+StreamingTraceSource::generateWindow(size_t w)
+{
+    const TraceGenSpec &base = spec_.base;
+    const size_t first = w * spec_.windowSamples;
+    const size_t count =
+        std::min(spec_.windowSamples, totalSamples_ - first);
+    const auto racks = static_cast<size_t>(base.rackCount);
+
+    DCBATT_ASSERT(w < checkpoints_.size(),
+                  "window %zu generated before its checkpoint", w);
+    // The carry-over AR(1) state is the only cross-window coupling;
+    // all noise inside the window comes from the window's own
+    // substream, so (spec, w) fully determine the bytes below.
+    std::vector<double> ar = checkpoints_[w];
+    util::Rng rng(util::Rng::substreamSeed(base.seed, w + 1));
+
+    auto window = std::make_unique<TraceWindow>(
+        first, count, base.rackCount);
+    double *data = window->mutableData();
+    const double peak_s = base.peakTimeOfDay.value();
+    for (size_t s = 0; s < count; ++s) {
+        double t = base.startTime.value()
+            + static_cast<double>(first + s) * base.step.value();
+        double weekly = weeklyScale(t, base.weekendDip);
+        double *row = data + s * racks;
+        double raw_sum = 0.0;
+        for (size_t i = 0; i < racks; ++i) {
+            double rho = params_.noiseRho[i];
+            double innovation = rng.normal(
+                0.0,
+                params_.noiseSigma[i] * std::sqrt(1.0 - rho * rho));
+            ar[i] = rho * ar[i] + innovation;
+            double shape = 1.0
+                + params_.amplitude[i] * weekly
+                    * diurnalShape(t, peak_s, params_.phase[i])
+                + ar[i];
+            double watts = std::clamp(params_.base[i] * shape,
+                                      base.rackMinPower.value(),
+                                      base.rackMaxPower.value());
+            row[i] = watts;
+            raw_sum += watts;
+        }
+        // Calibrate the column so the aggregate tracks the target
+        // diurnal band exactly (preserves rack-to-rack ratios).
+        double target = base.aggregateMean.value()
+            + base.aggregateAmplitude.value() * weekly
+                * diurnalShape(t, peak_s, 0.0)
+            + rng.normal(0.0, base.aggregateMean.value()
+                                  * base.aggregateNoiseFraction);
+        double scale = raw_sum > 0.0 ? target / raw_sum : 1.0;
+        for (size_t i = 0; i < racks; ++i) {
+            row[i] = std::clamp(row[i] * scale,
+                                base.rackMinPower.value(),
+                                base.rackMaxPower.value());
+        }
+    }
+
+    if (checkpoints_.size() == w + 1 && w + 1 < windowCount_)
+        checkpoints_.push_back(std::move(ar));
+
+    if (generated_[w]) {
+        ++stats_.refetches;
+        DCBATT_COUNT("trace.stream_refetches");
+    }
+    generated_[w] = 1;
+    ++stats_.windowsGenerated;
+    DCBATT_COUNT("trace.stream_windows_generated");
+    return window;
+}
+
+void
+StreamingTraceSource::ensureCheckpoint(size_t w)
+{
+    // Checkpoints grow strictly left to right: generating window k is
+    // what produces checkpoint k+1. Windows generated here purely to
+    // advance the AR state are dropped (they are cheap relative to
+    // the simulation consuming them, and re-fetching later is the
+    // common case anyway).
+    while (checkpoints_.size() <= w)
+        generateWindow(checkpoints_.size() - 1);
+}
+
+size_t
+StreamingTraceSource::residentBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &window : resident_)
+        bytes += window->memoryBytes();
+    return bytes;
+}
+
+void
+StreamingTraceSource::noteResidentBytes()
+{
+    size_t bytes = residentBytes();
+    stats_.peakResidentBytes =
+        std::max(stats_.peakResidentBytes, bytes);
+    // Max-merged across sources and threads, so the snapshot is
+    // identical at any worker count.
+    static obs::Gauge &resident_gauge =
+        obs::gauge("trace.stream_resident_bytes_peak");
+    resident_gauge.setMax(static_cast<double>(bytes));
+}
+
+const TraceWindow &
+StreamingTraceSource::windowFor(size_t sample_index)
+{
+    DCBATT_REQUIRE(sample_index < totalSamples_,
+                   "sample %zu outside trace of %zu samples",
+                   sample_index, totalSamples_);
+    const size_t w = windowIndexFor(sample_index);
+    for (const auto &window : resident_) {
+        if (window->firstSample() == w * spec_.windowSamples)
+            return *window;
+    }
+
+    ensureCheckpoint(w);
+    std::unique_ptr<TraceWindow> window = generateWindow(w);
+    while (resident_.size() >= spec_.maxResidentWindows) {
+        resident_.erase(resident_.begin());
+        ++stats_.evictions;
+        DCBATT_COUNT("trace.stream_evictions");
+    }
+    resident_.push_back(std::move(window));
+    noteResidentBytes();
+    return *resident_.back();
+}
+
+TraceSet
+StreamingTraceSource::materialize()
+{
+    TraceSet set(spec_.base.startTime, spec_.base.step,
+                 spec_.base.rackCount);
+    for (size_t s = 0; s < totalSamples_; ++s) {
+        const TraceWindow &window = windowFor(s);
+        set.appendSample(std::span<const double>(
+            window.row(s), static_cast<size_t>(rackCount())));
+    }
+    return set;
+}
+
+} // namespace dcbatt::trace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-MSB budget splitter: priority semantics, caps, and the audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/region_budget.h"
+
+namespace dcbatt::core {
+namespace {
+
+MsbBudgetReport
+report(int index, double it_w, double p1_w, double p2_w, double p3_w,
+       double breaker_w, int suite = 0, int building = 0)
+{
+    MsbBudgetReport r;
+    r.msbIndex = index;
+    r.suite = suite;
+    r.building = building;
+    r.itW = it_w;
+    r.demandW = {p1_w, p2_w, p3_w};
+    r.breakerLimitW = breaker_w;
+    return r;
+}
+
+TEST(RegionBudget, ItIsGrantedFirst)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 1000.0;
+    // IT alone exceeds the budget; charging must get nothing.
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 800.0, 100.0, 100.0, 100.0, 5000.0),
+        report(1, 600.0, 100.0, 100.0, 100.0, 5000.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.itGrantedW, 1000.0, 1e-6);
+    EXPECT_NEAR(out.itUnmetW, 400.0, 1e-6);
+    for (size_t c = 0; c < 3; ++c)
+        EXPECT_EQ(out.classGrantedW[c], 0.0);
+    EXPECT_EQ(out.headroomGrantedW, 0.0);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, HigherClassNeverStarves)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 1500.0;
+    // 1000 W of IT, then 600 W of P1 demand against 500 W left:
+    // P1 gets the full remainder, P2/P3 get zero.
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 500.0, 300.0, 200.0, 200.0, 5000.0),
+        report(1, 500.0, 300.0, 200.0, 200.0, 5000.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.itGrantedW, 1000.0, 1e-6);
+    EXPECT_NEAR(out.classGrantedW[0], 500.0, 1e-6);
+    EXPECT_NEAR(out.classUnmetW[0], 100.0, 1e-6);
+    EXPECT_EQ(out.classGrantedW[1], 0.0);
+    EXPECT_EQ(out.classGrantedW[2], 0.0);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, ProportionalWithinClass)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 300.0;
+    // No IT; P1 demand 100 vs 200 against 300 available → both fully
+    // met. Shrink budget to 150 → 50/100 proportional split.
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 0.0, 100.0, 0.0, 0.0, 5000.0),
+        report(1, 0.0, 200.0, 0.0, 0.0, 5000.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.classGrantW[0][0], 100.0, 1e-6);
+    EXPECT_NEAR(out.classGrantW[0][1], 200.0, 1e-6);
+    auditRegionBudget(config, reports, out);
+
+    config.regionBudgetW = 150.0;
+    out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.classGrantW[0][0], 50.0, 1e-3);
+    EXPECT_NEAR(out.classGrantW[0][1], 100.0, 1e-3);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, SuiteCapBindsAndBudgetReroutes)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 1000.0;
+    config.suiteLimitW = {300.0, 1000.0};
+    // MSB 0 (suite 0) wants 500 but its suite caps at 300; the
+    // blocked 200 must flow to MSB 1 (suite 1) instead of stranding.
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 0.0, 500.0, 0.0, 0.0, 5000.0, /*suite=*/0),
+        report(1, 0.0, 700.0, 0.0, 0.0, 5000.0, /*suite=*/1),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.grantW[0], 300.0, 1e-3);
+    EXPECT_NEAR(out.grantW[1], 700.0, 1e-3);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, BuildingCapBinds)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 2000.0;
+    config.buildingLimitW = {600.0};
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 400.0, 300.0, 0.0, 0.0, 5000.0, 0, /*building=*/0),
+        report(1, 400.0, 300.0, 0.0, 0.0, 5000.0, 1, /*building=*/0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.grantW[0] + out.grantW[1], 600.0, 1e-3);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, HeadroomSpreadsResidualUpToBreaker)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 1000.0;
+    // Demand totals 300 W; the 700 W residual becomes headroom,
+    // spread proportionally to remaining breaker capacity. MSB 0's
+    // tiny breaker (180 W) binds: 150 W of demand + 30 W headroom;
+    // the rest of the residual flows to MSB 1.
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 100.0, 50.0, 0.0, 0.0, 180.0),
+        report(1, 100.0, 50.0, 0.0, 0.0, 5000.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_NEAR(out.headroomGrantedW, 700.0, 1e-3);
+    EXPECT_NEAR(out.residualW, 0.0, 1e-3);
+    // Proportional to remaining capacity: 30 W vs 4850 W of
+    // post-demand breaker headroom.
+    EXPECT_NEAR(out.headroomGrantW[0], 700.0 * 30.0 / 4880.0, 1e-3);
+    EXPECT_NEAR(out.headroomGrantW[1], 700.0 * 4850.0 / 4880.0, 1e-3);
+    EXPECT_LE(out.grantW[0], 180.0 + 1e-9);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, ResidualOnlyWhenEveryChainIsBlocked)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 10000.0;
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 100.0, 0.0, 0.0, 0.0, 500.0),
+        report(1, 100.0, 0.0, 0.0, 0.0, 500.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    // Breakers cap total grants at 1000; the other 9000 W stays
+    // residual, which the audit accepts because no chain has headroom.
+    EXPECT_NEAR(out.residualW, 9000.0, 1e-3);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudget, EmptyFleet)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 500.0;
+    std::vector<MsbBudgetReport> reports;
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    EXPECT_TRUE(out.grantW.empty());
+    EXPECT_NEAR(out.residualW, 500.0, 1e-6);
+    auditRegionBudget(config, reports, out);
+}
+
+TEST(RegionBudgetDeathTest, AuditCatchesOverCommit)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 100.0;
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 100.0, 0.0, 0.0, 0.0, 500.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    out.grantW[0] += 50.0;  // tamper: grant above the region budget
+    EXPECT_DEATH(auditRegionBudget(config, reports, out),
+                 "over-commits");
+}
+
+TEST(RegionBudgetDeathTest, AuditCatchesPriorityInversion)
+{
+    RegionBudgetConfig config;
+    config.regionBudgetW = 1000.0;
+    std::vector<MsbBudgetReport> reports = {
+        report(0, 0.0, 300.0, 300.0, 0.0, 5000.0),
+    };
+    RegionBudgetOutcome out = splitRegionBudget(config, reports);
+    // Tamper: withhold part of the P1 grant while region budget and
+    // breaker headroom both remain — unmet demand with headroom is
+    // exactly the inversion the audit must reject. (The total grant
+    // shrinks too, so conservation and decomposition stay intact.)
+    out.classGrantW[0][0] -= 100.0;
+    out.grantW[0] -= 100.0;
+    EXPECT_DEATH(auditRegionBudget(config, reports, out),
+                 "class 0 demand");
+}
+
+} // namespace
+} // namespace dcbatt::core

@@ -13,7 +13,16 @@ fails the check. Ops present on only one side are reported distinctly:
 build that silently dropped a benchmark) versus *new* ops (in the
 capture, absent from the baseline — the baseline wants regenerating).
 Neither is fatal by default, but ``--fail-on-missing`` turns missing
-ops into exit 3 so CI can catch a benchmark binary that lost coverage.
+ops into exit 3 so CI can catch a benchmark binary that lost coverage,
+and ``--fail-on-new`` does the same for new ops: an op that exists
+only in the capture is *silently un-gated* — it could regress 100x on
+the next change and the slowdown gate would never see it — so CI
+refuses to go green until the committed baseline covers it.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (or ``--summary PATH`` is given)
+the new/missing keys, regressions, and ratio-gate results are also
+appended there as Markdown, so a PR author sees the coverage gap
+without digging through the job log.
 
 ``--ratio`` gates a *relative* cost within the current capture alone:
 ``--ratio 'BM_AorSharded/1:BM_AorSerial/1000<=1.15'`` fails (exit 1)
@@ -36,6 +45,7 @@ from "the code got slower".
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -87,6 +97,14 @@ def main():
     parser.add_argument("--fail-on-missing", action="store_true",
                         help="exit 3 when a baseline op is absent from "
                              "the current capture (default: note only)")
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="exit 3 when the capture has an op the "
+                             "baseline lacks (an un-gated benchmark; "
+                             "regenerate the baseline to cover it)")
+    parser.add_argument("--summary", default="",
+                        metavar="PATH",
+                        help="append a Markdown report here (default: "
+                             "$GITHUB_STEP_SUMMARY when set)")
     parser.add_argument("--ratio", action="append", default=[],
                         metavar="KEY_NUM:KEY_DEN<=MAX",
                         help="fail when current[KEY_NUM]/current[KEY_DEN]"
@@ -155,9 +173,49 @@ def main():
                                for k, v in sorted(times.items()))
             print(f"wall ({label}): {artifact}: {timing}")
 
+    summary_path = args.summary or os.environ.get(
+        "GITHUB_STEP_SUMMARY", "")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write("### bench_diff\n\n")
+            f.write(f"{len(shared)} shared op(s), "
+                    f"{len(regressions)} regression(s) beyond "
+                    f"{args.max_slowdown}x, "
+                    f"{len(ratio_failures)} ratio-gate failure(s)\n\n")
+            if regressions:
+                f.write("| regressed op | ratio |\n|---|---|\n")
+                for op, ratio in regressions:
+                    f.write(f"| `{op}` | {ratio:.2f}x |\n")
+                f.write("\n")
+            if ratio_failures:
+                f.write("| ratio gate | value | limit |\n|---|---|---|\n")
+                for num, den, ratio, limit in ratio_failures:
+                    f.write(f"| `{num}:{den}` | {ratio:.3f} "
+                            f"| {limit} |\n")
+                f.write("\n")
+            if only_base:
+                f.write(f"**Missing from capture** ({len(only_base)} — "
+                        "benchmark coverage lost?):\n")
+                for op in only_base:
+                    f.write(f"- `{op}`\n")
+                f.write("\n")
+            if only_curr:
+                f.write(f"**New, un-gated ops** ({len(only_curr)} — "
+                        "regenerate BENCH_perf.json with "
+                        "tools/bench_to_json.sh to gate them):\n")
+                for op in only_curr:
+                    f.write(f"- `{op}`\n")
+                f.write("\n")
+
     if args.fail_on_missing and only_base:
         print(f"\nbench_diff: {len(only_base)} baseline op(s) missing "
               f"from the current capture", file=sys.stderr)
+        sys.exit(EXIT_MISSING_KEY)
+    if args.fail_on_new and only_curr:
+        print(f"\nbench_diff: {len(only_curr)} op(s) in the capture "
+              f"are absent from the baseline and therefore un-gated — "
+              f"regenerate BENCH_perf.json (tools/bench_to_json.sh) "
+              f"so they are covered", file=sys.stderr)
         sys.exit(EXIT_MISSING_KEY)
     failed = False
     if regressions:

@@ -27,7 +27,8 @@ THREADS=${3:-$(nproc)}
 MICRO="$BUILD_DIR/bench/micro_policies"
 FIG09A="$BUILD_DIR/bench/fig09a_aor_vs_charge_time"
 FIG13="$BUILD_DIR/bench/fig13_charging_comparison"
-for bin in "$MICRO" "$FIG09A" "$FIG13"; do
+REGION="$BUILD_DIR/bench/region_scale"
+for bin in "$MICRO" "$FIG09A" "$FIG13" "$REGION"; do
     if [ ! -x "$bin" ]; then
         echo "error: $bin not built (build $BUILD_DIR first)" >&2
         exit 1
@@ -62,11 +63,20 @@ echo "[bench_to_json] fig13 wall time (1 vs $THREADS threads)..." >&2
 F13_T1=$(wall "$FIG13" --threads 1)
 F13_TN=$(wall "$FIG13" --threads "$THREADS")
 
-python3 - "$TMP/micro.json" "$OUT" <<EOF
+# Region-scale benchmark: the binary times itself (1 vs THREADS
+# workers), checks determinism, and reports wall/RSS/efficiency in a
+# JSON side file merged below. Gated by check_region_scaling.py in CI.
+echo "[bench_to_json] region_scale (1 vs $THREADS threads)..." >&2
+"$REGION" --threads "$THREADS" --perf-json "$TMP/region.json" \
+    > /dev/null 2> /dev/null
+
+python3 - "$TMP/micro.json" "$OUT" "$TMP/region.json" <<EOF
 import json, platform, sys
 
 with open(sys.argv[1]) as f:
     micro = json.load(f)
+with open(sys.argv[3]) as f:
+    region = json.load(f)
 
 # Repetition aggregates are named "<bench>_median"; fall back to the
 # raw iteration rows if the benchmark binary emitted no aggregates.
@@ -94,6 +104,7 @@ doc = {
         "fig13_charging_comparison": {"threads_1": $F13_T1,
                                       "threads_$THREADS": $F13_TN},
     },
+    "region_scale": region,
 }
 
 with open(sys.argv[2], "w") as f:
